@@ -1,0 +1,30 @@
+# Convenience targets for the repro moving-objects database.
+
+PYTHON ?= python
+
+.PHONY: install test bench report report-fast examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro.experiments.runner
+
+report-fast:
+	$(PYTHON) -m repro.experiments.runner --fast
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis *.egg-info src/*.egg-info

@@ -1,0 +1,33 @@
+"""E11: estimator-delay ablation — what dl's delay term buys.
+
+dl and cil share the current-speed declaration and differ only in the
+estimator's delay ``b``.  On piecewise-stable curves (where an object
+really does resume its declared speed for a while) the delay changes
+behaviour; on continuously drifting curves the two policies nearly
+coincide.
+"""
+
+import random
+
+from repro.core.policies import make_policy
+from repro.experiments.tables import table_delay_ablation
+from repro.sim.engine import simulate_trip
+from repro.sim.speed_curves import HighwayCurve
+from repro.sim.trip import Trip
+
+
+def test_delay_ablation(benchmark):
+    table = table_delay_ablation(
+        update_cost=5.0, num_curves=8, duration=60.0, dt=1.0 / 30.0
+    )
+    print()
+    print(table.render())
+
+    stable_gap = table.row_by_key("piecewise-stable")[5]
+    drift_gap = table.row_by_key("continuous-drift")[5]
+    assert stable_gap >= drift_gap - 1e-9
+
+    trip = Trip.synthetic(HighwayCurve(60.0, random.Random(5)))
+    benchmark(
+        lambda: simulate_trip(trip, make_policy("dl", 5.0), dt=1.0 / 30.0)
+    )

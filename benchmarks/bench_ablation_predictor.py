@@ -1,0 +1,37 @@
+"""E10: predicted-speed ablation by driving regime (§3.1).
+
+"A policy for which the predicted speed is the current speed may be
+appropriate for highway driving in non-rush hour ... whereas a policy
+for which the predicted speed is the average speed may be appropriate
+for city driving, where the speed fluctuates sharply."
+
+Runs cil (current speed) vs. ail (average speed) on pure-highway and
+pure-city curve sets; the city regime must prefer the average.
+"""
+
+import random
+
+from repro.core.policies import make_policy
+from repro.experiments.tables import table_predictor_ablation
+from repro.sim.engine import simulate_trip
+from repro.sim.speed_curves import CityCurve
+from repro.sim.trip import Trip
+
+
+def test_predictor_ablation(benchmark):
+    table = table_predictor_ablation(
+        update_cost=5.0, num_curves=8, duration=60.0, dt=1.0 / 30.0
+    )
+    print()
+    print(table.render())
+
+    assert table.row_by_key("city")[3] == "average"
+    # In both regimes the costs are positive and finite.
+    for row in table.rows:
+        assert 0.0 < row[1] < float("inf")
+        assert 0.0 < row[2] < float("inf")
+
+    trip = Trip.synthetic(CityCurve(60.0, random.Random(3)))
+    benchmark(
+        lambda: simulate_trip(trip, make_policy("ail", 5.0), dt=1.0 / 30.0)
+    )

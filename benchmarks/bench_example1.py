@@ -1,0 +1,35 @@
+"""E5: the paper's worked Example 1, closed form and simulated.
+
+Checks every number the paper states: the 1.74-mile dl threshold, the
+3.16 / 2.24-mile dl bound plateaus, the 10/t ail bound, and — end to
+end — that a vehicle declaring 1 mile/minute and then stopping sends
+its dl update one minute and ~44 seconds after the stop.
+"""
+
+import pytest
+
+from repro.core.thresholds import optimal_update_threshold
+from repro.experiments.tables import (
+    example1_threshold_trace,
+    table_example1,
+)
+
+
+def test_example1_closed_form(benchmark):
+    table = table_example1()
+    print()
+    print(table.render())
+
+    for row in table.rows:
+        assert row[2] == pytest.approx(row[1], abs=0.01), row[0]
+
+    benchmark(lambda: optimal_update_threshold(1.0, 2.0, 5.0))
+
+
+def test_example1_simulated_trace(benchmark):
+    minutes_after_stop = example1_threshold_trace()
+    print(f"\nfirst dl update {minutes_after_stop:.3f} min after the stop "
+          "(paper: 1.74)")
+    assert minutes_after_stop == pytest.approx(1.74, abs=0.05)
+
+    benchmark(example1_threshold_trace)

@@ -1,0 +1,36 @@
+"""E14: adaptive policy switching on mixed-regime trips.
+
+§3.1 observes that the right policy depends on the driving pattern and
+that updates may switch the policy mid-trip.  The adaptive policy
+automates the switch; on city-highway-city trips it must track the
+better fixed delegate without knowing the regimes in advance.
+"""
+
+import random
+
+from repro.core.adaptive import AdaptivePolicy
+from repro.experiments.extensions import table_adaptive_policy
+from repro.sim.engine import simulate_trip
+from repro.sim.speed_curves import CityCurve, HighwayCurve, MixedCurve
+from repro.sim.trip import Trip
+
+
+def test_adaptive_policy(benchmark):
+    table = table_adaptive_policy(num_trips=6, duration=60.0, dt=1.0 / 30.0)
+    print()
+    print(table.render())
+
+    cil = table.row_by_key("cil (always current)")[2]
+    ail = table.row_by_key("ail (always average)")[2]
+    adaptive = table.row_by_key("adaptive (switching)")[2]
+    assert adaptive <= max(cil, ail)
+    assert adaptive <= min(cil, ail) * 1.15
+
+    rng = random.Random(2)
+    curve = MixedCurve([
+        CityCurve(20.0, rng), HighwayCurve(20.0, rng), CityCurve(20.0, rng),
+    ])
+    trip = Trip.synthetic(curve)
+    benchmark(
+        lambda: simulate_trip(trip, AdaptivePolicy(5.0), dt=1.0 / 30.0)
+    )

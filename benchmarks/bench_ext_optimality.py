@@ -1,0 +1,47 @@
+"""E17: online policies vs. hindsight-optimal schedules.
+
+Measures the optimality gap of the paper's heuristics against two
+dynamic-programming lower bounds.  Asserted findings: the bounds are
+sound; ail is the online policy closest to the optimum (the paper's
+superiority conclusion restated against a ground-truth yardstick); and
+its gap to the perfectly timed current-speed schedule stays within a
+factor of two.
+"""
+
+import random
+
+from repro.analysis.offline import offline_optimal_schedule
+from repro.experiments.optimality import table_online_vs_offline
+from repro.sim.speed_curves import CityCurve
+from repro.sim.trip import Trip
+
+
+def test_online_vs_offline(benchmark):
+    table = table_online_vs_offline(num_curves=6, duration=60.0,
+                                    policy_dt=1.0 / 30.0, offline_dt=0.25)
+    print()
+    print(table.render())
+
+    clairvoyant = table.row_by_key("offline clairvoyant (lower bound)")[1]
+    offline_current = table.row_by_key("offline current-speed")[1]
+    ail = table.row_by_key("ail")[1]
+    dl = table.row_by_key("dl")[1]
+    cil = table.row_by_key("cil")[1]
+
+    # Sound lower bounds.
+    assert clairvoyant <= offline_current + 1e-9
+    for online in (dl, ail, cil):
+        assert clairvoyant <= online + 1e-9
+    # dl/cil declare current speeds, so offline-current bounds them
+    # (small slack for the coarser offline grid).
+    assert offline_current <= dl * 1.05
+    assert offline_current <= cil * 1.05
+    # ail is the closest online policy to the optimum, and within 2x
+    # of perfectly timed current-speed updates.
+    assert ail <= dl + 1e-9 and ail <= cil + 1e-9
+    assert ail <= offline_current * 2.0
+
+    trip = Trip.synthetic(CityCurve(60.0, random.Random(5)))
+    benchmark(
+        lambda: offline_optimal_schedule(trip, 5.0, dt=0.25, mode="current")
+    )

@@ -1,0 +1,47 @@
+"""E16: mid-trip route changes (§3.1's infinite-route-distance rule).
+
+A multi-leg journey must produce exactly one route-change update per
+leg boundary, leave the database record on the final leg's route, and
+keep range queries sound.  The bench times one full multi-leg run.
+"""
+
+import random
+
+from repro.core.policies import make_policy
+from repro.dbms.database import MovingObjectDatabase
+from repro.experiments.extensions import table_route_change
+from repro.index.timespace import TimeSpaceIndex
+from repro.routes.generators import winding_route
+from repro.sim.multileg import Leg, MultiLegDriver, MultiLegTrip
+from repro.sim.speed_curves import HighwayCurve
+
+
+def test_route_change(benchmark):
+    table = table_route_change(num_legs=4, duration=20.0)
+    print()
+    print(table.render())
+
+    assert table.row_by_key("route-change updates")[1] == 3
+    assert table.row_by_key("final route is last leg")[1] is True
+    assert table.row_by_key("vehicle found near true position")[1] is True
+
+    rng = random.Random(11)
+    legs = [
+        Leg(winding_route(6.0, rng, f"bench-leg-{i}",
+                          origin=(i * 6.0, 0.0), max_turn_degrees=15.0))
+        for i in range(3)
+    ]
+
+    def run_once():
+        database = MovingObjectDatabase(index=TimeSpaceIndex(), horizon=40.0)
+        database.schema.define_mobile_point_class("courier")
+        curve = HighwayCurve(15.0, random.Random(12), cruise=0.8)
+        trip = MultiLegTrip(legs, curve)
+        driver = MultiLegDriver(
+            "c1", "courier", trip, make_policy("cil", 5.0), database,
+            dt=1.0 / 20.0,
+        )
+        return driver.run()
+
+    messages = benchmark(run_once)
+    assert messages >= 2

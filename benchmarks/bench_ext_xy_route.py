@@ -1,0 +1,35 @@
+"""E15: route-based vs. per-coordinate dead reckoning (§5, measured).
+
+The paper argues that representing x and y as independent dynamic
+attributes forces updates on winding routes "even if the vehicle's
+speed remains constant".  The bench drives a constant-speed vehicle
+over routes of rising curvature: the route model sends zero updates
+everywhere; the xy model's count rises with curvature.
+"""
+
+import random
+
+from repro.experiments.extensions import table_xy_vs_route
+from repro.routes.generators import winding_route
+from repro.sim.speed_curves import ConstantCurve
+from repro.sim.trip import Trip
+from repro.sim.xy_reckoning import simulate_xy_dead_reckoning
+
+
+def test_xy_vs_route(benchmark):
+    table = table_xy_vs_route(threshold=0.2, duration=30.0, dt=1.0 / 30.0)
+    print()
+    print(table.render())
+
+    for row in table.rows:
+        assert row[1] == 0          # route model: zero updates, always
+    xy_counts = [row[2] for row in table.rows]
+    assert xy_counts[0] == 0        # straight route
+    assert xy_counts[1] > 0
+    assert xy_counts[-1] > xy_counts[1] > 0
+
+    route = winding_route(31.0, random.Random(4), "bench-wind")
+    trip = Trip(route, ConstantCurve(30.0, 1.0))
+    benchmark(
+        lambda: simulate_xy_dead_reckoning(trip, 0.2, dt=1.0 / 30.0)
+    )

@@ -1,0 +1,28 @@
+"""E1: number of position-update messages vs. update cost C, per policy.
+
+Regenerates the first of the paper's §3.4 plot families and checks its
+shape: the message count decreases as the update cost grows, for every
+policy.
+"""
+
+from repro.core.policies import make_policy
+from repro.experiments.figures import figure_messages
+from repro.sim.engine import simulate_trip
+
+
+def test_fig_messages(benchmark, standard_sweep, bench_trips):
+    figure = figure_messages(standard_sweep)
+    print()
+    print(figure.render())
+
+    # Shape claims: monotone decreasing in C for every policy.
+    for series in figure.series:
+        assert list(series.ys) == sorted(series.ys, reverse=True), series.name
+        assert series.ys[0] > series.ys[-1]
+
+    # Kernel timed: one trip simulated under ail at C=5 (the unit of
+    # work the figure is made of).
+    trip = bench_trips[0]
+    benchmark(
+        lambda: simulate_trip(trip, make_policy("ail", 5.0), dt=1.0 / 30.0)
+    )

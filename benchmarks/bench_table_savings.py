@@ -1,0 +1,37 @@
+"""E4: the 85 % update-savings headline.
+
+"Our simulation experiments show that this technique reduces the
+number of updates to 15% of the number used by the traditional,
+nontemporal method; this saves 85% of the bandwidth."
+
+Regenerates the comparison table at a 1-mile precision target and
+asserts the ratio band: every temporal policy needs well under a third
+(and the dead-reckoning threshold policy around 10-25 %) of the
+traditional baseline's messages.
+"""
+
+from repro.core.policies import make_policy
+from repro.experiments.tables import table_update_savings
+from repro.sim.engine import simulate_trip
+
+
+def test_table_savings(benchmark, bench_trips):
+    table = table_update_savings(
+        precision_miles=1.0, num_curves=10, duration=60.0, dt=1.0 / 30.0
+    )
+    print()
+    print(table.render())
+
+    assert table.row_by_key("traditional")[2] == 1.0
+    fixed_ratio = table.row_by_key("fixed-threshold")[2]
+    assert 0.02 < fixed_ratio < 0.30  # the paper's ~15 % band
+    for policy in ("dl", "ail", "cil"):
+        assert table.row_by_key(policy)[2] < 0.35
+
+    trip = bench_trips[3]
+    benchmark(
+        lambda: simulate_trip(
+            trip, make_policy("traditional", 5.0, precision=1.0),
+            dt=1.0 / 30.0,
+        )
+    )

@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one paper artefact (table or figure), asserts
+its shape claims, and prints the regenerated rows/series (visible with
+``pytest benchmarks/ -s``).  Expensive set-up is shared through
+session-scoped fixtures so ``--benchmark-only`` runs stay fast.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.experiments.sweep import SweepSpec, run_policy_sweep
+from repro.sim.speed_curves import standard_curve_set
+from repro.sim.trip import Trip
+
+#: Sweep used by the figure benches: smaller than the paper's full hour
+#: but large enough for stable shapes.
+BENCH_SPEC = SweepSpec(
+    policy_names=("dl", "ail", "cil"),
+    update_costs=(1.0, 2.0, 5.0, 10.0, 20.0),
+    num_curves=10,
+    duration=60.0,
+    dt=1.0 / 30.0,
+    seed=42,
+)
+
+
+@pytest.fixture(scope="session")
+def standard_sweep():
+    """The one shared (policy x C) sweep behind figure benches E1-E3."""
+    return run_policy_sweep(BENCH_SPEC)
+
+
+@pytest.fixture(scope="session")
+def bench_trips():
+    """A shared one-hour trip set for policy kernels."""
+    curves = standard_curve_set(random.Random(42), count=6, duration=60.0)
+    return [Trip.synthetic(c, route_id=f"bench-{i}")
+            for i, c in enumerate(curves)]

@@ -1,0 +1,63 @@
+"""MQL: the declarative query surface over a live fleet.
+
+Runs the battlefield scenario, then answers the paper's motivating
+questions as one-line MQL statements instead of API calls:
+
+* "retrieve the friendly units currently in a given region"
+* "retrieve the units within 3 miles of a point"
+* "what is the current position of unit-1?"
+* "when might unit-1 reach the extraction zone?"
+
+Run:  python examples/mql_queries.py
+"""
+
+from repro.dbms.mql import execute
+from repro.workloads import battlefield_scenario
+
+
+def main() -> None:
+    scenario = battlefield_scenario(num_units=16, duration=12.0, seed=23)
+    print("Simulating 16 units for 12 minutes...")
+    scenario.fleet.run()
+    database = scenario.database
+    min_x, min_y, max_x, max_y = scenario.network.bounding_extent()
+    cx, cy = (min_x + max_x) / 2.0, (min_y + max_y) / 2.0
+
+    region = (
+        f"POLYGON (({cx - 8:.1f}, {cy - 8:.1f}), ({cx + 8:.1f}, {cy - 8:.1f}), "
+        f"({cx + 8:.1f}, {cy + 8:.1f}), ({cx - 8:.1f}, {cy + 8:.1f}))"
+    )
+
+    queries = [
+        f"RETRIEVE unit WHERE allegiance = 'friendly' IN {region}",
+        f"RETRIEVE unit IN {region}",
+        f"RETRIEVE WITHIN 5 OF ({cx:.1f}, {cy:.1f})",
+        "POSITION OF unit-1",
+    ]
+    for text in queries:
+        print(f"\nmql> {text}")
+        answer = execute(database, text)
+        if hasattr(answer, "may"):
+            print(f"     must: {sorted(answer.must)}")
+            print(f"     may : {sorted(answer.may - answer.must)}")
+            print(f"     examined {answer.examined} of {len(database)} objects")
+        else:
+            print(f"     position ({answer.position.x:.2f}, "
+                  f"{answer.position.y:.2f}) +/- {answer.error_bound:.2f} mi")
+
+    t = database.clock_time
+    zone = (
+        f"POLYGON (({max_x - 6:.1f}, {max_y - 6:.1f}), ({max_x:.1f}, "
+        f"{max_y - 6:.1f}), ({max_x:.1f}, {max_y:.1f}), "
+        f"({max_x - 6:.1f}, {max_y:.1f}))"
+    )
+    text = f"WHEN MAY unit-1 REACH {zone} UNTIL {t + 30:.0f}"
+    print(f"\nmql> {text}")
+    eta = execute(database, text)
+    print(
+        f"     {'earliest possible arrival t = %.1f min' % eta if eta is not None else 'cannot reach the zone within 30 min'}"
+    )
+
+
+if __name__ == "__main__":
+    main()

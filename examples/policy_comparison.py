@@ -1,0 +1,53 @@
+"""Policy comparison: the paper's §3.4 evaluation, in miniature.
+
+Sweeps the three cost-based policies (and two baselines) over a grid
+of update costs on a shared set of one-hour speed-curves and prints
+the three paper figures (messages, total cost, average uncertainty)
+plus the update-savings table.
+
+Run:  python examples/policy_comparison.py          (~1 minute)
+"""
+
+from repro.experiments.figures import (
+    figure_messages,
+    figure_total_cost,
+    figure_uncertainty,
+)
+from repro.experiments.sweep import SweepSpec, run_policy_sweep
+from repro.experiments.tables import table_update_savings
+
+
+def main() -> None:
+    spec = SweepSpec(
+        policy_names=("dl", "ail", "cil"),
+        update_costs=(1.0, 2.0, 5.0, 10.0, 20.0),
+        num_curves=10,
+        duration=60.0,
+        dt=1.0 / 30.0,
+    )
+    print(f"Sweeping {len(spec.policy_names)} policies x "
+          f"{len(spec.update_costs)} update costs over "
+          f"{spec.num_curves} one-hour trips...\n")
+    sweep = run_policy_sweep(spec)
+
+    for figure in (
+        figure_messages(sweep),
+        figure_total_cost(sweep),
+        figure_uncertainty(sweep),
+    ):
+        print(figure.render())
+        print()
+
+    print(table_update_savings(
+        precision_miles=1.0, num_curves=10, duration=60.0, dt=1.0 / 30.0
+    ).render())
+    print()
+    print("Reading guide: messages fall as C rises (updating gets "
+          "expensive); the ail policy carries the lowest uncertainty "
+          "and (overall) the lowest total cost — the paper's stated "
+          "conclusion; and the temporal policies use a small fraction "
+          "of the traditional baseline's messages (the 85% saving).")
+
+
+if __name__ == "__main__":
+    main()

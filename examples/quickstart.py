@@ -1,0 +1,97 @@
+"""Quickstart: one vehicle, one policy, one query.
+
+Walks the paper's core loop end to end:
+
+1. a vehicle drives a one-hour synthetic trip,
+2. the ail update policy decides when to send position updates,
+3. the DBMS dead-reckons the position in between and answers a
+   position query with an error bound and uncertainty interval.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    AverageImmediateLinearPolicy,
+    CityCurve,
+    MovingObjectDatabase,
+    PositionUpdateMessage,
+    Trip,
+    optimal_update_threshold,
+    simulate_trip,
+)
+
+
+def main() -> None:
+    rng = random.Random(7)
+
+    # --- 1. The update-threshold mathematics (Proposition 1) ---------
+    print("Proposition 1: optimal update threshold")
+    for slope, delay in ((1.0, 0.0), (1.0, 2.0), (0.5, 1.0)):
+        k = optimal_update_threshold(slope, delay, update_cost=5.0)
+        print(f"  slope a={slope}, delay b={delay}, C=5  ->  "
+              f"k_opt = {k:.3f} miles")
+    print()
+
+    # --- 2. Simulate a trip under the ail policy ----------------------
+    curve = CityCurve(duration=60.0, rng=rng)   # stop-and-go city hour
+    trip = Trip.synthetic(curve, route_id="quickstart")
+    policy = AverageImmediateLinearPolicy(update_cost=5.0)
+    result = simulate_trip(trip, policy)
+
+    m = result.metrics
+    print(f"One-hour city trip under the ail policy (C = 5):")
+    print(f"  update messages sent : {m.num_updates}")
+    print(f"  total cost (Eq. 2)   : {m.total_cost:.2f}")
+    print(f"  average deviation    : {m.avg_deviation:.3f} miles")
+    print(f"  average uncertainty  : {m.avg_uncertainty:.3f} miles")
+    print(f"  update times (min)   : "
+          f"{[round(u.time, 1) for u in result.updates]}")
+    print()
+
+    # --- 3. The DBMS view: dead reckoning + error bounds --------------
+    database = MovingObjectDatabase()
+    database.schema.define_mobile_point_class("car")
+    database.register_route(trip.route)
+    database.insert_moving_object(
+        object_id="car-1",
+        class_name="car",
+        route_id=trip.route.route_id,
+        t=0.0,
+        position=trip.position(0.0),
+        direction=0,
+        speed=trip.speed(0.0),
+        policy=policy,
+        max_speed=trip.max_speed,
+    )
+    # Replay the simulated updates into the database.
+    for update in result.updates:
+        point = trip.route.travel_point(update.travel, trip.direction)
+        database.process_update(
+            PositionUpdateMessage(
+                "car-1", update.time, point.x, point.y,
+                update.declared_speed,
+            )
+        )
+
+    t = 60.0
+    answer = database.position_of("car-1", t)
+    actual = trip.position(t)
+    print(f"Query at t = {t:.0f} min: where is car-1?")
+    print(f"  database position : ({answer.position.x:.3f}, "
+          f"{answer.position.y:.3f})")
+    print(f"  actual position   : ({actual.x:.3f}, {actual.y:.3f})")
+    print(f"  error bound       : {answer.error_bound:.3f} miles "
+          "(Prop. 4 / Cor. 1)")
+    print(f"  uncertainty span  : [{answer.interval.lower:.3f}, "
+          f"{answer.interval.upper:.3f}] miles along the route")
+    deviation = trip.route.route_distance(
+        answer.position, actual, tolerance=1e-3
+    )
+    print(f"  true deviation    : {deviation:.3f} miles "
+          f"(within the bound: {deviation <= answer.error_bound + 1e-3})")
+
+
+if __name__ == "__main__":
+    main()

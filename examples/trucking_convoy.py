@@ -1,0 +1,56 @@
+"""Trucking: proximity queries and the shape of uncertainty over time.
+
+"Retrieve the trucks that are currently within 1 mile of truck ABT312
+(which needs assistance)."  Also demonstrates §3.3's key contrast
+between the policies' DBMS-side error bounds: the dl bound plateaus,
+the immediate bound decays.
+
+Run:  python examples/trucking_convoy.py
+"""
+
+from repro import delayed_linear_bounds, immediate_linear_bounds
+from repro.workloads import trucking_scenario
+
+
+def main() -> None:
+    scenario = trucking_scenario(
+        num_trucks=15, duration=30.0, seed=11, policy="dl", update_cost=5.0
+    )
+    print(f"Simulating {len(scenario.database)} trucks for 30 minutes "
+          "on a radial highway network...")
+    scenario.fleet.run()
+    t = scenario.database.clock_time
+
+    # Truck 1 "needs assistance": find everyone within 5 miles of it.
+    # This is a moving-to-moving proximity query — both the stricken
+    # truck and the candidates are uncertain, and the classification
+    # accounts for both uncertainty intervals.
+    stricken = "truck-1"
+    answer_pos = scenario.database.position_of(stricken, t)
+    print(f"\n{stricken} reports a breakdown near "
+          f"({answer_pos.position.x:.1f}, {answer_pos.position.y:.1f}) "
+          f"+/- {answer_pos.error_bound:.2f} miles")
+
+    nearby = scenario.database.within_distance_of_object(stricken, 5.0, t)
+    certain = sorted(nearby.must)
+    possible = sorted(nearby.may - nearby.must)
+    print(f"  trucks certainly within 5 miles : {certain}")
+    print(f"  trucks possibly within 5 miles  : {possible}")
+
+    # --- The bound-shape story (§3.3) ---------------------------------
+    print("\nError bound vs. minutes since the last update "
+          "(v = 1.0, V = 1.2, C = 5):")
+    dl = delayed_linear_bounds(1.0, 1.2, 5.0)
+    imm = immediate_linear_bounds(1.0, 1.2, 5.0)
+    print(f"  {'t':>4}  {'dl bound':>9}  {'ail/cil bound':>14}")
+    for minutes in (1, 2, 3, 4, 5, 8, 12, 20, 30):
+        print(f"  {minutes:>4}  {dl.total(minutes):>9.3f}  "
+              f"{imm.total(minutes):>14.3f}")
+    print("\nThe dl bound saturates at sqrt(2DC); the immediate bound "
+          "decays as 2C/t — a truck silent for 30 minutes under ail is "
+          "*better* localised than one silent for 5 (it must be keeping "
+          "close to its declared average speed, or it would have updated).")
+
+
+if __name__ == "__main__":
+    main()

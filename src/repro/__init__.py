@@ -1,0 +1,156 @@
+"""repro — a moving-objects database with cost-based update policies.
+
+A full reproduction of Wolfson, Chamberlain, Dao, Jiang & Mendez,
+*Cost and Imprecision in Modeling the Position of Moving Objects*
+(ICDE 1998): temporal position attributes, the dl/ail/cil update
+policies with their optimal thresholds (Proposition 1), DBMS-side
+deviation bounds (Propositions 2–4), uncertainty intervals, may/must
+range-query semantics (Theorems 5–6), o-plane time-space indexing over
+a from-scratch 3-D R-tree, a trip simulator, and an experiment harness
+regenerating the paper's evaluation.
+
+Quickstart::
+
+    import random
+    from repro import (
+        AverageImmediateLinearPolicy, Trip, HighwayCurve, simulate_trip,
+    )
+
+    curve = HighwayCurve(60.0, random.Random(1))      # a one-hour trip
+    trip = Trip.synthetic(curve)
+    result = simulate_trip(trip, AverageImmediateLinearPolicy(update_cost=5.0))
+    print(result.metrics.num_updates, result.metrics.total_cost)
+
+See ``examples/`` for fleet + DBMS + index usage and ``DESIGN.md`` for
+the system inventory.
+"""
+
+from repro.core import (
+    AdaptivePolicy,
+    AverageImmediateLinearPolicy,
+    CurrentImmediateLinearPolicy,
+    DelayedLinearPolicy,
+    DeviationBounds,
+    FixedThresholdPolicy,
+    HorizonCostPolicy,
+    OnboardState,
+    PeriodicPolicy,
+    PositionAttribute,
+    StepDeviationCost,
+    TraditionalPointPolicy,
+    UncertaintyInterval,
+    UniformDeviationCost,
+    UpdateDecision,
+    UpdatePolicy,
+    delayed_linear_bounds,
+    immediate_linear_bounds,
+    make_policy,
+    optimal_update_threshold,
+)
+from repro.dbms import (
+    MovingObjectDatabase,
+    PositionAnswer,
+    PositionUpdateMessage,
+    RangeAnswer,
+)
+from repro.geometry import Point, Polygon, Polyline
+from repro.index import LinearScanIndex, OPlane, RTree, TimeSpaceIndex
+from repro.routes import (
+    Route,
+    RouteDatabase,
+    RouteNetwork,
+    grid_city_network,
+    radial_highway_network,
+    random_network,
+    straight_route,
+    winding_route,
+)
+from repro.sim import (
+    CityCurve,
+    ConstantCurve,
+    HighwayCurve,
+    MixedCurve,
+    PiecewiseConstantCurve,
+    RushHourCurve,
+    TraceCurve,
+    TrafficJamCurve,
+    Trip,
+    TripMetrics,
+    simulate_trip,
+    standard_curve_set,
+)
+from repro.analysis import OfflineSchedule, offline_optimal_schedule
+from repro.workloads import (
+    battlefield_scenario,
+    taxi_fleet_scenario,
+    trucking_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # policies & core model
+    "PositionAttribute",
+    "UpdatePolicy",
+    "UpdateDecision",
+    "OnboardState",
+    "DelayedLinearPolicy",
+    "AverageImmediateLinearPolicy",
+    "CurrentImmediateLinearPolicy",
+    "TraditionalPointPolicy",
+    "FixedThresholdPolicy",
+    "PeriodicPolicy",
+    "AdaptivePolicy",
+    "HorizonCostPolicy",
+    "make_policy",
+    "optimal_update_threshold",
+    "UniformDeviationCost",
+    "StepDeviationCost",
+    "DeviationBounds",
+    "delayed_linear_bounds",
+    "immediate_linear_bounds",
+    "UncertaintyInterval",
+    # DBMS
+    "MovingObjectDatabase",
+    "PositionUpdateMessage",
+    "PositionAnswer",
+    "RangeAnswer",
+    # geometry & routes
+    "Point",
+    "Polyline",
+    "Polygon",
+    "Route",
+    "RouteDatabase",
+    "RouteNetwork",
+    "straight_route",
+    "winding_route",
+    "grid_city_network",
+    "radial_highway_network",
+    "random_network",
+    # index
+    "RTree",
+    "OPlane",
+    "TimeSpaceIndex",
+    "LinearScanIndex",
+    # simulation
+    "Trip",
+    "TripMetrics",
+    "simulate_trip",
+    "ConstantCurve",
+    "PiecewiseConstantCurve",
+    "HighwayCurve",
+    "CityCurve",
+    "TrafficJamCurve",
+    "RushHourCurve",
+    "TraceCurve",
+    "MixedCurve",
+    "standard_curve_set",
+    # analysis
+    "OfflineSchedule",
+    "offline_optimal_schedule",
+    # workloads
+    "taxi_fleet_scenario",
+    "trucking_scenario",
+    "battlefield_scenario",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Analysis tools layered over the simulator.
+
+* :mod:`repro.analysis.offline` — the hindsight-optimal update
+  schedule for a trip (dynamic programming over tick-aligned update
+  times), used to measure how close the paper's online policies come
+  to the offline optimum (experiment E17).
+"""
+
+from repro.analysis.offline import (
+    OfflineSchedule,
+    offline_optimal_schedule,
+)
+
+__all__ = [
+    "OfflineSchedule",
+    "offline_optimal_schedule",
+]

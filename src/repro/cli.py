@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the library's day-one workflows:
+
+* ``report [--fast]`` — regenerate the full reproduction report
+  (every paper table/figure plus the extension experiments),
+* ``simulate`` — run one trip under one policy and print its metrics
+  (optionally dumping the per-tick series as CSV),
+* ``scenario`` — run a fleet scenario and print message accounting,
+* ``query`` — execute an MQL statement against a JSON database
+  snapshot (see :mod:`repro.dbms.persistence`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import TextIO
+
+from repro.core.policies import make_policy, policy_names
+from repro.dbms.mql import execute as execute_mql
+from repro.dbms.persistence import load_database
+from repro.errors import ReproError
+from repro.reporting.export import rows_to_csv, write_csv
+from repro.sim.engine import simulate_trip
+from repro.sim.speed_curves import (
+    CityCurve,
+    HighwayCurve,
+    RushHourCurve,
+    SpeedCurve,
+    TraceCurve,
+    TrafficJamCurve,
+)
+from repro.sim.trip import Trip
+
+_CURVES = {
+    "highway": HighwayCurve,
+    "city": CityCurve,
+    "jam": TrafficJamCurve,
+    "rush-hour": RushHourCurve,
+}
+
+
+def _build_curve(kind: str, duration: float, seed: int,
+                 trace: str | None) -> SpeedCurve:
+    if trace is not None:
+        return TraceCurve.from_csv(trace)
+    try:
+        constructor = _CURVES[kind]
+    except KeyError:
+        raise ReproError(
+            f"unknown curve kind {kind!r}; known: {sorted(_CURVES)}"
+        ) from None
+    return constructor(duration, random.Random(seed))
+
+
+def _cmd_report(args: argparse.Namespace, out: TextIO) -> int:
+    from repro.experiments.runner import run_all
+
+    run_all(fast=args.fast, out=out)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace, out: TextIO) -> int:
+    curve = _build_curve(args.curve, args.duration, args.seed, args.trace)
+    trip = Trip.synthetic(curve, route_id="cli")
+    policy = make_policy(args.policy, args.cost)
+    result = simulate_trip(
+        trip, policy, dt=args.dt, record_series=args.series_csv is not None
+    )
+    m = result.metrics
+    print(f"policy            : {m.policy} (C = {m.update_cost})", file=out)
+    print(f"trip              : {curve.kind}, {m.duration:.1f} min, "
+          f"{trip.total_distance:.2f} mi", file=out)
+    print(f"updates sent      : {m.num_updates}", file=out)
+    print(f"total cost        : {m.total_cost:.3f}", file=out)
+    print(f"avg deviation     : {m.avg_deviation:.3f} mi", file=out)
+    print(f"max deviation     : {m.max_deviation:.3f} mi", file=out)
+    print(f"avg uncertainty   : {m.avg_uncertainty:.3f} mi", file=out)
+    print(f"update times (min): "
+          f"{[round(u.time, 2) for u in result.updates]}", file=out)
+    if args.series_csv is not None:
+        series = result.series
+        rows = list(zip(series.times, series.deviations,
+                        series.uncertainty_bounds))
+        write_csv(
+            args.series_csv,
+            rows_to_csv(["time", "deviation", "uncertainty_bound"], rows),
+        )
+        print(f"series written to {args.series_csv}", file=out)
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace, out: TextIO) -> int:
+    from repro.workloads import (
+        battlefield_scenario,
+        taxi_fleet_scenario,
+        trucking_scenario,
+    )
+
+    builders = {
+        "taxi": taxi_fleet_scenario,
+        "trucking": trucking_scenario,
+        "battlefield": battlefield_scenario,
+    }
+    try:
+        builder = builders[args.name]
+    except KeyError:
+        raise ReproError(
+            f"unknown scenario {args.name!r}; known: {sorted(builders)}"
+        ) from None
+    kwargs = {"duration": args.duration, "seed": args.seed}
+    size_param = {
+        "taxi": "num_taxis", "trucking": "num_trucks",
+        "battlefield": "num_units",
+    }[args.name]
+    kwargs[size_param] = args.size
+    scenario = builder(**kwargs)
+    counts = scenario.fleet.run()
+    total = sum(counts.values())
+    print(f"scenario      : {scenario.name}", file=out)
+    print(f"objects       : {len(scenario.database)}", file=out)
+    print(f"duration      : {args.duration} min", file=out)
+    print(f"messages      : {total} "
+          f"({total / len(counts):.2f} per object)", file=out)
+    print(f"comm. cost    : {scenario.database.communication_cost():.1f}",
+          file=out)
+    if args.snapshot is not None:
+        from repro.dbms.persistence import save_database
+
+        save_database(scenario.database, args.snapshot)
+        print(f"snapshot written to {args.snapshot}", file=out)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace, out: TextIO) -> int:
+    database = load_database(args.snapshot)
+    answer = execute_mql(database, args.statement)
+    if isinstance(answer, list):
+        for entry in answer:
+            marker = "certain" if entry.certain else "maybe"
+            print(f"{entry.object_id}: distance in "
+                  f"[{entry.min_distance:.3f}, {entry.max_distance:.3f}] mi "
+                  f"({marker})", file=out)
+        return 0
+    if hasattr(answer, "may"):
+        print(f"must: {sorted(answer.must)}", file=out)
+        print(f"may : {sorted(answer.may - answer.must)}", file=out)
+        print(f"examined {answer.examined} of {len(database)} objects",
+              file=out)
+    elif hasattr(answer, "position"):
+        print(f"position ({answer.position.x:.4f}, "
+              f"{answer.position.y:.4f}) +/- {answer.error_bound:.4f} mi",
+              file=out)
+    elif answer is None:
+        print("never (within the horizon)", file=out)
+    else:
+        print(f"t = {answer:.3f} min", file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Moving-objects database (Wolfson et al., ICDE 1998).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="run the reproduction report")
+    report.add_argument("--fast", action="store_true")
+    report.set_defaults(func=_cmd_report)
+
+    simulate = sub.add_parser("simulate", help="simulate one trip")
+    simulate.add_argument("--policy", default="ail",
+                          choices=sorted(policy_names()))
+    simulate.add_argument("--cost", type=float, default=5.0,
+                          help="update cost C")
+    simulate.add_argument("--curve", default="city",
+                          choices=sorted(_CURVES))
+    simulate.add_argument("--trace", default=None,
+                          help="CSV speed trace (overrides --curve)")
+    simulate.add_argument("--duration", type=float, default=60.0)
+    simulate.add_argument("--seed", type=int, default=42)
+    simulate.add_argument("--dt", type=float, default=1.0 / 60.0)
+    simulate.add_argument("--series-csv", default=None,
+                          help="write per-tick series to this CSV path")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    scenario = sub.add_parser("scenario", help="run a fleet scenario")
+    scenario.add_argument("--name", default="taxi",
+                          choices=("taxi", "trucking", "battlefield"))
+    scenario.add_argument("--size", type=int, default=10)
+    scenario.add_argument("--duration", type=float, default=15.0)
+    scenario.add_argument("--seed", type=int, default=7)
+    scenario.add_argument("--snapshot", default=None,
+                          help="save the final database as JSON")
+    scenario.set_defaults(func=_cmd_scenario)
+
+    query = sub.add_parser("query", help="run MQL against a snapshot")
+    query.add_argument("snapshot", help="JSON snapshot path")
+    query.add_argument("statement", help="MQL statement")
+    query.set_defaults(func=_cmd_query)
+    return parser
+
+
+def main(argv: list[str] | None = None, out: TextIO | None = None) -> int:
+    if out is None:
+        out = sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

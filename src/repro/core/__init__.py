@@ -1,0 +1,105 @@
+"""The paper's primary contribution: cost-based position-update policies.
+
+This package implements §2 and §3 of Wolfson et al. (ICDE 1998):
+
+* :mod:`repro.core.position` — the seven-sub-attribute position
+  attribute and its dead-reckoned database-position semantics,
+* :mod:`repro.core.cost` — deviation cost functions (uniform, step) and
+  the total-cost decomposition of Equation 2,
+* :mod:`repro.core.estimators` / :mod:`repro.core.fitting` — the
+  delayed-linear and immediate-linear estimator functions and the simple
+  fitting method,
+* :mod:`repro.core.speed` — predicted-speed strategies,
+* :mod:`repro.core.thresholds` — Proposition 1's optimal update
+  threshold and the per-cycle cost algebra behind it,
+* :mod:`repro.core.policy` / :mod:`repro.core.policies` — the update
+  policy quintuple and the paper's three policies (dl, ail, cil),
+* :mod:`repro.core.baselines` — the traditional non-temporal baseline,
+  a-priori fixed-threshold dead reckoning, and periodic updating,
+* :mod:`repro.core.bounds` — the DBMS-side deviation bounds of
+  Propositions 2–4 and Corollary 1,
+* :mod:`repro.core.uncertainty` — uncertainty intervals ``[l(t), u(t)]``.
+"""
+
+from repro.core.adaptive import AdaptivePolicy
+from repro.core.baselines import (
+    FixedThresholdPolicy,
+    PeriodicPolicy,
+    TraditionalPointPolicy,
+)
+from repro.core.horizon import HorizonCostPolicy
+from repro.core.bounds import (
+    DeviationBounds,
+    delayed_linear_bounds,
+    immediate_linear_bounds,
+)
+from repro.core.cost import (
+    DeviationCostFunction,
+    StepDeviationCost,
+    UniformDeviationCost,
+    total_cost,
+)
+from repro.core.estimators import (
+    DelayedLinearEstimator,
+    Estimator,
+    ImmediateLinearEstimator,
+)
+from repro.core.fitting import FittingMethod, SimpleFitting
+from repro.core.policies import (
+    AverageImmediateLinearPolicy,
+    CurrentImmediateLinearPolicy,
+    DelayedLinearPolicy,
+    make_policy,
+)
+from repro.core.policy import OnboardState, UpdateDecision, UpdatePolicy
+from repro.core.position import PositionAttribute
+from repro.core.speed import (
+    AverageSpeedSinceUpdate,
+    CurrentSpeed,
+    SpeedPredictor,
+    TripAverageSpeed,
+)
+from repro.core.thresholds import (
+    cost_per_time_unit,
+    cycle_deviation_cost,
+    cycle_period,
+    optimal_update_threshold,
+)
+from repro.core.uncertainty import UncertaintyInterval
+
+__all__ = [
+    "AdaptivePolicy",
+    "HorizonCostPolicy",
+    "PositionAttribute",
+    "DeviationCostFunction",
+    "UniformDeviationCost",
+    "StepDeviationCost",
+    "total_cost",
+    "Estimator",
+    "DelayedLinearEstimator",
+    "ImmediateLinearEstimator",
+    "FittingMethod",
+    "SimpleFitting",
+    "SpeedPredictor",
+    "CurrentSpeed",
+    "AverageSpeedSinceUpdate",
+    "TripAverageSpeed",
+    "optimal_update_threshold",
+    "cycle_period",
+    "cycle_deviation_cost",
+    "cost_per_time_unit",
+    "OnboardState",
+    "UpdateDecision",
+    "UpdatePolicy",
+    "DelayedLinearPolicy",
+    "AverageImmediateLinearPolicy",
+    "CurrentImmediateLinearPolicy",
+    "make_policy",
+    "TraditionalPointPolicy",
+    "FixedThresholdPolicy",
+    "PeriodicPolicy",
+    "DeviationBounds",
+    "delayed_linear_bounds",
+    "immediate_linear_bounds",
+    "UncertaintyInterval",
+]

@@ -1,0 +1,104 @@
+"""Deviation cost functions and the total-cost decomposition (paper §3.1).
+
+The paper postulates a cost per unit of deviation (imprecision) and a
+cost ``C`` per update message, both in the same units.  Between two
+consecutive updates at ``t1`` and ``t2`` the total cost is
+
+    COST(t1, t2) = C + COST_d(t1, t2)                       (Equation 2)
+
+where ``COST_d`` is a *deviation cost function*.  The paper analyses the
+**uniform** deviation cost function
+
+    COST_d(t1, t2) = integral from t1 to t2 of d(t) dt       (Equation 1)
+
+(one query per time unit, one cost unit per mile of reported deviation)
+and mentions the **step** function (zero below a tolerance ``h``, one
+above) as an alternative.  Both are implemented here; all three paper
+policies use the uniform function.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.errors import PolicyError
+
+
+class DeviationCostFunction(ABC):
+    """Maps a deviation signal to an imprecision cost."""
+
+    #: Short identifier used in policy descriptions and reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def rate(self, deviation: float) -> float:
+        """Instantaneous cost per time unit at the given deviation."""
+
+    def integrate(self, deviations: Sequence[float], dt: float) -> float:
+        """Cost of a sampled deviation signal over time.
+
+        ``deviations[i]`` is the deviation during the ``i``-th tick of
+        length ``dt``; the integral is the rectangle-rule sum, which is
+        exact for the piecewise-constant signals the simulator produces.
+        """
+        if dt <= 0:
+            raise PolicyError(f"dt must be positive, got {dt}")
+        return sum(self.rate(d) for d in deviations) * dt
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class UniformDeviationCost(DeviationCostFunction):
+    """Equation 1: one cost unit per mile of deviation per time unit."""
+
+    name = "uniform"
+
+    def rate(self, deviation: float) -> float:
+        if deviation < 0:
+            raise PolicyError(f"deviation must be nonnegative, got {deviation}")
+        return deviation
+
+
+class StepDeviationCost(DeviationCostFunction):
+    """Zero penalty while the deviation stays below ``threshold``, else one.
+
+    The paper's step deviation cost function: "a zero penalty for each
+    time unit in which the deviation stays below some threshold h, and a
+    penalty of one otherwise".
+    """
+
+    name = "step"
+
+    def __init__(self, threshold: float) -> None:
+        if threshold < 0:
+            raise PolicyError(f"step threshold must be nonnegative, got {threshold}")
+        self.threshold = threshold
+
+    def rate(self, deviation: float) -> float:
+        if deviation < 0:
+            raise PolicyError(f"deviation must be nonnegative, got {deviation}")
+        return 0.0 if deviation <= self.threshold else 1.0
+
+    def __repr__(self) -> str:
+        return f"StepDeviationCost(threshold={self.threshold})"
+
+
+def total_cost(update_cost: float, num_updates: int,
+               deviation_cost: float) -> float:
+    """Equation 2 summed over a whole trip.
+
+    ``update_cost`` is ``C``; ``num_updates`` counts position-update
+    messages sent during the trip; ``deviation_cost`` is the integrated
+    deviation cost over the trip.
+    """
+    if update_cost < 0:
+        raise PolicyError(f"update cost must be nonnegative, got {update_cost}")
+    if num_updates < 0:
+        raise PolicyError(f"update count must be nonnegative, got {num_updates}")
+    if deviation_cost < 0:
+        raise PolicyError(
+            f"deviation cost must be nonnegative, got {deviation_cost}"
+        )
+    return update_cost * num_updates + deviation_cost

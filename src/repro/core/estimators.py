@@ -1,0 +1,68 @@
+"""Estimator functions (paper §3.1–3.2).
+
+An estimator is a "well-behaved" function ``f(t)`` with ``f(0) = 0``
+used to approximate the deviation as a function of time since the last
+update.  The paper uses two:
+
+* the **delayed-linear** function ``f(t) = a * (t - b)`` for ``t >= b``
+  and ``0`` before — the object keeps its declared speed for ``b`` time
+  units, then diverges at rate ``a``;
+* the **immediate-linear** function, the special case ``b = 0``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import PolicyError
+
+
+class Estimator(ABC):
+    """A deviation-estimator function of time since the last update."""
+
+    @abstractmethod
+    def __call__(self, t: float) -> float:
+        """Estimated deviation ``t`` time units after the last update."""
+
+    def predicted_deviation(self, t: float, current_deviation: float,
+                            send_update: bool) -> float:
+        """The paper's two-branch prediction (§3.1).
+
+        ``t`` time units from *now*, the deviation is predicted to be
+        ``f(t)`` if an update is sent now (deviation resets to zero), or
+        ``f(t) + k`` if not, where ``k`` is the current deviation.
+        """
+        base = self(t)
+        return base if send_update else base + current_deviation
+
+
+class DelayedLinearEstimator(Estimator):
+    """``f(t) = a * (t - b)`` for ``t >= b``, else 0 (paper §3.2)."""
+
+    def __init__(self, slope: float, delay: float) -> None:
+        if slope < 0:
+            raise PolicyError(f"estimator slope must be nonnegative, got {slope}")
+        if delay < 0:
+            raise PolicyError(f"estimator delay must be nonnegative, got {delay}")
+        self.slope = slope
+        self.delay = delay
+
+    def __call__(self, t: float) -> float:
+        if t < 0:
+            raise PolicyError(f"estimator evaluated at negative time {t}")
+        if t < self.delay:
+            return 0.0
+        return self.slope * (t - self.delay)
+
+    def __repr__(self) -> str:
+        return f"DelayedLinearEstimator(slope={self.slope}, delay={self.delay})"
+
+
+class ImmediateLinearEstimator(DelayedLinearEstimator):
+    """``f(t) = a * t`` — the delayed-linear function with zero delay."""
+
+    def __init__(self, slope: float) -> None:
+        super().__init__(slope, 0.0)
+
+    def __repr__(self) -> str:
+        return f"ImmediateLinearEstimator(slope={self.slope})"

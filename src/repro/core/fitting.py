@@ -1,0 +1,65 @@
+"""Fitting methods (paper §3.1–3.2).
+
+A fitting method determines the coefficients of the estimator function
+from the observed deviation.  The paper's **simple fitting method**:
+
+* the delay ``b`` is the time from the last update until the last
+  instant the deviation was zero;
+* the slope ``a`` is the ratio between the current deviation ``k`` and
+  ``t - b``, where ``t`` is the time elapsed since the last update.
+
+For immediate-linear estimators the delay is forced to zero, so the
+slope becomes ``k / t`` — which makes the update condition
+``k >= sqrt(2 a C)`` collapse to ``k >= 2C / t`` (Equation 3).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.estimators import DelayedLinearEstimator, Estimator
+from repro.core.policy import OnboardState
+from repro.errors import PolicyError
+
+
+class FittingMethod(ABC):
+    """Derives estimator coefficients from the onboard state."""
+
+    @abstractmethod
+    def fit(self, state: OnboardState) -> Estimator:
+        """Fit an estimator to the current deviation history."""
+
+
+class SimpleFitting(FittingMethod):
+    """The paper's simple fitting method.
+
+    ``use_delay=True`` fits a delayed-linear estimator (for the dl
+    policy); ``use_delay=False`` forces ``b = 0`` and fits an
+    immediate-linear estimator (for the ail/cil policies).
+    """
+
+    def __init__(self, use_delay: bool = True) -> None:
+        self.use_delay = use_delay
+
+    def fit(self, state: OnboardState) -> DelayedLinearEstimator:
+        """Fit ``a`` and ``b`` from the current deviation.
+
+        Requires a positive current deviation: the paper's policies do
+        not even consider an update while the deviation is zero, so the
+        fit is only ever invoked with ``k > 0`` (which also guarantees
+        ``t - b > 0``).
+        """
+        k = state.deviation
+        if k <= 0:
+            raise PolicyError("simple fitting requires a positive deviation")
+        delay = state.elapsed_at_last_zero_deviation if self.use_delay else 0.0
+        effective = state.elapsed - delay
+        if effective <= 0:
+            # Numerically the deviation became positive within the same
+            # tick that recorded zero deviation; treat the ramp as having
+            # started an instant ago to keep the slope finite but large.
+            effective = 1e-9
+        return DelayedLinearEstimator(slope=k / effective, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"SimpleFitting(use_delay={self.use_delay})"

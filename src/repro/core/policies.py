@@ -1,0 +1,178 @@
+"""The paper's three update policies: dl, ail, and cil (§3.2, §3.4).
+
+All three share the uniform deviation cost function, the update cost
+``C``, and the simple fitting method; they differ in estimator and
+predicted speed:
+
+===========  ====================  ==========================  =================
+policy       estimator             threshold                   predicted speed
+===========  ====================  ==========================  =================
+``dl``       delayed-linear        ``sqrt(a^2 b^2 + 2aC)-ab``  current speed
+``ail``      immediate-linear      ``sqrt(2aC)`` = ``2C/t``    average speed
+``cil``      immediate-linear      ``sqrt(2aC)`` = ``2C/t``    current speed
+===========  ====================  ==========================  =================
+
+Each policy, at every instant: computes the current deviation ``k``;
+does nothing when ``k = 0``; otherwise fits the estimator, computes the
+optimal threshold of Proposition 1, and sends an update (with the
+policy's predicted speed) when ``k`` has reached the threshold.
+"""
+
+from __future__ import annotations
+
+from repro.core.cost import DeviationCostFunction
+from repro.core.fitting import SimpleFitting
+from repro.core.policy import (
+    THRESHOLD_TOLERANCE,
+    OnboardState,
+    UpdateDecision,
+    UpdatePolicy,
+)
+from repro.core.speed import AverageSpeedSinceUpdate, CurrentSpeed, SpeedPredictor
+from repro.core.thresholds import optimal_update_threshold
+from repro.errors import PolicyError
+
+
+class _CostBasedLinearPolicy(UpdatePolicy):
+    """Shared decision logic of the dl/ail/cil family.
+
+    Subclasses fix the fitting method (with or without delay) and the
+    speed predictor; the decision procedure is the paper's: fit, derive
+    the Proposition-1 threshold, compare.
+    """
+
+    def __init__(self, update_cost: float,
+                 fitting: SimpleFitting,
+                 speed_predictor: SpeedPredictor,
+                 cost_function: DeviationCostFunction | None = None) -> None:
+        super().__init__(update_cost, cost_function)
+        self.fitting = fitting
+        self.speed_predictor = speed_predictor
+
+    def decide(self, state: OnboardState) -> UpdateDecision:
+        k = state.deviation
+        if k <= 0:
+            return self._no_update(state)
+        estimator = self.fitting.fit(state)
+        threshold = optimal_update_threshold(
+            estimator.slope, estimator.delay, self.update_cost
+        )
+        send = k >= threshold * (1.0 - THRESHOLD_TOLERANCE)
+        return UpdateDecision(
+            send=send,
+            speed_to_declare=(
+                self.speed_predictor.predict(state)
+                if send
+                else state.declared_speed
+            ),
+            threshold=threshold,
+            fitted_slope=estimator.slope,
+            fitted_delay=estimator.delay,
+        )
+
+    def describe(self) -> dict[str, object]:
+        description = super().describe()
+        description["estimator"] = (
+            "delayed-linear" if self.fitting.use_delay else "immediate-linear"
+        )
+        description["fitting_method"] = "simple"
+        description["predicted_speed"] = self.speed_predictor.name
+        return description
+
+
+class DelayedLinearPolicy(_CostBasedLinearPolicy):
+    """The **dl** policy: (uniform cost, C, delayed-linear, simple, current).
+
+    Updates when the deviation reaches
+    ``k_opt = sqrt(a^2 b^2 + 2 a C) - a b`` with the simple fitting
+    method's ``b`` (time until the deviation last was zero) and
+    ``a = k / (t - b)``; declares the current speed.
+    """
+
+    name = "dl"
+
+    def __init__(self, update_cost: float,
+                 cost_function: DeviationCostFunction | None = None) -> None:
+        super().__init__(
+            update_cost,
+            fitting=SimpleFitting(use_delay=True),
+            speed_predictor=CurrentSpeed(),
+            cost_function=cost_function,
+        )
+
+
+class AverageImmediateLinearPolicy(_CostBasedLinearPolicy):
+    """The **ail** policy: (uniform cost, C, immediate-linear, simple, average).
+
+    Updates when ``k >= sqrt(2 a C)`` with ``a = k / t`` — equivalently
+    when ``k >= 2 C / t`` (Equation 3) — and declares the average speed
+    since the last update.
+    """
+
+    name = "ail"
+
+    def __init__(self, update_cost: float,
+                 cost_function: DeviationCostFunction | None = None) -> None:
+        super().__init__(
+            update_cost,
+            fitting=SimpleFitting(use_delay=False),
+            speed_predictor=AverageSpeedSinceUpdate(),
+            cost_function=cost_function,
+        )
+
+
+class CurrentImmediateLinearPolicy(_CostBasedLinearPolicy):
+    """The **cil** policy: (uniform cost, C, immediate-linear, simple, current).
+
+    Identical to ail except that the declared speed is the current
+    rather than the average speed (§3.4).
+    """
+
+    name = "cil"
+
+    def __init__(self, update_cost: float,
+                 cost_function: DeviationCostFunction | None = None) -> None:
+        super().__init__(
+            update_cost,
+            fitting=SimpleFitting(use_delay=False),
+            speed_predictor=CurrentSpeed(),
+            cost_function=cost_function,
+        )
+
+
+#: Registry of the paper's policies by name; extended by the baselines
+#: module at import time through :func:`register_policy`.
+_POLICY_REGISTRY: dict[str, type[UpdatePolicy]] = {
+    DelayedLinearPolicy.name: DelayedLinearPolicy,
+    AverageImmediateLinearPolicy.name: AverageImmediateLinearPolicy,
+    CurrentImmediateLinearPolicy.name: CurrentImmediateLinearPolicy,
+}
+
+
+def register_policy(policy_class: type[UpdatePolicy]) -> type[UpdatePolicy]:
+    """Register a policy class under its ``name`` (usable as a decorator)."""
+    name = policy_class.name
+    if not name or name == "abstract":
+        raise PolicyError(f"policy class {policy_class!r} needs a concrete name")
+    _POLICY_REGISTRY[name] = policy_class
+    return policy_class
+
+
+def policy_names() -> list[str]:
+    """Names of all registered policies."""
+    return sorted(_POLICY_REGISTRY)
+
+
+def make_policy(name: str, update_cost: float, **kwargs: object) -> UpdatePolicy:
+    """Instantiate a registered policy by name.
+
+    The paper's policies (``dl``, ``ail``, ``cil``) take only the update
+    cost; baselines may take extra keyword arguments (e.g. a threshold).
+    """
+    try:
+        policy_class = _POLICY_REGISTRY[name]
+    except KeyError:
+        raise PolicyError(
+            f"unknown policy {name!r}; known: {policy_names()}"
+        ) from None
+    return policy_class(update_cost, **kwargs)  # type: ignore[arg-type]

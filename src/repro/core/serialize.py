@@ -1,0 +1,106 @@
+"""Serialisation of policies and cost functions to plain dict specs.
+
+The ``P.policy`` sub-attribute names the policy *including its
+parameters* — the DBMS needs them to derive deviation bounds, and a
+persisted database needs them to reconstruct the policy objects.  A
+*spec* is a JSON-compatible dict with a ``name`` key plus the
+constructor parameters; :func:`policy_to_spec` and
+:func:`policy_from_spec` round-trip every built-in policy.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.adaptive import AdaptivePolicy
+from repro.core.baselines import (
+    FixedThresholdPolicy,
+    PeriodicPolicy,
+    TraditionalPointPolicy,
+)
+from repro.core.cost import (
+    DeviationCostFunction,
+    StepDeviationCost,
+    UniformDeviationCost,
+)
+from repro.core.horizon import HorizonCostPolicy
+from repro.core.policies import (
+    AverageImmediateLinearPolicy,
+    CurrentImmediateLinearPolicy,
+    DelayedLinearPolicy,
+)
+from repro.core.policy import UpdatePolicy
+from repro.errors import PolicyError
+
+
+def cost_function_to_spec(cost_function: DeviationCostFunction) -> dict[str, Any]:
+    """A deviation cost function as a plain dict."""
+    if isinstance(cost_function, StepDeviationCost):
+        return {"name": "step", "threshold": cost_function.threshold}
+    if isinstance(cost_function, UniformDeviationCost):
+        return {"name": "uniform"}
+    raise PolicyError(
+        f"cannot serialise cost function {cost_function!r}"
+    )
+
+
+def cost_function_from_spec(spec: dict[str, Any]) -> DeviationCostFunction:
+    """Rebuild a deviation cost function from its spec."""
+    name = spec.get("name")
+    if name == "uniform":
+        return UniformDeviationCost()
+    if name == "step":
+        return StepDeviationCost(threshold=float(spec["threshold"]))
+    raise PolicyError(f"unknown cost function spec {spec!r}")
+
+
+def policy_to_spec(policy: UpdatePolicy) -> dict[str, Any]:
+    """A policy instance as a plain dict (name + parameters)."""
+    spec: dict[str, Any] = {
+        "name": policy.name,
+        "update_cost": policy.update_cost,
+        "cost_function": cost_function_to_spec(policy.cost_function),
+    }
+    if isinstance(policy, TraditionalPointPolicy):
+        spec["precision"] = policy.precision
+    elif isinstance(policy, FixedThresholdPolicy):
+        spec["bound"] = policy.bound
+    elif isinstance(policy, PeriodicPolicy):
+        spec["period"] = policy.period
+    elif isinstance(policy, AdaptivePolicy):
+        spec["volatility_threshold"] = policy.volatility_threshold
+        spec["window_minutes"] = policy.window_minutes
+        spec["hysteresis"] = policy.hysteresis
+    elif isinstance(policy, HorizonCostPolicy):
+        spec["horizon"] = policy.horizon
+        spec["use_delay"] = policy.fitting.use_delay
+    elif isinstance(policy, (DelayedLinearPolicy,
+                             AverageImmediateLinearPolicy,
+                             CurrentImmediateLinearPolicy)):
+        pass  # only the update cost parameterises the paper's policies
+    else:
+        raise PolicyError(f"cannot serialise policy {policy!r}")
+    return spec
+
+
+def policy_from_spec(spec: dict[str, Any]) -> UpdatePolicy:
+    """Rebuild a policy instance from its spec."""
+    spec = dict(spec)
+    name = spec.pop("name", None)
+    update_cost = float(spec.pop("update_cost"))
+    cost_spec = spec.pop("cost_function", {"name": "uniform"})
+    cost_function = cost_function_from_spec(cost_spec)
+    constructors: dict[str, Any] = {
+        "dl": DelayedLinearPolicy,
+        "ail": AverageImmediateLinearPolicy,
+        "cil": CurrentImmediateLinearPolicy,
+        "traditional": TraditionalPointPolicy,
+        "fixed-threshold": FixedThresholdPolicy,
+        "periodic": PeriodicPolicy,
+        "adaptive": AdaptivePolicy,
+        "horizon": HorizonCostPolicy,
+    }
+    constructor = constructors.get(name)
+    if constructor is None:
+        raise PolicyError(f"unknown policy spec name {name!r}")
+    return constructor(update_cost, cost_function=cost_function, **spec)

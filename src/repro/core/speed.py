@@ -1,0 +1,89 @@
+"""Predicted-speed strategies (paper §3.1).
+
+The predicted speed is the value stored in ``P.speed`` at each update —
+the speed the DBMS will dead-reckon with until the next update.  The
+paper names three backward-looking choices (current speed, average
+speed since the last update, average speed since trip start) and notes
+that forward-looking predictions from known traffic patterns are also
+possible; :class:`BlendedSpeed` provides a simple such extension.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.policy import OnboardState
+from repro.errors import PolicyError
+
+
+class SpeedPredictor(ABC):
+    """Chooses the speed to declare in a position update."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def predict(self, state: OnboardState) -> float:
+        """The speed to store in ``P.speed``; must be nonnegative."""
+
+
+class CurrentSpeed(SpeedPredictor):
+    """Declare the instantaneous speed (used by dl and cil).
+
+    Appropriate for highway driving outside rush hour, where the speed
+    fluctuates only mildly (paper §3.1).
+    """
+
+    name = "current"
+
+    def predict(self, state: OnboardState) -> float:
+        return max(state.current_speed, 0.0)
+
+
+class AverageSpeedSinceUpdate(SpeedPredictor):
+    """Declare the average speed since the last update (used by ail).
+
+    Appropriate for stop-and-go city driving, where the instantaneous
+    speed changes rapidly but the average is stable (paper §3.2).
+    """
+
+    name = "average-since-update"
+
+    def predict(self, state: OnboardState) -> float:
+        return max(state.average_speed_since_update, 0.0)
+
+
+class TripAverageSpeed(SpeedPredictor):
+    """Declare the average speed since the beginning of the trip."""
+
+    name = "trip-average"
+
+    def predict(self, state: OnboardState) -> float:
+        return max(state.trip_average_speed, 0.0)
+
+
+class BlendedSpeed(SpeedPredictor):
+    """A convex blend of current and average-since-update speed.
+
+    ``weight = 1`` reduces to :class:`CurrentSpeed`; ``weight = 0`` to
+    :class:`AverageSpeedSinceUpdate`.  This is the simplest instance of
+    the paper's observation that the predicted speed may incorporate
+    knowledge beyond the raw past (here: smoothing out instantaneous
+    noise without fully committing to the average).
+    """
+
+    name = "blended"
+
+    def __init__(self, weight: float) -> None:
+        if not 0.0 <= weight <= 1.0:
+            raise PolicyError(f"blend weight must be in [0, 1], got {weight}")
+        self.weight = weight
+
+    def predict(self, state: OnboardState) -> float:
+        blended = (
+            self.weight * state.current_speed
+            + (1.0 - self.weight) * state.average_speed_since_update
+        )
+        return max(blended, 0.0)
+
+    def __repr__(self) -> str:
+        return f"BlendedSpeed(weight={self.weight})"

@@ -1,0 +1,106 @@
+"""Optimal update thresholds — Proposition 1 and its cost algebra.
+
+Setting: following each update the deviation is a delayed-linear
+function with delay ``b`` and slope ``a``; the update cost is ``C``; the
+deviation cost function is uniform (Equation 1).  If the object updates
+whenever the deviation reaches a threshold ``k``, each update-to-update
+cycle lasts ``b + k/a`` time units and accrues deviation cost equal to
+the area of a triangle of base ``k/a`` and height ``k``:
+
+    cycle_period(k)          = b + k / a
+    cycle_deviation_cost(k)  = k^2 / (2 a)
+    cost_per_time_unit(k)    = (C + k^2 / (2a)) / (b + k / a)
+
+Minimising the last expression over ``k`` gives **Proposition 1**:
+
+    k_opt = sqrt(a^2 b^2 + 2 a C) - a b
+
+For ``b = 0`` this is ``sqrt(2 a C)``, and with the simple fitting
+method's ``a = k / t`` the update condition ``k >= sqrt(2 a C)`` is
+equivalent to ``k >= 2 C / t`` (**Equation 3**).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import PolicyError
+
+
+def _check_params(slope: float, delay: float, update_cost: float) -> None:
+    if slope < 0:
+        raise PolicyError(f"slope must be nonnegative, got {slope}")
+    if delay < 0:
+        raise PolicyError(f"delay must be nonnegative, got {delay}")
+    if update_cost < 0:
+        raise PolicyError(f"update cost must be nonnegative, got {update_cost}")
+
+
+def optimal_update_threshold(slope: float, delay: float,
+                             update_cost: float) -> float:
+    """Proposition 1: ``k_opt = sqrt(a^2 b^2 + 2 a C) - a b``.
+
+    A zero slope means the deviation never grows, so no finite threshold
+    is ever reached; we return ``inf`` in that case, which makes the
+    policies simply never fire.
+    """
+    _check_params(slope, delay, update_cost)
+    if slope == 0:
+        return float("inf")
+    ab = slope * delay
+    return math.sqrt(ab * ab + 2.0 * slope * update_cost) - ab
+
+
+def immediate_threshold_from_elapsed(update_cost: float, elapsed: float) -> float:
+    """Equation 3: with simple fitting, ``k_opt = 2 C / t``.
+
+    ``elapsed`` is the time since the last update; must be positive
+    (with zero elapsed time the deviation is necessarily zero and the
+    policies do not consider updating).
+    """
+    if update_cost < 0:
+        raise PolicyError(f"update cost must be nonnegative, got {update_cost}")
+    if elapsed <= 0:
+        raise PolicyError(f"elapsed must be positive, got {elapsed}")
+    return 2.0 * update_cost / elapsed
+
+
+def cycle_period(threshold: float, slope: float, delay: float) -> float:
+    """Length of one update-to-update cycle: ``b + k / a``."""
+    _check_params(slope, delay, 0.0)
+    if threshold < 0:
+        raise PolicyError(f"threshold must be nonnegative, got {threshold}")
+    if slope == 0:
+        return float("inf")
+    return delay + threshold / slope
+
+
+def cycle_deviation_cost(threshold: float, slope: float) -> float:
+    """Uniform deviation cost accrued in one cycle: ``k^2 / (2a)``.
+
+    The deviation ramps linearly from 0 to ``k`` over ``k/a`` time
+    units, so the integral is the triangle area.
+    """
+    if threshold < 0:
+        raise PolicyError(f"threshold must be nonnegative, got {threshold}")
+    if slope < 0:
+        raise PolicyError(f"slope must be nonnegative, got {slope}")
+    if slope == 0:
+        return 0.0
+    return threshold * threshold / (2.0 * slope)
+
+
+def cost_per_time_unit(threshold: float, slope: float, delay: float,
+                       update_cost: float) -> float:
+    """Steady-state total cost per time unit when updating at ``threshold``.
+
+    This is the objective Proposition 1 minimises:
+    ``(C + k^2/(2a)) / (b + k/a)``.
+    """
+    _check_params(slope, delay, update_cost)
+    period = cycle_period(threshold, slope, delay)
+    if math.isinf(period):
+        return 0.0
+    if period <= 0:
+        raise PolicyError("cycle period must be positive")
+    return (update_cost + cycle_deviation_cost(threshold, slope)) / period

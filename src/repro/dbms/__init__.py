@@ -1,0 +1,42 @@
+"""The moving-objects DBMS (paper §2 and §4).
+
+A small but real database engine for objects whose position is modeled
+temporally:
+
+* :mod:`repro.dbms.schema` — object classes and attribute definitions
+  (spatial point/line/polygon classes, mobile vs. stationary),
+* :mod:`repro.dbms.storage` — in-memory row storage with snapshots,
+* :mod:`repro.dbms.moving_object` — the server-side record of a mobile
+  object (position attribute + policy + speed envelope),
+* :mod:`repro.dbms.update_log` — position-update messages and
+  bandwidth accounting,
+* :mod:`repro.dbms.query` — point queries with error bounds, range
+  queries with may/must semantics, within-distance queries,
+* :mod:`repro.dbms.database` — the :class:`MovingObjectDatabase`
+  facade tying everything together (and optionally a time-space index).
+"""
+
+from repro.dbms.database import MovingObjectDatabase
+from repro.dbms.mql import execute as execute_mql
+from repro.dbms.mql import parse as parse_mql
+from repro.dbms.moving_object import MovingObjectRecord
+from repro.dbms.query import PositionAnswer, RangeAnswer
+from repro.dbms.schema import Mobility, ObjectClass, Schema, SpatialKind
+from repro.dbms.storage import Table
+from repro.dbms.update_log import PositionUpdateMessage, UpdateLog
+
+__all__ = [
+    "MovingObjectDatabase",
+    "execute_mql",
+    "parse_mql",
+    "MovingObjectRecord",
+    "PositionAnswer",
+    "RangeAnswer",
+    "Schema",
+    "ObjectClass",
+    "SpatialKind",
+    "Mobility",
+    "Table",
+    "PositionUpdateMessage",
+    "UpdateLog",
+]

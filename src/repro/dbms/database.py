@@ -1,0 +1,579 @@
+"""The moving-objects database facade.
+
+:class:`MovingObjectDatabase` ties together the pieces the paper
+describes: a route catalogue (§2), a schema of object classes (§2),
+per-object position attributes with declared update policies (§3), an
+update log (bandwidth accounting), an optional time-space index (§4.2),
+and a query processor answering position queries with error bounds
+(§3.3) and range queries with may/must semantics (§4.1.2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.core.policy import UpdatePolicy
+from repro.core.position import PositionAttribute
+from repro.dbms.moving_object import MovingObjectRecord
+from repro.dbms.query import (
+    Containment,
+    NearestAnswer,
+    PositionAnswer,
+    RangeAnswer,
+    classify_against_polygon,
+    classify_within_distance,
+    distance_range_between_intervals,
+    distance_range_to_interval,
+)
+from repro.dbms.schema import Schema, SpatialKind
+from repro.dbms.storage import Table
+from repro.dbms.update_log import PositionUpdateMessage, UpdateLog
+from repro.errors import QueryError, SchemaError
+from repro.geometry.bbox import Rect2D
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.index.oplane import OPlane
+from repro.index.rtree import SearchStats
+from repro.routes.route import Route, RouteDatabase
+
+
+class MovingObjectDatabase:
+    """A database of moving (and stationary) objects.
+
+    ``index`` may be a :class:`~repro.index.timespace.TimeSpaceIndex`,
+    a :class:`~repro.index.scan.LinearScanIndex`, or ``None`` (range
+    queries then scan the record table directly).  ``horizon`` is the
+    o-plane time span indexed ahead of each update (the paper's trip
+    cutoff ``Z``).
+    """
+
+    def __init__(self, schema: Schema | None = None, index: Any = None,
+                 horizon: float = 120.0) -> None:
+        if horizon <= 0:
+            raise QueryError(f"horizon must be positive, got {horizon}")
+        self.routes = RouteDatabase()
+        self.schema = schema or Schema()
+        self.update_log = UpdateLog()
+        self.horizon = horizon
+        self._index = index
+        self._tables: dict[str, Table] = {}
+        self._records: dict[str, MovingObjectRecord] = {}
+        #: Stationary point objects: id -> (class name, fixed position).
+        self._stationary: dict[str, tuple[str, Point]] = {}
+        #: Latest time the database has seen (inserts and updates).
+        #: Queries must not precede it: position attributes are not
+        #: multi-versioned (valid time = transaction time, §2), so only
+        #: "current or future" queries are answerable (§4.2).
+        self.clock_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Catalogue management
+    # ------------------------------------------------------------------
+
+    def register_route(self, route: Route) -> None:
+        """Add a route to the route database."""
+        self.routes.add(route)
+
+    def table(self, class_name: str) -> Table:
+        """The non-spatial attribute table of an object class."""
+        if class_name not in self._tables:
+            object_class = self.schema.get(class_name)
+            self._tables[class_name] = Table(object_class)
+        return self._tables[class_name]
+
+    # ------------------------------------------------------------------
+    # Object lifecycle
+    # ------------------------------------------------------------------
+
+    def insert_moving_object(self, object_id: str, class_name: str,
+                             route_id: str, t: float, position: Point,
+                             direction: int, speed: float,
+                             policy: UpdatePolicy, max_speed: float,
+                             attributes: dict[str, Any] | None = None) -> MovingObjectRecord:
+        """Register a mobile object at trip start.
+
+        This is the paper's "at the beginning of the trip the moving
+        object writes all the sub-attributes of the position attribute".
+        """
+        object_class = self.schema.get(class_name)
+        if not object_class.is_mobile_point:
+            raise SchemaError(
+                f"class {class_name!r} is not a mobile point class"
+            )
+        if object_id in self._records:
+            raise SchemaError(f"duplicate object id {object_id!r}")
+        route = self.routes.get(route_id)
+        attribute = PositionAttribute(
+            starttime=t,
+            route_id=route_id,
+            start_x=position.x,
+            start_y=position.y,
+            direction=direction,
+            speed=speed,
+            policy=policy.name,
+        )
+        # Validate the start position lies on the route.
+        route.travel_distance_of(position, direction)
+        self._advance_clock(t)
+        record = MovingObjectRecord(
+            object_id=object_id,
+            class_name=class_name,
+            attribute=attribute,
+            policy=policy,
+            max_speed=max_speed,
+        )
+        self._records[object_id] = record
+        self.table(class_name).insert(object_id, attributes)
+        self._reindex(record)
+        return record
+
+    def insert_stationary_object(self, object_id: str, class_name: str,
+                                 position: Point,
+                                 attributes: dict[str, Any] | None = None) -> None:
+        """Register a stationary point object (paper §2).
+
+        Stationary objects have a plain ``(x, y)`` position: queries
+        answer them exactly (a stationary object is always a *must*
+        when its point lies in the region).
+        """
+        object_class = self.schema.get(class_name)
+        if object_class.spatial_kind is not SpatialKind.POINT:
+            raise SchemaError(
+                f"class {class_name!r} is not a point class"
+            )
+        if object_class.is_mobile_point:
+            raise SchemaError(
+                f"class {class_name!r} is mobile; use insert_moving_object"
+            )
+        if object_id in self._records or object_id in self._stationary:
+            raise SchemaError(f"duplicate object id {object_id!r}")
+        self._stationary[object_id] = (class_name, position)
+        self.table(class_name).insert(object_id, attributes)
+
+    def stationary_position(self, object_id: str) -> Point:
+        """The fixed position of a stationary object."""
+        try:
+            return self._stationary[object_id][1]
+        except KeyError:
+            raise QueryError(
+                f"unknown stationary object id {object_id!r}"
+            ) from None
+
+    def remove_object(self, object_id: str) -> None:
+        """Drop an object (trip ended, or stationary object removed)."""
+        if object_id in self._stationary:
+            class_name, _ = self._stationary.pop(object_id)
+            self.table(class_name).delete(object_id)
+            return
+        record = self.record(object_id)
+        del self._records[object_id]
+        self.table(record.class_name).delete(object_id)
+        if self._index is not None and object_id in self._index:
+            self._index.remove(object_id)
+
+    def record(self, object_id: str) -> MovingObjectRecord:
+        """The server-side record of one object."""
+        try:
+            return self._records[object_id]
+        except KeyError:
+            raise QueryError(f"unknown object id {object_id!r}") from None
+
+    def object_ids(self) -> list[str]:
+        """Ids of all *mobile* objects."""
+        return list(self._records)
+
+    def stationary_ids(self) -> list[str]:
+        """Ids of all stationary objects."""
+        return list(self._stationary)
+
+    def __len__(self) -> int:
+        return len(self._records) + len(self._stationary)
+
+    # ------------------------------------------------------------------
+    # Update processing
+    # ------------------------------------------------------------------
+
+    def process_update(self, message: PositionUpdateMessage) -> None:
+        """Install a position update (instantaneous, §2) and re-index.
+
+        When the message carries a policy change (§3.1: "each position
+        update may change the policy"), the new policy is installed
+        from its spec and the subsequent deviation bounds follow it.
+        """
+        record = self.record(message.object_id)
+        self._advance_clock(message.time)
+        self.update_log.record(message)
+        new_policy_name: str | None = None
+        if message.policy is not None:
+            from repro.core.serialize import policy_from_spec
+
+            if isinstance(message.policy, dict):
+                record.policy = policy_from_spec(message.policy)
+            else:
+                # A bare name keeps the current update cost (the paper's
+                # quintuple components not carried default to current).
+                from repro.core.policies import make_policy
+
+                record.policy = make_policy(
+                    message.policy, record.policy.update_cost
+                )
+            new_policy_name = record.policy.name
+        record.apply_update(
+            message.time,
+            Point(message.x, message.y),
+            message.speed,
+            route_id=message.route_id,
+            direction=message.direction,
+            policy=new_policy_name,
+        )
+        self._reindex(record)
+
+    def _reindex(self, record: MovingObjectRecord) -> None:
+        """Swap the object's o-plane in the index (the §4.2 p1/p2 swap)."""
+        if self._index is None:
+            return
+        plane = self.oplane_of(record.object_id)
+        if record.object_id in self._index:
+            self._index.replace(record.object_id, plane)
+        else:
+            self._index.insert(record.object_id, plane)
+
+    def oplane_of(self, object_id: str) -> OPlane:
+        """The current o-plane of an object."""
+        record = self.record(object_id)
+        route = self.routes.get(record.attribute.route_id)
+        return OPlane(
+            attribute=record.attribute,
+            route=route,
+            bounds=record.bounds(),
+            horizon=self.horizon,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _advance_clock(self, t: float) -> None:
+        if t < self.clock_time - 1e-9:
+            raise QueryError(
+                f"write at time {t} precedes database clock {self.clock_time} "
+                "(updates are instantaneous and time-ordered)"
+            )
+        self.clock_time = max(self.clock_time, t)
+
+    def _check_query_time(self, t: float) -> None:
+        """Queries address the current or a future time (§4.2)."""
+        if t < self.clock_time - 1e-9:
+            raise QueryError(
+                f"query time {t} is in the past (database clock is "
+                f"{self.clock_time}); position attributes are not versioned"
+            )
+
+    def _check_index_coverage(self, t: float) -> None:
+        """Index-backed queries must stay inside every o-plane's span.
+
+        Each o-plane covers ``[starttime, starttime + horizon]``; a
+        query beyond the earliest plane's end would silently miss
+        objects, so it is rejected instead (the paper's cutoff ``Z``).
+        """
+        if self._index is None or not self._records:
+            return
+        earliest_end = min(
+            record.attribute.starttime for record in self._records.values()
+        ) + self.horizon
+        if t > earliest_end + 1e-9:
+            raise QueryError(
+                f"query time {t} exceeds the indexed horizon "
+                f"(coverage ends at {earliest_end}); raise the database "
+                "horizon or query earlier"
+            )
+
+    def position_of(self, object_id: str, t: float) -> PositionAnswer:
+        """"What is the current position of m?" with error bounds (§3.3)."""
+        self._check_query_time(t)
+        record = self.record(object_id)
+        route = self.routes.get(record.attribute.route_id)
+        elapsed = record.attribute.elapsed(t)
+        bounds = record.bounds()
+        return PositionAnswer(
+            object_id=object_id,
+            time=t,
+            position=record.database_position(route, t),
+            slow_bound=bounds.slow(elapsed),
+            fast_bound=bounds.fast(elapsed),
+            error_bound=bounds.total(elapsed),
+            interval=record.uncertainty(route, t),
+        )
+
+    def range_query(self, polygon: Polygon, t: float,
+                    stats: SearchStats | None = None,
+                    where: dict[str, Any] | None = None,
+                    class_name: str | None = None) -> RangeAnswer:
+        """"Retrieve the objects currently in polygon G" (§4).
+
+        With an index attached, candidates come from the time-space
+        index (sublinear); otherwise every object is examined.  Either
+        way, candidates are refined to exact may/must sets through
+        their uncertainty intervals.  Stationary objects are answered
+        exactly (always *must* when inside).
+
+        ``where`` filters on non-spatial attribute equality and
+        ``class_name`` restricts to one object class — together they
+        express the introduction's "retrieve the *free cabs* currently
+        within ..." directly.
+        """
+        self._check_query_time(t)
+        self._check_index_coverage(t)
+        candidates = self._candidates(polygon.bounding_rect, t, stats)
+        candidates = self._filter_candidates(candidates, where, class_name)
+        may: set[str] = set()
+        must: set[str] = set()
+        for object_id in candidates:
+            record = self._records[object_id]
+            route = self.routes.get(record.attribute.route_id)
+            interval = record.uncertainty(route, t)
+            outcome = classify_against_polygon(interval, route, polygon)
+            if outcome == Containment.OUT:
+                continue
+            may.add(object_id)
+            if outcome == Containment.MUST:
+                must.add(object_id)
+        examined = len(candidates)
+        for object_id in self._filter_candidates(
+            set(self._stationary), where, class_name
+        ):
+            examined += 1
+            if polygon.contains_point(self._stationary[object_id][1]):
+                may.add(object_id)
+                must.add(object_id)
+        return RangeAnswer(
+            time=t,
+            may=frozenset(may),
+            must=frozenset(must),
+            examined=examined,
+            candidates=frozenset(candidates),
+        )
+
+    def within_distance(self, center: Point, radius: float, t: float,
+                        stats: SearchStats | None = None,
+                        where: dict[str, Any] | None = None,
+                        class_name: str | None = None) -> RangeAnswer:
+        """"Retrieve the objects currently within ``radius`` of ``center``".
+
+        Accepts the same ``where``/``class_name`` attribute filters as
+        :meth:`range_query`.
+        """
+        self._check_query_time(t)
+        self._check_index_coverage(t)
+        if radius < 0:
+            raise QueryError(f"radius must be nonnegative, got {radius}")
+        window = Rect2D(
+            center.x - radius, center.y - radius,
+            center.x + radius, center.y + radius,
+        )
+        candidates = self._candidates(window, t, stats)
+        candidates = self._filter_candidates(candidates, where, class_name)
+        may: set[str] = set()
+        must: set[str] = set()
+        for object_id in candidates:
+            record = self._records[object_id]
+            route = self.routes.get(record.attribute.route_id)
+            interval = record.uncertainty(route, t)
+            outcome = classify_within_distance(center, radius, interval, route)
+            if outcome == Containment.OUT:
+                continue
+            may.add(object_id)
+            if outcome == Containment.MUST:
+                must.add(object_id)
+        examined = len(candidates)
+        for object_id in self._filter_candidates(
+            set(self._stationary), where, class_name
+        ):
+            examined += 1
+            if self._stationary[object_id][1].distance_to(center) <= radius:
+                may.add(object_id)
+                must.add(object_id)
+        return RangeAnswer(
+            time=t,
+            may=frozenset(may),
+            must=frozenset(must),
+            examined=examined,
+            candidates=frozenset(candidates),
+        )
+
+    def within_distance_of_object(self, anchor_id: str, radius: float,
+                                  t: float,
+                                  where: dict[str, Any] | None = None,
+                                  class_name: str | None = None) -> RangeAnswer:
+        """"Retrieve the objects within ``radius`` of object ``anchor_id``".
+
+        The introduction's second query ("the trucks that are currently
+        within 1 mile of truck ABT312").  Both the anchor and the
+        candidates are uncertain, so the classification uses the
+        min/max distance between *pairs of uncertainty intervals*:
+        may when the closest consistent placement is within ``radius``,
+        must when even the farthest is.  The anchor itself is excluded
+        from the answer.
+        """
+        self._check_query_time(t)
+        if radius < 0:
+            raise QueryError(f"radius must be nonnegative, got {radius}")
+        self._check_index_coverage(t)
+        anchor = self.record(anchor_id)
+        anchor_route = self.routes.get(anchor.attribute.route_id)
+        anchor_interval = anchor.uncertainty(anchor_route, t)
+        # Candidate window: the anchor's interval bbox grown by the
+        # radius (anything farther cannot even *may* qualify).
+        bbox = anchor_interval.geometry(anchor_route).bounding_rect()
+        window = bbox.expanded(radius)
+        candidates = self._candidates(window, t, None)
+        candidates = self._filter_candidates(candidates, where, class_name)
+        candidates.discard(anchor_id)
+        may: set[str] = set()
+        must: set[str] = set()
+        for object_id in candidates:
+            record = self._records[object_id]
+            route = self.routes.get(record.attribute.route_id)
+            interval = record.uncertainty(route, t)
+            minimum, maximum = distance_range_between_intervals(
+                anchor_interval, anchor_route, interval, route
+            )
+            if minimum > radius:
+                continue
+            may.add(object_id)
+            if maximum <= radius:
+                must.add(object_id)
+        examined = len(candidates)
+        for object_id in self._filter_candidates(
+            set(self._stationary), where, class_name
+        ):
+            examined += 1
+            point = self._stationary[object_id][1]
+            minimum, maximum = distance_range_to_interval(
+                point, anchor_interval, anchor_route
+            )
+            if minimum > radius:
+                continue
+            may.add(object_id)
+            if maximum <= radius:
+                must.add(object_id)
+        return RangeAnswer(
+            time=t,
+            may=frozenset(may),
+            must=frozenset(must),
+            examined=examined,
+            candidates=frozenset(candidates),
+        )
+
+    def nearest(self, center: Point, k: int, t: float,
+                where: dict[str, Any] | None = None,
+                class_name: str | None = None) -> list[NearestAnswer]:
+        """The ``k`` objects nearest ``center`` by optimistic distance.
+
+        Each entry carries the minimum and maximum possible distance of
+        the object from ``center`` given its uncertainty interval;
+        entries are sorted by the minimum (the dispatcher's optimistic
+        ordering).  An entry is marked ``certain`` when its *maximum*
+        distance is below the *minimum* of every later-ranked object —
+        it is then guaranteed closer, whatever the true positions.
+
+        This query examines every (filtered) object: k-nearest needs a
+        distance-ordered traversal the box index does not provide.
+        """
+        self._check_query_time(t)
+        if k < 1:
+            raise QueryError(f"k must be positive, got {k}")
+        candidates = self._filter_candidates(
+            set(self._records), where, class_name
+        )
+        entries: list[NearestAnswer] = []
+        for object_id in candidates:
+            record = self._records[object_id]
+            route = self.routes.get(record.attribute.route_id)
+            interval = record.uncertainty(route, t)
+            minimum, maximum = distance_range_to_interval(
+                center, interval, route
+            )
+            entries.append(
+                NearestAnswer(object_id, minimum, maximum)
+            )
+        for object_id in self._filter_candidates(
+            set(self._stationary), where, class_name
+        ):
+            distance = self._stationary[object_id][1].distance_to(center)
+            entries.append(NearestAnswer(object_id, distance, distance))
+        entries.sort(key=lambda e: (e.min_distance, e.object_id))
+        top = entries[:k]
+        results: list[NearestAnswer] = []
+        for rank, entry in enumerate(top):
+            later_minimum = min(
+                (other.min_distance for other in entries[rank + 1:]),
+                default=float("inf"),
+            )
+            results.append(
+                NearestAnswer(
+                    object_id=entry.object_id,
+                    min_distance=entry.min_distance,
+                    max_distance=entry.max_distance,
+                    certain=entry.max_distance <= later_minimum,
+                )
+            )
+        return results
+
+    def _filter_candidates(self, candidates: set[str],
+                           where: dict[str, Any] | None,
+                           class_name: str | None) -> set[str]:
+        """Apply class and attribute-equality filters to candidate ids."""
+        if where is None and class_name is None:
+            return candidates
+        kept: set[str] = set()
+        for object_id in candidates:
+            if object_id in self._records:
+                object_class = self._records[object_id].class_name
+            elif object_id in self._stationary:
+                object_class = self._stationary[object_id][0]
+            else:
+                continue
+            if class_name is not None and object_class != class_name:
+                continue
+            if where:
+                row = self.table(object_class).get(object_id)
+                if any(row.get(k) != v for k, v in where.items()):
+                    continue
+            kept.add(object_id)
+        return kept
+
+    def _candidates(self, window: Rect2D, t: float,
+                    stats: SearchStats | None) -> set[str]:
+        if self._index is not None:
+            candidates = self._index.candidates_at(window, t, stats)
+            # The index may lag for objects inserted without it; all
+            # records are indexed on insert, so candidates are complete.
+            return candidates
+        if stats is not None:
+            stats.nodes_visited += 1
+            stats.entries_tested += len(self._records)
+        return set(self._records)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def message_count(self, object_id: str | None = None) -> int:
+        """Update messages received (optionally for one object)."""
+        if object_id is None:
+            return self.update_log.total_messages
+        return self.update_log.count_for(object_id)
+
+    def communication_cost(self) -> float:
+        """Total message cost, using each object's own update cost."""
+        total = 0.0
+        for message in self.update_log.messages():
+            record = self._records.get(message.object_id)
+            if record is None:
+                continue
+            total += record.policy.update_cost
+        if math.isnan(total):
+            raise QueryError("communication cost is NaN")
+        return total

@@ -1,0 +1,61 @@
+"""Server-side records of mobile objects.
+
+For each mobile object the DBMS holds its current
+:class:`~repro.core.position.PositionAttribute`, the policy instance it
+declared (``P.policy`` — the paper assumes the DBMS knows the policy,
+including its parameters, which is what lets it bound the deviation),
+and the object's maximum speed ``V``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bounds import DeviationBounds, bounds_for_policy
+from repro.core.policy import UpdatePolicy
+from repro.core.position import PositionAttribute
+from repro.core.uncertainty import UncertaintyInterval, uncertainty_interval
+from repro.errors import PolicyError
+from repro.geometry.point import Point
+from repro.routes.route import Route
+
+
+@dataclass
+class MovingObjectRecord:
+    """Everything the DBMS knows about one mobile object."""
+
+    object_id: str
+    class_name: str
+    attribute: PositionAttribute
+    policy: UpdatePolicy
+    max_speed: float
+
+    def __post_init__(self) -> None:
+        if self.max_speed < 0:
+            raise PolicyError(
+                f"max speed must be nonnegative, got {self.max_speed}"
+            )
+
+    def bounds(self) -> DeviationBounds:
+        """Deviation bounds implied by the current declared speed."""
+        return bounds_for_policy(
+            self.policy, self.attribute.speed, self.max_speed
+        )
+
+    def database_position(self, route: Route, t: float) -> Point:
+        """Dead-reckoned position at time ``t``."""
+        return self.attribute.database_position(route, t)
+
+    def uncertainty(self, route: Route, t: float) -> UncertaintyInterval:
+        """The object's uncertainty interval at time ``t``."""
+        return uncertainty_interval(self.attribute, route, self.bounds(), t)
+
+    def apply_update(self, t: float, position: Point, speed: float,
+                     route_id: str | None = None,
+                     direction: int | None = None,
+                     policy: str | None = None) -> None:
+        """Install a position update (replaces the position attribute)."""
+        self.attribute = self.attribute.updated(
+            t, position, speed, route_id=route_id, direction=direction,
+            policy=policy,
+        )

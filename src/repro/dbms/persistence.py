@@ -1,0 +1,204 @@
+"""JSON persistence for the moving-objects database.
+
+Snapshots the full database state — routes, schema, mobile records
+(position attributes + policies + speed envelopes), stationary objects,
+non-spatial attribute rows, the update log, and the clock — to a single
+JSON document, and reconstructs an equivalent database from it.
+
+The time-space index is *not* serialised: it is derived state, rebuilt
+from the persisted o-plane inputs on load when an index is supplied.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.position import PositionAttribute
+from repro.core.serialize import policy_from_spec, policy_to_spec
+from repro.dbms.database import MovingObjectDatabase
+from repro.dbms.schema import (
+    AttributeDef,
+    Mobility,
+    ObjectClass,
+    SpatialKind,
+)
+from repro.dbms.update_log import PositionUpdateMessage
+from repro.errors import QueryError
+from repro.geometry.point import Point
+from repro.geometry.polyline import Polyline
+from repro.routes.route import Route
+
+#: Snapshot format version, checked on load.
+FORMAT_VERSION = 1
+
+
+def database_to_dict(database: MovingObjectDatabase) -> dict[str, Any]:
+    """The whole database as a JSON-compatible dict."""
+    routes = [
+        {
+            "route_id": route.route_id,
+            "name": route.name,
+            "vertices": [[v.x, v.y] for v in route.polyline.vertices],
+        }
+        for route in database.routes
+    ]
+    classes = []
+    for class_name in database.schema.class_names():
+        object_class = database.schema.get(class_name)
+        classes.append(
+            {
+                "name": object_class.name,
+                "spatial_kind": object_class.spatial_kind.value,
+                "mobility": object_class.mobility.value,
+                "attributes": [
+                    {
+                        "name": attr.name,
+                        "type": attr.type_name,
+                        "required": attr.required,
+                    }
+                    for attr in object_class.attributes
+                ],
+            }
+        )
+    records = []
+    for object_id in database.object_ids():
+        record = database.record(object_id)
+        attribute = record.attribute
+        records.append(
+            {
+                "object_id": object_id,
+                "class_name": record.class_name,
+                "max_speed": record.max_speed,
+                "policy": policy_to_spec(record.policy),
+                "attribute": {
+                    "starttime": attribute.starttime,
+                    "route_id": attribute.route_id,
+                    "start_x": attribute.start_x,
+                    "start_y": attribute.start_y,
+                    "direction": attribute.direction,
+                    "speed": attribute.speed,
+                    "policy": attribute.policy,
+                },
+                "row": database.table(record.class_name).get(object_id),
+            }
+        )
+    stationary = [
+        {
+            "object_id": object_id,
+            "class_name": database._stationary[object_id][0],
+            "x": database.stationary_position(object_id).x,
+            "y": database.stationary_position(object_id).y,
+            "row": database.table(
+                database._stationary[object_id][0]
+            ).get(object_id),
+        }
+        for object_id in database.stationary_ids()
+    ]
+    messages = [
+        {
+            "object_id": m.object_id,
+            "time": m.time,
+            "x": m.x,
+            "y": m.y,
+            "speed": m.speed,
+            "route_id": m.route_id,
+            "direction": m.direction,
+            "policy": m.policy,
+        }
+        for m in database.update_log.messages()
+    ]
+    return {
+        "format_version": FORMAT_VERSION,
+        "horizon": database.horizon,
+        "clock_time": database.clock_time,
+        "routes": routes,
+        "classes": classes,
+        "records": records,
+        "stationary": stationary,
+        "update_log": messages,
+    }
+
+
+def database_from_dict(data: dict[str, Any],
+                       index: Any = None) -> MovingObjectDatabase:
+    """Reconstruct a database from :func:`database_to_dict` output.
+
+    Supplying ``index`` (e.g. a fresh
+    :class:`~repro.index.timespace.TimeSpaceIndex`) re-derives every
+    object's o-plane on insert.
+    """
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise QueryError(
+            f"unsupported snapshot format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    database = MovingObjectDatabase(index=index, horizon=data["horizon"])
+    for route_data in data["routes"]:
+        database.register_route(
+            Route(
+                route_data["route_id"],
+                Polyline(Point(x, y) for x, y in route_data["vertices"]),
+                name=route_data.get("name"),
+            )
+        )
+    for class_data in data["classes"]:
+        database.schema.define(
+            ObjectClass(
+                name=class_data["name"],
+                spatial_kind=SpatialKind(class_data["spatial_kind"]),
+                mobility=Mobility(class_data["mobility"]),
+                attributes=tuple(
+                    AttributeDef(a["name"], a["type"], a["required"])
+                    for a in class_data["attributes"]
+                ),
+            )
+        )
+    # Insert in starttime order: the write path enforces a monotone
+    # database clock.
+    for record_data in sorted(
+        data["records"], key=lambda r: r["attribute"]["starttime"]
+    ):
+        attr = record_data["attribute"]
+        policy = policy_from_spec(record_data["policy"])
+        # Insert at the attribute's own starttime, then restore the
+        # exact attribute (the insert path validates route membership).
+        database.insert_moving_object(
+            object_id=record_data["object_id"],
+            class_name=record_data["class_name"],
+            route_id=attr["route_id"],
+            t=attr["starttime"],
+            position=Point(attr["start_x"], attr["start_y"]),
+            direction=attr["direction"],
+            speed=attr["speed"],
+            policy=policy,
+            max_speed=record_data["max_speed"],
+            attributes=record_data["row"] or None,
+        )
+        record = database.record(record_data["object_id"])
+        record.attribute = PositionAttribute(**attr)
+    for stationary_data in data["stationary"]:
+        database.insert_stationary_object(
+            stationary_data["object_id"],
+            stationary_data["class_name"],
+            Point(stationary_data["x"], stationary_data["y"]),
+            stationary_data["row"] or None,
+        )
+    for message_data in data["update_log"]:
+        database.update_log.record(PositionUpdateMessage(**message_data))
+    database.clock_time = data["clock_time"]
+    return database
+
+
+def save_database(database: MovingObjectDatabase, path: str) -> None:
+    """Write a JSON snapshot of ``database`` to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(database_to_dict(database), handle, indent=1)
+
+
+def load_database(path: str, index: Any = None) -> MovingObjectDatabase:
+    """Load a database snapshot written by :func:`save_database`."""
+    with open(path) as handle:
+        data = json.load(handle)
+    return database_from_dict(data, index=index)

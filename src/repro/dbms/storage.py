@@ -1,0 +1,90 @@
+"""In-memory row storage.
+
+A deliberately small storage engine: one :class:`Table` per object
+class, keyed by object id, with schema validation on write and cheap
+point-in-time snapshots (copy-on-read) used by tests and by the
+experiment harness to freeze database state.
+
+The paper assumes instantaneous updates (valid time = transaction
+time), so there is no multi-versioning here — an update replaces the
+row and the old value is gone, exactly as in the paper's model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.dbms.schema import ObjectClass
+from repro.errors import SchemaError
+
+
+class Table:
+    """Rows of non-spatial attributes for one object class."""
+
+    def __init__(self, object_class: ObjectClass) -> None:
+        self.object_class = object_class
+        self._rows: dict[str, dict[str, Any]] = {}
+
+    def insert(self, object_id: str, values: dict[str, Any] | None = None) -> None:
+        """Insert a new row; duplicate ids are an error."""
+        if not object_id:
+            raise SchemaError("object id must be non-empty")
+        if object_id in self._rows:
+            raise SchemaError(
+                f"duplicate object id {object_id!r} in class "
+                f"{self.object_class.name!r}"
+            )
+        row = dict(values or {})
+        self.object_class.validate_row(row)
+        self._rows[object_id] = row
+
+    def update(self, object_id: str, values: dict[str, Any]) -> None:
+        """Merge attribute values into an existing row."""
+        row = self._get_row(object_id)
+        merged = {**row, **values}
+        self.object_class.validate_row(merged)
+        self._rows[object_id] = merged
+
+    def delete(self, object_id: str) -> None:
+        """Remove a row; missing ids are an error."""
+        self._get_row(object_id)
+        del self._rows[object_id]
+
+    def get(self, object_id: str) -> dict[str, Any]:
+        """A copy of the row for ``object_id``."""
+        return dict(self._get_row(object_id))
+
+    def _get_row(self, object_id: str) -> dict[str, Any]:
+        try:
+            return self._rows[object_id]
+        except KeyError:
+            raise SchemaError(
+                f"unknown object id {object_id!r} in class "
+                f"{self.object_class.name!r}"
+            ) from None
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def ids(self) -> list[str]:
+        return list(self._rows)
+
+    def rows(self) -> Iterator[tuple[str, dict[str, Any]]]:
+        """Iterate ``(object_id, row_copy)`` pairs."""
+        for object_id, row in self._rows.items():
+            yield object_id, dict(row)
+
+    def scan(self, **equals: Any) -> list[str]:
+        """Ids of rows whose attributes equal all the given values."""
+        matches = []
+        for object_id, row in self._rows.items():
+            if all(row.get(key) == value for key, value in equals.items()):
+                matches.append(object_id)
+        return matches
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """A deep-enough copy of the whole table."""
+        return {oid: dict(row) for oid, row in self._rows.items()}

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro moving-objects database.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the broad failure categories below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """A geometric construction or query is invalid.
+
+    Examples: a polyline with fewer than two vertices, a polygon with
+    fewer than three vertices, or a route-distance query for a point that
+    does not lie on the route.
+    """
+
+
+class RouteError(GeometryError):
+    """A route-specific failure (bad route id, off-route position, ...)."""
+
+
+class PolicyError(ReproError):
+    """An update policy was configured or driven inconsistently.
+
+    Examples: a negative update cost, an estimator evaluated before any
+    update has been recorded, or an unknown policy name.
+    """
+
+
+class SchemaError(ReproError):
+    """A DBMS schema violation (unknown class, missing attribute, ...)."""
+
+
+class QueryError(ReproError):
+    """A malformed or unanswerable query."""
+
+
+class IndexError_(ReproError):
+    """A spatial-index invariant was violated.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`; exported as ``SpatialIndexError`` from the
+    package root.
+    """
+
+
+SpatialIndexError = IndexError_
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness failure (bad sweep spec, missing series, ...)."""

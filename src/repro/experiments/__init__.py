@@ -1,0 +1,69 @@
+"""The experiment harness: every table and figure of the evaluation.
+
+The experiment ids follow DESIGN.md:
+
+* E1–E3 (:mod:`repro.experiments.figures`) — messages, total cost and
+  average uncertainty vs. the update cost ``C``, per policy (§3.4's
+  described-but-omitted plots),
+* E4, E5, E9, E10, E11 (:mod:`repro.experiments.tables`) — the 85 %
+  update-savings headline, the Example 1 closed-form check, the
+  threshold algebra observations, and the two ablations,
+* E6 (:mod:`repro.experiments.figures`) — bound shapes over time,
+* E7, E8, E12 (:mod:`repro.experiments.indexing`) — index sublinearity,
+  may/must correctness, and index maintenance cost,
+* :mod:`repro.experiments.runner` — run everything and print a report
+  (``python -m repro.experiments.runner``).
+"""
+
+from repro.experiments.sweep import SweepSpec, run_policy_sweep
+from repro.experiments.figures import (
+    figure_bound_shapes,
+    figure_messages,
+    figure_total_cost,
+    figure_uncertainty,
+)
+from repro.experiments.tables import (
+    table_delay_ablation,
+    table_example1,
+    table_predictor_ablation,
+    table_threshold_algebra,
+    table_update_savings,
+)
+from repro.experiments.indexing import (
+    experiment_index_maintenance,
+    experiment_index_sublinearity,
+    experiment_may_must_correctness,
+)
+from repro.experiments.optimality import table_online_vs_offline
+from repro.experiments.robustness import table_noise_robustness
+from repro.experiments.index_tuning import table_slab_tuning
+from repro.experiments.extensions import (
+    table_adaptive_policy,
+    table_horizon_policy,
+    table_route_change,
+    table_xy_vs_route,
+)
+
+__all__ = [
+    "SweepSpec",
+    "run_policy_sweep",
+    "figure_messages",
+    "figure_total_cost",
+    "figure_uncertainty",
+    "figure_bound_shapes",
+    "table_update_savings",
+    "table_example1",
+    "table_threshold_algebra",
+    "table_predictor_ablation",
+    "table_delay_ablation",
+    "experiment_index_sublinearity",
+    "experiment_may_must_correctness",
+    "experiment_index_maintenance",
+    "table_horizon_policy",
+    "table_adaptive_policy",
+    "table_xy_vs_route",
+    "table_route_change",
+    "table_online_vs_offline",
+    "table_noise_robustness",
+    "table_slab_tuning",
+]

@@ -1,0 +1,291 @@
+"""Table regeneration (experiments E4, E5, E9, E10, E11).
+
+* E4 — the headline: temporal (dead-reckoning) position modeling cuts
+  update messages to ~15 % of the traditional non-temporal method.
+* E5 — Example 1's closed-form numbers (threshold 1.74 mi; dl bound
+  plateaus 3.16 / 2.24 mi; ail bound 10/t).
+* E9 — the §3.2 observations on thresholds: ``k_opt(dl) <= k_opt(ail)``
+  for the same (a, b), yet update counts are incomparable in general.
+* E10 — ablation: speed-predictor choice per driving regime.
+* E11 — ablation: estimator delay (dl with its delay forced to zero
+  behaves like cil).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.bounds import delayed_linear_bounds, immediate_linear_bounds
+from repro.core.policies import make_policy
+from repro.core.thresholds import optimal_update_threshold
+from repro.errors import ExperimentError
+from repro.reporting.table import render_table
+from repro.sim.engine import simulate_trip
+from repro.sim.metrics import aggregate_metrics
+from repro.sim.speed_curves import (
+    CityCurve,
+    HighwayCurve,
+    PiecewiseConstantCurve,
+    SpeedCurve,
+    standard_curve_set,
+)
+from repro.sim.trip import Trip
+from repro.units import DEFAULT_TICK_MINUTES
+
+
+@dataclass(frozen=True)
+class TableResult:
+    """A regenerated paper table: headers, rows, and rendered text."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+
+    def render(self, precision: int = 3) -> str:
+        return render_table(
+            self.headers, self.rows, precision=precision, title=self.title
+        )
+
+    def row_by_key(self, key: object) -> list[object]:
+        """The row whose first cell equals ``key``."""
+        for row in self.rows:
+            if row[0] == key:
+                return row
+        raise ExperimentError(f"no row keyed {key!r}")
+
+
+def _run_policy_over_curves(policy_name: str, update_cost: float,
+                            curves: list[SpeedCurve], dt: float,
+                            **kwargs: object):
+    metrics = []
+    for i, curve in enumerate(curves):
+        trip = Trip.synthetic(curve, route_id=f"tbl-{policy_name}-{i}")
+        policy = make_policy(policy_name, update_cost, **kwargs)
+        metrics.append(simulate_trip(trip, policy, dt=dt).metrics)
+    return aggregate_metrics(metrics)
+
+
+def table_update_savings(precision_miles: float = 1.0,
+                         update_cost: float = 5.0,
+                         num_curves: int = 20, duration: float = 60.0,
+                         seed: int = 42,
+                         dt: float = DEFAULT_TICK_MINUTES) -> TableResult:
+    """E4: message counts, temporal modeling vs. the traditional method.
+
+    All policies run the same curve set.  The traditional baseline
+    stores a static point and must update every ``precision_miles`` of
+    travel; the dead-reckoning policies update only when the *deviation
+    from the declared motion* reaches their threshold.  The paper
+    reports the temporal technique needing ~15 % of the traditional
+    message count; the ``ratio`` column reproduces that.
+    """
+    if precision_miles <= 0:
+        raise ExperimentError(
+            f"precision must be positive, got {precision_miles}"
+        )
+    rng = random.Random(seed)
+    curves = standard_curve_set(rng, count=num_curves, duration=duration)
+    rows: list[list[object]] = []
+    baseline = _run_policy_over_curves(
+        "traditional", update_cost, curves, dt, precision=precision_miles
+    )
+    runs = [
+        ("traditional", baseline),
+        (
+            "fixed-threshold",
+            _run_policy_over_curves(
+                "fixed-threshold", update_cost, curves, dt,
+                bound=precision_miles,
+            ),
+        ),
+        ("dl", _run_policy_over_curves("dl", update_cost, curves, dt)),
+        ("ail", _run_policy_over_curves("ail", update_cost, curves, dt)),
+        ("cil", _run_policy_over_curves("cil", update_cost, curves, dt)),
+    ]
+    for name, aggregate in runs:
+        rows.append(
+            [
+                name,
+                aggregate.num_updates,
+                aggregate.num_updates / baseline.num_updates,
+                aggregate.avg_deviation,
+                aggregate.max_deviation,
+            ]
+        )
+    return TableResult(
+        experiment_id="E4",
+        title=(
+            "Update messages: temporal modeling vs. traditional "
+            f"(precision target {precision_miles} mi)"
+        ),
+        headers=["policy", "messages/trip", "ratio vs traditional",
+                 "avg deviation", "max deviation"],
+        rows=rows,
+    )
+
+
+def table_example1(update_cost: float = 5.0) -> TableResult:
+    """E5: the worked Example 1, closed form vs. library output.
+
+    Paper values: with a = 1 mi/min, b = 2 min, C = 5 the optimal
+    threshold is 1.74 miles; with v = 1, V = 1.5 the dl slow/fast bound
+    plateaus are 3.16 and 2.24 miles; the ail bound at t >= 4 is 10/t.
+    """
+    slope, delay = 1.0, 2.0
+    v, big_v = 1.0, 1.5
+    threshold = optimal_update_threshold(slope, delay, update_cost)
+    dl = delayed_linear_bounds(v, big_v, update_cost)
+    imm = immediate_linear_bounds(v, big_v, update_cost)
+    rows: list[list[object]] = [
+        ["dl threshold k_opt(a=1, b=2)", 1.74, threshold],
+        ["dl slow-bound plateau sqrt(2vC)", 3.16, dl.slow(10.0)],
+        ["dl fast-bound plateau sqrt(2(V-v)C)", 2.24, dl.fast(10.0)],
+        ["ail slow bound at t=10 (10/t)", 1.0, imm.slow(10.0)],
+        ["ail fast bound at t=5 (10/t)", 2.0, imm.fast(5.0)],
+        ["slow bound rises 1 mi/min early (t=2)", 2.0, dl.slow(2.0)],
+        ["fast bound rises 0.5 mi/min early (t=4)", 2.0, dl.fast(4.0)],
+    ]
+    return TableResult(
+        experiment_id="E5",
+        title="Example 1: paper values vs. library (C=5, v=1, V=1.5)",
+        headers=["quantity", "paper", "library"],
+        rows=rows,
+    )
+
+
+def table_threshold_algebra(update_cost: float = 5.0) -> TableResult:
+    """E9: the §3.2 threshold observations.
+
+    (1) For any a, b > 0: ``k_opt(a, b) <= k_opt(a, 0)``.
+    (2) Despite (1), update counts are incomparable: a stop-and-go
+        curve where the object resumes its declared speed (large b)
+        favours dl, while an immediate drift favours the immediate
+        policies — demonstrated with two adversarial curves.
+    """
+    rows: list[list[object]] = []
+    for slope, delay in ((0.5, 1.0), (1.0, 2.0), (2.0, 0.5)):
+        with_delay = optimal_update_threshold(slope, delay, update_cost)
+        without = optimal_update_threshold(slope, 0.0, update_cost)
+        rows.append(
+            [f"k_opt(a={slope}, b={delay})", with_delay, without,
+             with_delay <= without + 1e-12]
+        )
+    dt = DEFAULT_TICK_MINUTES
+    # Curve A: drive steadily, brief total stops, resume — the dl
+    # policy's current-speed declaration matches the resumed speed.
+    curve_a = PiecewiseConstantCurve(
+        [(8.0, 1.0), (1.0, 0.0)] * 6 + [(6.0, 1.0)]
+    )
+    # Curve B: speed oscillates every two minutes around a stable mean —
+    # the average-speed declaration (ail) wins.
+    curve_b = PiecewiseConstantCurve([(2.0, 0.8), (2.0, 0.4)] * 15)
+    for label, curve in (("stop-resume curve", curve_a),
+                         ("oscillating curve", curve_b)):
+        trip = Trip.synthetic(curve, route_id=f"alg-{label}")
+        dl_updates = simulate_trip(
+            trip, make_policy("dl", update_cost), dt=dt
+        ).metrics.num_updates
+        ail_updates = simulate_trip(
+            trip, make_policy("ail", update_cost), dt=dt
+        ).metrics.num_updates
+        rows.append([f"updates on {label}", dl_updates, ail_updates,
+                     dl_updates <= ail_updates])
+    return TableResult(
+        experiment_id="E9",
+        title="Threshold algebra and incomparability (C=5)",
+        headers=["quantity", "dl / k_opt(a,b)", "ail / k_opt(a,0)",
+                 "dl <= ail"],
+        rows=rows,
+    )
+
+
+def table_predictor_ablation(update_cost: float = 5.0, num_curves: int = 8,
+                             duration: float = 60.0, seed: int = 17,
+                             dt: float = DEFAULT_TICK_MINUTES) -> TableResult:
+    """E10: which predicted speed suits which driving regime (§3.1).
+
+    The paper: current speed "may be appropriate for highway driving in
+    non-rush hour", average speed "for city driving, where the speed
+    fluctuates sharply".  We run cil (current) and ail (average) on
+    pure-highway and pure-city curve sets and compare total cost.
+    """
+    rng = random.Random(seed)
+    highway = [HighwayCurve(duration, rng) for _ in range(num_curves)]
+    city = [CityCurve(duration, rng) for _ in range(num_curves)]
+    rows: list[list[object]] = []
+    for regime, curves in (("highway", highway), ("city", city)):
+        current = _run_policy_over_curves("cil", update_cost, curves, dt)
+        average = _run_policy_over_curves("ail", update_cost, curves, dt)
+        winner = "current" if current.total_cost < average.total_cost else "average"
+        rows.append(
+            [regime, current.total_cost, average.total_cost, winner]
+        )
+    return TableResult(
+        experiment_id="E10",
+        title="Predicted-speed ablation: total cost by driving regime (C=5)",
+        headers=["regime", "current speed (cil)", "average speed (ail)",
+                 "cheaper"],
+        rows=rows,
+    )
+
+
+def table_delay_ablation(update_cost: float = 5.0, num_curves: int = 8,
+                         duration: float = 60.0, seed: int = 29,
+                         dt: float = DEFAULT_TICK_MINUTES) -> TableResult:
+    """E11: what the estimator's delay term buys (dl vs. cil).
+
+    dl and cil differ only in the estimator delay (both declare the
+    current speed).  On curves with genuine post-update stability
+    (piecewise-constant city phases) the delay matters; on continuously
+    drifting highway curves the two nearly coincide.
+    """
+    rng = random.Random(seed)
+    stable = [CityCurve(duration, rng) for _ in range(num_curves)]
+    drifting = [HighwayCurve(duration, rng, wobble=0.15)
+                for _ in range(num_curves)]
+    rows: list[list[object]] = []
+    for regime, curves in (("piecewise-stable", stable),
+                           ("continuous-drift", drifting)):
+        dl = _run_policy_over_curves("dl", update_cost, curves, dt)
+        cil = _run_policy_over_curves("cil", update_cost, curves, dt)
+        rows.append(
+            [
+                regime,
+                dl.num_updates,
+                cil.num_updates,
+                dl.total_cost,
+                cil.total_cost,
+                abs(dl.total_cost - cil.total_cost)
+                / max(cil.total_cost, 1e-12),
+            ]
+        )
+    return TableResult(
+        experiment_id="E11",
+        title="Estimator-delay ablation: dl vs. cil (C=5)",
+        headers=["regime", "dl msgs", "cil msgs", "dl cost", "cil cost",
+                 "relative gap"],
+        rows=rows,
+    )
+
+
+def example1_threshold_trace(update_cost: float = 5.0,
+                             dt: float = DEFAULT_TICK_MINUTES) -> float:
+    """Simulate Example 1's scenario end-to-end; returns update time.
+
+    A vehicle declares 1 mile/minute, holds it for two minutes, then
+    stops.  Under dl it should update ~1 minute 44 seconds after
+    stopping (deviation 1.74 miles).  Returns the minutes-after-stop of
+    the first update.
+    """
+    curve = PiecewiseConstantCurve([(2.0, 1.0), (8.0, 0.0)])
+    trip = Trip.synthetic(curve, route_id="example1")
+    result = simulate_trip(trip, make_policy("dl", update_cost), dt=dt)
+    if not result.updates:
+        raise ExperimentError("Example 1 trace produced no update")
+    first = result.updates[0]
+    if math.isnan(first.time):
+        raise ExperimentError("Example 1 update time is NaN")
+    return first.time - 2.0

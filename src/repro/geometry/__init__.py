@@ -1,0 +1,26 @@
+"""Planar geometry substrate for the moving-objects database.
+
+This package provides the geometric primitives everything else is built
+on: 2-D points and segments, axis-aligned 2-D/3-D boxes, piecewise-linear
+polylines (the paper's *routes*, §2), and simple polygons (the paper's
+range-query regions, §4).
+
+All coordinates are floats in canonical units (miles; see
+:mod:`repro.units`).  The primitives are immutable value objects so they
+can be shared freely between the simulator, the DBMS and the index.
+"""
+
+from repro.geometry.bbox import Box3D, Rect2D
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.polyline import Polyline
+from repro.geometry.segment import Segment
+
+__all__ = [
+    "Point",
+    "Segment",
+    "Rect2D",
+    "Box3D",
+    "Polyline",
+    "Polygon",
+]

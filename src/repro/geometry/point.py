@@ -1,0 +1,75 @@
+"""2-D points with the small vector algebra the rest of the library needs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Absolute tolerance used when comparing coordinates or distances.
+EPSILON = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable point (or free vector) in the plane.
+
+    Supports the vector operations used throughout the geometry package:
+    addition, subtraction, scalar multiplication, dot product, Euclidean
+    norm and distance, and linear interpolation.
+    """
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def dot(self, other: "Point") -> float:
+        """Dot product of ``self`` and ``other`` viewed as vectors."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Point") -> float:
+        """2-D cross product (z component of the 3-D cross product)."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length of ``self`` viewed as a vector."""
+        return math.hypot(self.x, self.y)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance between two points."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def lerp(self, other: "Point", fraction: float) -> "Point":
+        """The point ``fraction`` of the way from ``self`` to ``other``.
+
+        ``fraction`` is not clamped; values outside [0, 1] extrapolate.
+        """
+        return Point(
+            self.x + (other.x - self.x) * fraction,
+            self.y + (other.y - self.y) * fraction,
+        )
+
+    def almost_equal(self, other: "Point", tolerance: float = EPSILON) -> bool:
+        """True when both coordinates agree within ``tolerance``."""
+        return (
+            abs(self.x - other.x) <= tolerance
+            and abs(self.y - other.y) <= tolerance
+        )
+
+    def as_tuple(self) -> tuple[float, float]:
+        """The point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)

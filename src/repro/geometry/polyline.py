@@ -1,0 +1,220 @@
+"""Piecewise-linear polylines — the geometric substance of routes.
+
+The paper (§2) assumes "the route is given by a piece-wise linear
+function" and relies on two primitives being "straightforward to
+compute": the route-distance between two points on the route, and the
+point at a given route-distance from another point.  ``Polyline``
+provides exactly those, plus projection of an arbitrary plane point onto
+the polyline (used when snapping noisy positions to a route) and
+sub-polyline extraction (used to materialise uncertainty intervals).
+
+Arc-length parametrisation
+--------------------------
+A polyline with vertices ``v0 .. vn`` is parametrised by cumulative
+Euclidean arc length ``s`` in ``[0, length]``.  All distance arguments
+below are arc lengths in canonical miles.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Sequence
+
+from repro.errors import GeometryError
+from repro.geometry.bbox import Rect2D
+from repro.geometry.point import EPSILON, Point
+from repro.geometry.segment import Segment
+
+
+class Polyline:
+    """An immutable piecewise-linear curve with arc-length queries."""
+
+    __slots__ = ("_vertices", "_cumulative", "_length")
+
+    def __init__(self, vertices: Iterable[Point]) -> None:
+        verts = tuple(vertices)
+        if len(verts) < 2:
+            raise GeometryError("a polyline needs at least two vertices")
+        cumulative = [0.0]
+        for a, b in zip(verts, verts[1:]):
+            cumulative.append(cumulative[-1] + a.distance_to(b))
+        if cumulative[-1] <= EPSILON:
+            raise GeometryError("a polyline must have positive length")
+        self._vertices = verts
+        self._cumulative = cumulative
+        self._length = cumulative[-1]
+
+    @classmethod
+    def from_coordinates(cls, coords: Iterable[tuple[float, float]]) -> "Polyline":
+        """Build a polyline from ``(x, y)`` tuples."""
+        return cls(Point(x, y) for x, y in coords)
+
+    @property
+    def vertices(self) -> tuple[Point, ...]:
+        """The polyline's vertices, in order."""
+        return self._vertices
+
+    @property
+    def length(self) -> float:
+        """Total arc length."""
+        return self._length
+
+    @property
+    def start(self) -> Point:
+        return self._vertices[0]
+
+    @property
+    def end(self) -> Point:
+        return self._vertices[-1]
+
+    def segments(self) -> list[Segment]:
+        """The polyline's constituent segments, in order."""
+        return [
+            Segment(a, b) for a, b in zip(self._vertices, self._vertices[1:])
+        ]
+
+    def bounding_rect(self) -> Rect2D:
+        """The tightest axis-aligned rectangle containing the polyline."""
+        return Rect2D.from_points(self._vertices)
+
+    def _segment_index_at(self, distance: float) -> int:
+        """Index of the segment containing arc length ``distance``."""
+        # bisect_right puts ties after equal cumulative values, so a
+        # distance exactly at a vertex resolves to the following segment
+        # (except at the very end).
+        idx = bisect.bisect_right(self._cumulative, distance) - 1
+        return min(max(idx, 0), len(self._vertices) - 2)
+
+    def point_at(self, distance: float) -> Point:
+        """The point at arc length ``distance`` from the start.
+
+        ``distance`` is clamped to ``[0, length]`` — the paper's vehicles
+        never leave their route, and clamping makes dead-reckoned
+        positions that slightly overshoot the route end well defined.
+        """
+        distance = min(max(distance, 0.0), self._length)
+        idx = self._segment_index_at(distance)
+        seg_start = self._cumulative[idx]
+        segment = Segment(self._vertices[idx], self._vertices[idx + 1])
+        return segment.point_at_distance(distance - seg_start)
+
+    def tangent_at(self, distance: float) -> Point:
+        """Unit tangent vector at arc length ``distance``.
+
+        At a vertex the tangent of the *following* segment is returned
+        (the direction of travel out of the corner); at the end of the
+        polyline, the last segment's direction.
+        """
+        distance = min(max(distance, 0.0), self._length)
+        idx = self._segment_index_at(distance)
+        a, b = self._vertices[idx], self._vertices[idx + 1]
+        direction = b - a
+        norm = direction.norm()
+        if norm <= EPSILON:
+            return Point(1.0, 0.0)
+        return Point(direction.x / norm, direction.y / norm)
+
+    def project(self, point: Point) -> tuple[float, float]:
+        """Project ``point`` onto the polyline.
+
+        Returns ``(arc_length, euclidean_distance)`` of the closest point
+        on the polyline to ``point``.
+        """
+        best_arc = 0.0
+        best_dist = float("inf")
+        for idx, segment in enumerate(self.segments()):
+            fraction = segment.project_fraction(point)
+            candidate = segment.point_at_fraction(fraction)
+            dist = candidate.distance_to(point)
+            if dist < best_dist - EPSILON:
+                best_dist = dist
+                best_arc = self._cumulative[idx] + fraction * segment.length
+        return best_arc, best_dist
+
+    def arc_length_of(self, point: Point, tolerance: float = 1e-6) -> float:
+        """Arc length of a point assumed to lie on the polyline.
+
+        Raises :class:`GeometryError` when ``point`` is farther than
+        ``tolerance`` from the polyline.
+        """
+        arc, dist = self.project(point)
+        if dist > tolerance:
+            raise GeometryError(
+                f"point ({point.x}, {point.y}) is {dist:.6g} miles off the polyline"
+            )
+        return arc
+
+    def route_distance(self, p1: Point, p2: Point, tolerance: float = 1e-6) -> float:
+        """Route-distance between two on-route points (paper §2).
+
+        The distance along the route between ``p1`` and ``p2``; always
+        nonnegative.
+        """
+        return abs(
+            self.arc_length_of(p1, tolerance) - self.arc_length_of(p2, tolerance)
+        )
+
+    def subline(self, from_distance: float, to_distance: float) -> "Polyline":
+        """The sub-polyline between two arc lengths (order-insensitive).
+
+        Used to materialise an uncertainty interval as geometry.  Both
+        arguments are clamped to ``[0, length]``; a numerically empty
+        interval yields a tiny two-point polyline at the location.
+        """
+        lo = min(max(min(from_distance, to_distance), 0.0), self._length)
+        hi = min(max(max(from_distance, to_distance), 0.0), self._length)
+        start_point = self.point_at(lo)
+        end_point = self.point_at(hi)
+        if hi - lo <= EPSILON:
+            # Degenerate interval: return a minimal stub so callers can
+            # still take bounding boxes and iterate vertices.  Prefer a
+            # stub along the route; at the route's very end, fall back
+            # to a tiny off-axis stub (1e-7 miles ~ 6 thousandths of an
+            # inch — invisible to every consumer).
+            nudge = min(lo + 1e-7, self._length)
+            nudge_pt = self.point_at(nudge) if nudge > lo else start_point
+            if start_point.distance_to(nudge_pt) <= EPSILON:
+                nudge_pt = Point(start_point.x + 1e-7, start_point.y)
+            return Polyline([start_point, nudge_pt])
+        first_idx = self._segment_index_at(lo)
+        last_idx = self._segment_index_at(hi)
+        verts: list[Point] = [start_point]
+        for idx in range(first_idx + 1, last_idx + 1):
+            vertex = self._vertices[idx]
+            if not verts[-1].almost_equal(vertex):
+                verts.append(vertex)
+        if not verts[-1].almost_equal(end_point):
+            verts.append(end_point)
+        if len(verts) < 2:
+            verts.append(Point(end_point.x + 1e-9, end_point.y))
+        return Polyline(verts)
+
+    def resampled(self, spacing: float) -> list[Point]:
+        """Points every ``spacing`` miles along the polyline (incl. both ends)."""
+        if spacing <= 0:
+            raise GeometryError("resample spacing must be positive")
+        points = []
+        s = 0.0
+        while s < self._length:
+            points.append(self.point_at(s))
+            s += spacing
+        points.append(self.end)
+        return points
+
+    def reversed(self) -> "Polyline":
+        """The same curve traversed in the opposite direction."""
+        return Polyline(reversed(self._vertices))
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __repr__(self) -> str:
+        return (
+            f"Polyline({len(self._vertices)} vertices, "
+            f"length={self._length:.3f})"
+        )
+
+
+def polyline_through(points: Sequence[tuple[float, float]]) -> Polyline:
+    """Convenience constructor used pervasively in tests and examples."""
+    return Polyline.from_coordinates(points)

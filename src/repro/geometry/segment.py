@@ -1,0 +1,140 @@
+"""Line segments: projection, intersection, and distance queries.
+
+Segments are the building block of routes (piecewise-linear polylines)
+and of polygon boundaries.  The operations here are deliberately robust
+for the well-conditioned inputs the simulator produces; degenerate
+segments (zero length) are accepted and treated as points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.point import EPSILON, Point
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """A directed line segment from ``start`` to ``end``."""
+
+    start: Point
+    end: Point
+
+    @property
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        return self.start.distance_to(self.end)
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when the segment has (numerically) zero length."""
+        return self.length <= EPSILON
+
+    def point_at_fraction(self, fraction: float) -> Point:
+        """The point ``fraction`` of the way along the segment.
+
+        ``fraction`` outside [0, 1] extrapolates along the segment's line.
+        """
+        return self.start.lerp(self.end, fraction)
+
+    def point_at_distance(self, distance: float) -> Point:
+        """The point at Euclidean ``distance`` from ``start`` along the segment.
+
+        A degenerate segment returns its single point for any distance.
+        """
+        length = self.length
+        if length <= EPSILON:
+            return self.start
+        return self.point_at_fraction(distance / length)
+
+    def project_fraction(self, point: Point) -> float:
+        """Fraction in [0, 1] of the closest point on the segment to ``point``."""
+        direction = self.end - self.start
+        denom = direction.dot(direction)
+        if denom <= EPSILON * EPSILON:
+            return 0.0
+        raw = (point - self.start).dot(direction) / denom
+        return min(1.0, max(0.0, raw))
+
+    def closest_point(self, point: Point) -> Point:
+        """The point on the segment closest to ``point``."""
+        return self.point_at_fraction(self.project_fraction(point))
+
+    def distance_to_point(self, point: Point) -> float:
+        """Euclidean distance from ``point`` to the segment."""
+        return self.closest_point(point).distance_to(point)
+
+    def distance_to_segment(self, other: "Segment") -> float:
+        """Minimum Euclidean distance between two closed segments.
+
+        Zero when they intersect; otherwise the minimum is attained at
+        an endpoint of one segment projected onto the other, so four
+        endpoint-to-segment distances cover all cases.
+        """
+        if self.intersects(other):
+            return 0.0
+        return min(
+            self.distance_to_point(other.start),
+            self.distance_to_point(other.end),
+            other.distance_to_point(self.start),
+            other.distance_to_point(self.end),
+        )
+
+    def intersects(self, other: "Segment") -> bool:
+        """True when the two closed segments share at least one point."""
+        return self.intersection_point(other) is not None or self._overlaps_collinear(other)
+
+    def intersection_point(self, other: "Segment") -> Point | None:
+        """The unique intersection point of two segments, if there is one.
+
+        Returns ``None`` when the segments do not intersect *or* when they
+        are collinear and overlap in more than a single point (no unique
+        answer); use :meth:`intersects` for a pure predicate.
+        """
+        p, r = self.start, self.end - self.start
+        q, s = other.start, other.end - other.start
+        r_cross_s = r.cross(s)
+        q_minus_p = q - p
+        if abs(r_cross_s) <= EPSILON:
+            return None
+        t = q_minus_p.cross(s) / r_cross_s
+        u = q_minus_p.cross(r) / r_cross_s
+        if -EPSILON <= t <= 1.0 + EPSILON and -EPSILON <= u <= 1.0 + EPSILON:
+            return p + r * t
+        return None
+
+    def _overlaps_collinear(self, other: "Segment") -> bool:
+        """True when the segments are collinear and their ranges overlap."""
+        r = self.end - self.start
+        s = other.end - other.start
+        if abs(r.cross(s)) > EPSILON:
+            return False
+        # The separation vector must be parallel to the (non-degenerate)
+        # direction; when both segments are points, require coincidence.
+        axis = r if r.norm() > EPSILON else s
+        if axis.norm() <= EPSILON:
+            return self.start.almost_equal(other.start)
+        if abs((other.start - self.start).cross(axis)) > EPSILON:
+            return False
+        if abs(axis.x) >= abs(axis.y):
+            a0, a1 = sorted((self.start.x, self.end.x))
+            b0, b1 = sorted((other.start.x, other.end.x))
+        else:
+            a0, a1 = sorted((self.start.y, self.end.y))
+            b0, b1 = sorted((other.start.y, other.end.y))
+        return a0 <= b1 + EPSILON and b0 <= a1 + EPSILON
+
+    def midpoint(self) -> Point:
+        """The midpoint of the segment."""
+        return self.start.lerp(self.end, 0.5)
+
+    def heading(self) -> float:
+        """Heading of the segment in radians, measured from the +x axis.
+
+        Degenerate segments return 0.0.
+        """
+        if self.is_degenerate:
+            return 0.0
+        d = self.end - self.start
+        return math.atan2(d.y, d.x)

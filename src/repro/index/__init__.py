@@ -1,0 +1,36 @@
+"""Indexing of position attributes in 3-D time-space (paper §4).
+
+"The indexing method that we propose avoids [continuous index updates]
+by representing the range of current possible positions of a moving
+object as a plane in 3-dimensional time-space."  This package builds
+that machinery from scratch:
+
+* :mod:`repro.index.rtree` — a classic R-tree (Guttman, quadratic
+  split) over 3-D boxes, with instrumentation for the sublinearity
+  experiments,
+* :mod:`repro.index.oplane` — o-plane construction from a position
+  attribute and its policy's deviation bounds, decomposed into
+  time-slab boxes,
+* :mod:`repro.index.timespace` — the :class:`TimeSpaceIndex` that the
+  DBMS maintains (o-plane swap on each position update, §4.2),
+* :mod:`repro.index.classify` — Theorems 5 and 6 as geometric
+  predicates,
+* :mod:`repro.index.scan` — the linear-scan baseline the experiments
+  compare against.
+"""
+
+from repro.index.classify import may_be_in, must_be_in
+from repro.index.oplane import OPlane
+from repro.index.rtree import RTree, SearchStats
+from repro.index.scan import LinearScanIndex
+from repro.index.timespace import TimeSpaceIndex
+
+__all__ = [
+    "RTree",
+    "SearchStats",
+    "OPlane",
+    "TimeSpaceIndex",
+    "LinearScanIndex",
+    "may_be_in",
+    "must_be_in",
+]

@@ -1,0 +1,142 @@
+"""O-planes: an object's possible positions in (x, y, t) time-space (§4.1).
+
+For a moving object o with declared speed ``v``, the paper defines two
+distance functions of elapsed time ``t``:
+
+    u(t) = v t + BF(t)      (upper-o: farthest o can be along the route)
+    l(t) = v t - BS(t)      (lower-o: nearest o can be)
+
+where ``BF``/``BS`` are the policy's fast/slow deviation bounds.  The
+*o-plane* is the set of uncertainty intervals — the route strip between
+the points at distances ``l(t)`` and ``u(t)`` — one per time instant
+``t >= 0``.
+
+For indexing, the o-plane is conservatively decomposed into 3-D boxes
+over *time slabs*: for each slab the travel-range swept by the
+uncertainty interval is computed, the corresponding route strip's 2-D
+bounding rectangle taken, and the box extruded over the slab's absolute
+time span.  Any point of the o-plane lies in some slab box, so index
+search can never miss an object (false positives are filtered by the
+exact refinement of Theorems 5–6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bounds import DeviationBounds
+from repro.core.position import PositionAttribute
+from repro.core.uncertainty import UncertaintyInterval, uncertainty_interval
+from repro.errors import IndexError_
+from repro.geometry.bbox import Box3D
+from repro.routes.route import Route
+
+
+@dataclass(frozen=True, slots=True)
+class OPlane:
+    """The o-plane of one position-attribute value.
+
+    ``start_time`` is the attribute's ``P.starttime``; the plane covers
+    absolute times ``[start_time, start_time + horizon]`` (the paper's
+    cutoff ``Z`` — an upper limit on when the trip ends — bounds the
+    horizon).
+    """
+
+    attribute: PositionAttribute
+    route: Route
+    bounds: DeviationBounds
+    horizon: float
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise IndexError_(f"horizon must be positive, got {self.horizon}")
+        if self.route.route_id != self.attribute.route_id:
+            raise IndexError_(
+                f"attribute is on route {self.attribute.route_id!r}, "
+                f"got {self.route.route_id!r}"
+            )
+
+    @property
+    def start_time(self) -> float:
+        return self.attribute.starttime
+
+    @property
+    def end_time(self) -> float:
+        return self.attribute.starttime + self.horizon
+
+    def covers_time(self, t: float) -> bool:
+        """True when ``t`` lies inside the plane's time span."""
+        return self.start_time - 1e-9 <= t <= self.end_time + 1e-9
+
+    def uncertainty_at(self, t: float) -> UncertaintyInterval:
+        """The uncertainty interval at absolute time ``t``."""
+        if not self.covers_time(t):
+            raise IndexError_(
+                f"time {t} outside o-plane span "
+                f"[{self.start_time}, {self.end_time}]"
+            )
+        return uncertainty_interval(self.attribute, self.route, self.bounds, t)
+
+    def travel_range(self, elapsed_lo: float, elapsed_hi: float,
+                     samples: int = 4) -> tuple[float, float]:
+        """Conservative travel-distance range over an elapsed-time span.
+
+        ``l`` and ``u`` are piecewise-smooth with at most one interior
+        kink per slab (where a bound's min switches branch), so endpoint
+        plus interior sampling with a small envelope margin is a sound
+        over-approximation for the slab widths used here.
+        """
+        if elapsed_hi < elapsed_lo:
+            raise IndexError_("elapsed_hi must be >= elapsed_lo")
+        start_travel = self.route.travel_distance_of(
+            self.attribute.start_point, self.attribute.direction
+        )
+        v = self.attribute.speed
+        lows: list[float] = []
+        highs: list[float] = []
+        for i in range(samples + 1):
+            elapsed = elapsed_lo + (elapsed_hi - elapsed_lo) * i / samples
+            center = start_travel + v * elapsed
+            lows.append(center - self.bounds.slow(elapsed))
+            highs.append(center + self.bounds.fast(elapsed))
+        # Envelope margin: within a slab each curve moves at most at the
+        # maximum slope between samples; v covers the centre drift and the
+        # bound slopes are at most v (slow) / declared-gap (fast), both
+        # bounded by the per-sample drift of the sampled extremes.  A
+        # half-sample of centre drift is a safe cushion for the slabs and
+        # sample counts used by the index.
+        margin = v * (elapsed_hi - elapsed_lo) / max(samples, 1)
+        lo = max(min(lows) - margin, 0.0)
+        hi = min(max(highs) + margin, self.route.length)
+        if lo > hi:
+            lo = hi
+        return lo, hi
+
+    def boxes(self, slab_minutes: float = 5.0) -> list[Box3D]:
+        """Decompose the o-plane into time-slab boxes for the R-tree."""
+        if slab_minutes <= 0:
+            raise IndexError_(f"slab_minutes must be positive, got {slab_minutes}")
+        boxes: list[Box3D] = []
+        elapsed = 0.0
+        while elapsed < self.horizon - 1e-12:
+            slab_end = min(elapsed + slab_minutes, self.horizon)
+            lo, hi = self.travel_range(elapsed, slab_end)
+            strip = self.route.interval_polyline(
+                lo, hi, self.attribute.direction
+            )
+            rect = strip.bounding_rect()
+            boxes.append(
+                Box3D.from_rect(
+                    rect,
+                    self.start_time + elapsed,
+                    self.start_time + slab_end,
+                )
+            )
+            elapsed = slab_end
+        return boxes
+
+    def __repr__(self) -> str:
+        return (
+            f"OPlane(route={self.route.route_id!r}, "
+            f"start={self.start_time:.2f}, horizon={self.horizon:.1f})"
+        )

@@ -1,0 +1,570 @@
+"""A from-scratch R-tree over 3-D boxes (Guttman 1984, quadratic split).
+
+The paper prescribes "a 3-dimensional spatial index, e.g. an R+-tree"
+over (x, y, t) time-space.  We implement the classic R-tree: it is the
+canonical member of the family, supports the required operations
+(insert, delete, box-intersection search), and preserves the property
+the paper relies on — sublinear candidate retrieval for queries that
+touch a small part of the indexed space.
+
+Implementation notes
+--------------------
+* Fanout is configurable (``max_entries``/``min_entries``); defaults
+  follow the usual M = 8, m = 3 for in-memory trees.
+* Many indexed boxes are volume-degenerate (an uncertainty interval
+  along an axis-parallel route has zero spatial height).  All size
+  comparisons therefore use a *measure* that blends volume with margin,
+  keeping ChooseLeaf and the quadratic split discriminating even for
+  flat boxes.
+* Searches report :class:`SearchStats` (nodes visited, leaf entries
+  tested) so benchmarks can demonstrate sublinearity directly rather
+  than inferring it from wall-clock noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterator
+
+from repro.errors import IndexError_
+from repro.geometry.bbox import Box3D
+
+#: Weight of the margin term in the box measure; small enough that
+#: volume dominates whenever volumes are non-degenerate.
+_MARGIN_WEIGHT = 1e-6
+
+
+def _measure(box: Box3D) -> float:
+    """Size surrogate robust to volume-degenerate boxes."""
+    return box.volume + _MARGIN_WEIGHT * box.margin
+
+
+@dataclass(slots=True)
+class _Entry:
+    """A node slot: a box plus either a payload (leaf) or a child node."""
+
+    box: Box3D
+    payload: Hashable | None = None
+    child: "_Node | None" = None
+
+
+@dataclass(slots=True)
+class _Node:
+    is_leaf: bool
+    entries: list[_Entry] = field(default_factory=list)
+    parent: "_Node | None" = None
+
+    def bounding_box(self) -> Box3D:
+        if not self.entries:
+            raise IndexError_("empty node has no bounding box")
+        box = self.entries[0].box
+        for entry in self.entries[1:]:
+            box = box.union(entry.box)
+        return box
+
+
+@dataclass(slots=True)
+class SearchStats:
+    """Work accounting for one search (sublinearity evidence)."""
+
+    nodes_visited: int = 0
+    entries_tested: int = 0
+    results: int = 0
+
+
+class RTree:
+    """An R-tree mapping 3-D boxes to hashable payloads.
+
+    The same payload may be inserted under several boxes (an o-plane is
+    several slab boxes); searches may then report it once per matching
+    box, so callers typically collect results into a set.
+    """
+
+    def __init__(self, max_entries: int = 8, min_entries: int = 3) -> None:
+        if max_entries < 2:
+            raise IndexError_(f"max_entries must be >= 2, got {max_entries}")
+        if not 1 <= min_entries <= max_entries // 2:
+            raise IndexError_(
+                f"min_entries must be in [1, max_entries//2], got {min_entries}"
+            )
+        self.max_entries = max_entries
+        self.min_entries = min_entries
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        """Number of leaf entries currently stored."""
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Tree height (1 for a lone leaf root)."""
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.entries[0].child  # type: ignore[assignment]
+            height += 1
+        return height
+
+    def node_count(self) -> int:
+        """Total number of nodes in the tree."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.extend(e.child for e in node.entries)  # type: ignore[misc]
+        return count
+
+    # ------------------------------------------------------------------
+    # Bulk loading (Sort-Tile-Recursive)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(cls, items: list[tuple[Box3D, Hashable]],
+                  max_entries: int = 8, min_entries: int = 3) -> "RTree":
+        """Build a packed tree from all items at once (STR packing).
+
+        Sort-Tile-Recursive: sort by x-centre, tile into slabs, sort
+        each slab by y-centre, tile again, sort each tile by t-centre,
+        and pack runs of ``max_entries`` into leaves; then pack the
+        leaves the same way level by level.  Packed trees are flatter
+        and tighter than incrementally grown ones, which shows up as
+        fewer entries tested per query.
+        """
+        tree = cls(max_entries=max_entries, min_entries=min_entries)
+        if not items:
+            return tree
+        entries = [
+            _Entry(box=box, payload=payload) for box, payload in items
+        ]
+        level = [
+            _Node(is_leaf=True, entries=group)
+            for group in cls._str_tile(entries, max_entries, min_entries)
+        ]
+        tree._size = len(entries)
+        while len(level) > 1:
+            parent_entries = []
+            for node in level:
+                parent_entries.append(
+                    _Entry(box=node.bounding_box(), child=node)
+                )
+            groups = cls._str_tile(parent_entries, max_entries, min_entries)
+            next_level = []
+            for group in groups:
+                parent = _Node(is_leaf=False, entries=group)
+                for entry in group:
+                    assert entry.child is not None
+                    entry.child.parent = parent
+                next_level.append(parent)
+            level = next_level
+        tree._root = level[0]
+        return tree
+
+    @staticmethod
+    def _str_tile(entries: list[_Entry], max_entries: int,
+                  min_entries: int) -> list[list[_Entry]]:
+        """Partition entries into spatially coherent groups of
+        ``<= max_entries`` (and, except for a single-group result,
+        ``>= min_entries``)."""
+        def center(entry: _Entry, axis: int) -> float:
+            box = entry.box
+            if axis == 0:
+                return (box.min_x + box.max_x) / 2.0
+            if axis == 1:
+                return (box.min_y + box.max_y) / 2.0
+            return (box.min_t + box.max_t) / 2.0
+
+        def chunk(run: list[_Entry], size: int) -> list[list[_Entry]]:
+            return [run[i:i + size] for i in range(0, len(run), size)]
+
+        n = len(entries)
+        if n <= max_entries:
+            return [entries]
+        num_groups = -(-n // max_entries)
+        slices_x = max(int(round(num_groups ** (1.0 / 3.0))), 1)
+        per_x = -(-n // slices_x)
+        by_x = sorted(entries, key=lambda e: center(e, 0))
+        groups: list[list[_Entry]] = []
+        for x_run in chunk(by_x, per_x):
+            groups_in_run = -(-len(x_run) // max_entries)
+            slices_y = max(int(round(groups_in_run ** 0.5)), 1)
+            per_y = -(-len(x_run) // slices_y)
+            by_y = sorted(x_run, key=lambda e: center(e, 1))
+            for y_run in chunk(by_y, per_y):
+                by_t = sorted(y_run, key=lambda e: center(e, 2))
+                groups.extend(chunk(by_t, max_entries))
+        # Fill-factor repair: a trailing group smaller than min_entries
+        # borrows from its (necessarily full-enough) predecessor.
+        repaired: list[list[_Entry]] = []
+        for group in groups:
+            if (repaired and len(group) < min_entries
+                    and len(repaired[-1]) > min_entries):
+                needed = min_entries - len(group)
+                take = min(needed, len(repaired[-1]) - min_entries)
+                for _ in range(take):
+                    group.insert(0, repaired[-1].pop())
+            repaired.append(group)
+        # Any still-underfull group merges into its predecessor when the
+        # combined size fits; otherwise rebalance the pair evenly.
+        final: list[list[_Entry]] = []
+        for group in repaired:
+            if final and len(group) < min_entries:
+                combined = final[-1] + group
+                if len(combined) <= max_entries:
+                    final[-1] = combined
+                    continue
+                half = len(combined) // 2
+                final[-1] = combined[:half]
+                group = combined[half:]
+            final.append(group)
+        return final
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+
+    def insert(self, box: Box3D, payload: Hashable) -> None:
+        """Insert ``payload`` under ``box``."""
+        leaf = self._choose_leaf(self._root, box)
+        leaf.entries.append(_Entry(box=box, payload=payload))
+        self._size += 1
+        self._handle_overflow(leaf)
+
+    def _choose_leaf(self, node: _Node, box: Box3D) -> _Node:
+        while not node.is_leaf:
+            best: _Entry | None = None
+            best_key: tuple[float, float] | None = None
+            for entry in node.entries:
+                enlargement = _measure(entry.box.union(box)) - _measure(entry.box)
+                key = (enlargement, _measure(entry.box))
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = entry
+            assert best is not None and best.child is not None
+            node = best.child
+        return node
+
+    def _handle_overflow(self, node: _Node) -> None:
+        while len(node.entries) > self.max_entries:
+            sibling = self._split(node)
+            parent = node.parent
+            if parent is None:
+                # Grow the tree: new root over node and sibling.
+                new_root = _Node(is_leaf=False)
+                for child in (node, sibling):
+                    child.parent = new_root
+                    new_root.entries.append(
+                        _Entry(box=child.bounding_box(), child=child)
+                    )
+                self._root = new_root
+                return
+            sibling.parent = parent
+            parent.entries.append(
+                _Entry(box=sibling.bounding_box(), child=sibling)
+            )
+            self._refresh_parent_boxes(node)
+            node = parent
+        self._refresh_parent_boxes(node)
+
+    def _split(self, node: _Node) -> _Node:
+        """Quadratic split: distribute ``node``'s entries, return sibling."""
+        entries = node.entries
+        seed_a, seed_b = self._pick_seeds(entries)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        box_a = group_a[0].box
+        box_b = group_b[0].box
+        remaining = [
+            e for i, e in enumerate(entries) if i not in (seed_a, seed_b)
+        ]
+        while remaining:
+            # Force assignment when one group must absorb the rest to
+            # reach the minimum fill.
+            needed_a = self.min_entries - len(group_a)
+            needed_b = self.min_entries - len(group_b)
+            if needed_a >= len(remaining):
+                group_a.extend(remaining)
+                for entry in remaining:
+                    box_a = box_a.union(entry.box)
+                remaining = []
+                break
+            if needed_b >= len(remaining):
+                group_b.extend(remaining)
+                for entry in remaining:
+                    box_b = box_b.union(entry.box)
+                remaining = []
+                break
+            index, prefer_a = self._pick_next(remaining, box_a, box_b)
+            entry = remaining.pop(index)
+            if prefer_a:
+                group_a.append(entry)
+                box_a = box_a.union(entry.box)
+            else:
+                group_b.append(entry)
+                box_b = box_b.union(entry.box)
+        node.entries = group_a
+        sibling = _Node(is_leaf=node.is_leaf, entries=group_b)
+        if not sibling.is_leaf:
+            for entry in sibling.entries:
+                assert entry.child is not None
+                entry.child.parent = sibling
+        return sibling
+
+    @staticmethod
+    def _pick_seeds(entries: list[_Entry]) -> tuple[int, int]:
+        """The pair wasting the most space when grouped together."""
+        worst_pair = (0, 1)
+        worst_waste = float("-inf")
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                combined = entries[i].box.union(entries[j].box)
+                waste = (
+                    _measure(combined)
+                    - _measure(entries[i].box)
+                    - _measure(entries[j].box)
+                )
+                if waste > worst_waste:
+                    worst_waste = waste
+                    worst_pair = (i, j)
+        return worst_pair
+
+    @staticmethod
+    def _pick_next(remaining: list[_Entry], box_a: Box3D,
+                   box_b: Box3D) -> tuple[int, bool]:
+        """The entry with the strongest group preference, and that group."""
+        best_index = 0
+        best_difference = -1.0
+        best_prefer_a = True
+        for i, entry in enumerate(remaining):
+            growth_a = _measure(box_a.union(entry.box)) - _measure(box_a)
+            growth_b = _measure(box_b.union(entry.box)) - _measure(box_b)
+            difference = abs(growth_a - growth_b)
+            if difference > best_difference:
+                best_difference = difference
+                best_index = i
+                best_prefer_a = growth_a < growth_b
+        return best_index, best_prefer_a
+
+    def _refresh_parent_boxes(self, node: _Node) -> None:
+        """Recompute covering boxes on the path from ``node`` to the root."""
+        child = node
+        parent = node.parent
+        while parent is not None:
+            for entry in parent.entries:
+                if entry.child is child:
+                    entry.box = child.bounding_box()
+                    break
+            child = parent
+            parent = parent.parent
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def search(self, box: Box3D, stats: SearchStats | None = None) -> list[Hashable]:
+        """Payloads of all leaf entries whose boxes intersect ``box``."""
+        results: list[Hashable] = []
+        if self._size == 0:
+            return results
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if stats is not None:
+                stats.nodes_visited += 1
+            for entry in node.entries:
+                if stats is not None:
+                    stats.entries_tested += 1
+                if not entry.box.intersects(box):
+                    continue
+                if node.is_leaf:
+                    results.append(entry.payload)
+                else:
+                    assert entry.child is not None
+                    stack.append(entry.child)
+        if stats is not None:
+            stats.results = len(results)
+        return results
+
+    def search_at_time(self, min_x: float, min_y: float, max_x: float,
+                       max_y: float, t: float,
+                       stats: SearchStats | None = None) -> list[Hashable]:
+        """Search with a planar window at one instant (``R_G(t0)``'s bbox)."""
+        return self.search(
+            Box3D(min_x, min_y, t, max_x, max_y, t), stats
+        )
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+
+    def delete(self, box: Box3D, payload: Hashable) -> bool:
+        """Remove one leaf entry matching ``(box, payload)`` exactly.
+
+        Returns True when an entry was removed, False when no exact
+        match exists.
+        """
+        leaf = self._find_leaf(self._root, box, payload)
+        if leaf is None:
+            return False
+        for i, entry in enumerate(leaf.entries):
+            if entry.payload == payload and entry.box == box:
+                del leaf.entries[i]
+                break
+        self._size -= 1
+        self._condense_tree(leaf)
+        return True
+
+    def delete_payload(self, payload: Hashable) -> int:
+        """Remove *all* leaf entries carrying ``payload``; returns count.
+
+        This is the operation the time-space index uses to drop an old
+        o-plane (several boxes per object).
+        """
+        matches: list[tuple[_Node, _Entry]] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                matches.extend(
+                    (node, entry)
+                    for entry in node.entries
+                    if entry.payload == payload
+                )
+            else:
+                stack.extend(e.child for e in node.entries)  # type: ignore[misc]
+        touched: list[_Node] = []
+        for node, entry in matches:
+            node.entries.remove(entry)
+            self._size -= 1
+            touched.append(node)
+        for node in touched:
+            self._condense_tree(node)
+        return len(matches)
+
+    def _find_leaf(self, node: _Node, box: Box3D,
+                   payload: Hashable) -> _Node | None:
+        if node.is_leaf:
+            for entry in node.entries:
+                if entry.payload == payload and entry.box == box:
+                    return node
+            return None
+        for entry in node.entries:
+            if entry.box.intersects(box):
+                assert entry.child is not None
+                found = self._find_leaf(entry.child, box, payload)
+                if found is not None:
+                    return found
+        return None
+
+    def _condense_tree(self, node: _Node) -> None:
+        """Guttman's CondenseTree: prune underfull nodes, reinsert orphans."""
+        orphans: list[tuple[_Entry, bool]] = []  # (entry, was_leaf_entry)
+        current = node
+        while current.parent is not None:
+            parent = current.parent
+            if len(current.entries) < self.min_entries:
+                for entry in parent.entries:
+                    if entry.child is current:
+                        parent.entries.remove(entry)
+                        break
+                for entry in current.entries:
+                    orphans.append((entry, current.is_leaf))
+                # Detach so a later condense on this node is a no-op
+                # (delete_payload condenses every touched node).
+                current.entries = []
+                current.parent = None
+                current = parent
+                continue
+            self._refresh_parent_boxes(current)
+            current = parent
+        # Shrink the root when it has a single internal child.
+        while not self._root.is_leaf and len(self._root.entries) == 1:
+            only = self._root.entries[0].child
+            assert only is not None
+            only.parent = None
+            self._root = only
+        if not self._root.entries and not self._root.is_leaf:
+            self._root = _Node(is_leaf=True)
+        # Reinsert orphaned entries.
+        for entry, was_leaf in orphans:
+            if was_leaf:
+                self._size -= 1  # insert() will add it back
+                self.insert(entry.box, entry.payload)
+            else:
+                assert entry.child is not None
+                self._reinsert_subtree(entry.child)
+
+    def _reinsert_subtree(self, subtree: _Node) -> None:
+        """Reinsert every leaf entry of a pruned subtree."""
+        stack = [subtree]
+        while stack:
+            current = stack.pop()
+            entries = current.entries
+            # Detach before reinsertion so later condenses touching any
+            # node of the pruned subtree cannot re-orphan these entries.
+            current.entries = []
+            current.parent = None
+            if current.is_leaf:
+                for entry in entries:
+                    self._size -= 1
+                    self.insert(entry.box, entry.payload)
+            else:
+                stack.extend(e.child for e in entries)  # type: ignore[misc]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[Box3D, Any]]:
+        """Iterate all ``(box, payload)`` leaf entries."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for entry in node.entries:
+                    yield entry.box, entry.payload
+            else:
+                stack.extend(e.child for e in node.entries)  # type: ignore[misc]
+
+    def check_invariants(self) -> None:
+        """Validate structural invariants; raises on violation.
+
+        Checks: covering boxes contain children, fill factors respected
+        (except at the root), leaf depth uniform, parent pointers sane,
+        and the size counter matches the leaf-entry count.
+        """
+        leaf_depths: set[int] = set()
+        count = 0
+        stack: list[tuple[_Node, int]] = [(self._root, 1)]
+        while stack:
+            node, depth = stack.pop()
+            if node is not self._root:
+                if len(node.entries) < self.min_entries:
+                    raise IndexError_(
+                        f"underfull non-root node ({len(node.entries)} entries)"
+                    )
+            if len(node.entries) > self.max_entries:
+                raise IndexError_(
+                    f"overfull node ({len(node.entries)} entries)"
+                )
+            if node.is_leaf:
+                leaf_depths.add(depth)
+                count += len(node.entries)
+                continue
+            for entry in node.entries:
+                child = entry.child
+                if child is None:
+                    raise IndexError_("internal entry without child")
+                if child.parent is not node:
+                    raise IndexError_("broken parent pointer")
+                if not entry.box.contains(child.bounding_box()):
+                    raise IndexError_("covering box does not contain child")
+                stack.append((child, depth + 1))
+        if len(leaf_depths) > 1:
+            raise IndexError_(f"leaves at different depths: {leaf_depths}")
+        if count != self._size:
+            raise IndexError_(
+                f"size counter {self._size} != leaf entries {count}"
+            )

@@ -1,0 +1,62 @@
+"""Linear-scan baseline for range queries.
+
+The strawman §4 argues against: answering a range query by examining
+*every* object.  It shares the :class:`TimeSpaceIndex` candidate
+interface so the query processor and the benchmarks can swap the two
+implementations and compare examined-object counts directly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IndexError_
+from repro.geometry.bbox import Rect2D
+from repro.index.oplane import OPlane
+from repro.index.rtree import SearchStats
+
+
+class LinearScanIndex:
+    """Stores o-planes but always reports every object as a candidate."""
+
+    def __init__(self) -> None:
+        self._planes: dict[str, OPlane] = {}
+
+    def __len__(self) -> int:
+        return len(self._planes)
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self._planes
+
+    def plane_of(self, object_id: str) -> OPlane:
+        try:
+            return self._planes[object_id]
+        except KeyError:
+            raise IndexError_(f"object {object_id!r} is not indexed") from None
+
+    def insert(self, object_id: str, plane: OPlane) -> int:
+        if object_id in self._planes:
+            raise IndexError_(
+                f"object {object_id!r} already indexed; use replace()"
+            )
+        self._planes[object_id] = plane
+        return 1
+
+    def remove(self, object_id: str) -> int:
+        if object_id not in self._planes:
+            raise IndexError_(f"object {object_id!r} is not indexed")
+        del self._planes[object_id]
+        return 1
+
+    def replace(self, object_id: str, plane: OPlane) -> None:
+        self._planes[object_id] = plane
+
+    def candidates_at(self, region: Rect2D, t: float,
+                      stats: SearchStats | None = None) -> set[str]:
+        """Every stored object is a candidate — the O(n) baseline."""
+        if stats is not None:
+            stats.nodes_visited += 1
+            stats.entries_tested += len(self._planes)
+            stats.results = len(self._planes)
+        return set(self._planes)
+
+    def object_ids(self) -> list[str]:
+        return list(self._planes)

@@ -1,0 +1,17 @@
+"""Plain-text reporting: ASCII tables and series plots.
+
+The paper's evaluation is "summarized in a set of plots"; with no
+plotting dependency available offline, the harness renders every table
+and figure as text — aligned tables for exact numbers and coarse ASCII
+line charts for shape inspection.
+"""
+
+from repro.reporting.series import Series, render_chart, render_series_table
+from repro.reporting.table import render_table
+
+__all__ = [
+    "render_table",
+    "Series",
+    "render_series_table",
+    "render_chart",
+]

@@ -1,0 +1,57 @@
+"""CSV export for experiment artefacts.
+
+Every regenerated table and figure can be written as CSV so results
+can be consumed by external tooling (spreadsheets, plotting scripts)
+without re-running the harness.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Sequence
+
+from repro.errors import ExperimentError
+from repro.reporting.series import Series
+
+
+def rows_to_csv(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Headers + rows as an RFC-4180 CSV string."""
+    if not headers:
+        raise ExperimentError("CSV export needs at least one column")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def series_to_csv(series: list[Series], x_label: str = "x") -> str:
+    """Several series sharing an x-axis as one CSV (x, then one column
+    per series)."""
+    if not series:
+        raise ExperimentError("CSV export needs at least one series")
+    xs = series[0].xs
+    for s in series[1:]:
+        if s.xs != xs:
+            raise ExperimentError(
+                f"series {s.name!r} has a different x-axis than "
+                f"{series[0].name!r}"
+            )
+    headers = [x_label] + [s.name for s in series]
+    rows = [
+        [xs[i]] + [s.ys[i] for s in series] for i in range(len(xs))
+    ]
+    return rows_to_csv(headers, rows)
+
+
+def write_csv(path: str, content: str) -> None:
+    """Write a CSV string to ``path``."""
+    with open(path, "w", newline="") as handle:
+        handle.write(content)

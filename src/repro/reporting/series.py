@@ -1,0 +1,101 @@
+"""Named data series and coarse ASCII line charts.
+
+A :class:`Series` is what one curve of a paper figure becomes: a name
+plus aligned x/y lists.  :func:`render_series_table` prints several
+series sharing an x-axis as one table (the exact numbers);
+:func:`render_chart` draws them on a character grid (the shape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.reporting.table import render_table
+
+#: Glyphs assigned to successive series in a chart.
+_GLYPHS = "ox+*#@%&"
+
+
+@dataclass(frozen=True, slots=True)
+class Series:
+    """One named curve: y values over shared x values."""
+
+    name: str
+    xs: tuple[float, ...]
+    ys: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ExperimentError(
+                f"series {self.name!r}: {len(self.xs)} xs vs {len(self.ys)} ys"
+            )
+        if not self.xs:
+            raise ExperimentError(f"series {self.name!r} is empty")
+
+    @classmethod
+    def from_pairs(cls, name: str, pairs: list[tuple[float, float]]) -> "Series":
+        xs, ys = zip(*pairs) if pairs else ((), ())
+        return cls(name, tuple(xs), tuple(ys))
+
+
+def render_series_table(series: list[Series], x_label: str = "x",
+                        precision: int = 3, title: str | None = None) -> str:
+    """All series as one table: first column x, one column per series."""
+    if not series:
+        raise ExperimentError("need at least one series")
+    xs = series[0].xs
+    for s in series[1:]:
+        if s.xs != xs:
+            raise ExperimentError(
+                f"series {s.name!r} has a different x-axis than "
+                f"{series[0].name!r}"
+            )
+    headers = [x_label] + [s.name for s in series]
+    rows = [
+        [xs[i]] + [s.ys[i] for s in series]
+        for i in range(len(xs))
+    ]
+    return render_table(headers, rows, precision=precision, title=title)
+
+
+def render_chart(series: list[Series], width: int = 64, height: int = 16,
+                 title: str | None = None) -> str:
+    """A coarse ASCII chart of several series on shared axes.
+
+    Intended for eyeballing shape (who wins, where curves cross), not
+    for reading values — the companion table carries the numbers.
+    """
+    if not series:
+        raise ExperimentError("need at least one series")
+    if width < 8 or height < 4:
+        raise ExperimentError("chart needs width >= 8 and height >= 4")
+    all_x = [x for s in series for x in s.xs]
+    all_y = [y for s in series for y in s.ys if y == y and abs(y) != float("inf")]
+    if not all_y:
+        raise ExperimentError("no finite y values to chart")
+    min_x, max_x = min(all_x), max(all_x)
+    min_y, max_y = min(all_y), max(all_y)
+    span_x = max_x - min_x or 1.0
+    span_y = max_y - min_y or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, s in enumerate(series):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, y in zip(s.xs, s.ys):
+            if y != y or abs(y) == float("inf"):
+                continue
+            col = int((x - min_x) / span_x * (width - 1))
+            row = int((y - min_y) / span_y * (height - 1))
+            grid[height - 1 - row][col] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {min_y:.3g} .. {max_y:.3g}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {min_x:.3g} .. {max_x:.3g}")
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {s.name}" for i, s in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Aligned ASCII tables."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import ExperimentError
+
+
+def _format_cell(value: Any, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 precision: int = 3, title: str | None = None) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Floats are fixed-point at ``precision`` digits; column widths adapt
+    to content; an optional title is underlined above the table.
+    """
+    if not headers:
+        raise ExperimentError("table needs at least one column")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    text_rows = [
+        [_format_cell(value, precision) for value in row] for row in rows
+    ]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in text_rows), 1)
+        if text_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(
+        str(h).ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in text_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)

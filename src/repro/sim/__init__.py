@@ -1,0 +1,70 @@
+"""Trip simulation substrate (paper §3.4).
+
+The paper evaluates its policies on "a set of one-hour trips", each
+represented by a *speed-curve* — the actual speed of a moving object as
+a function of time.  This package provides:
+
+* :mod:`repro.sim.speed_curves` — parameterised synthetic speed curves
+  (highway, city stop-and-go, traffic jam, rush hour, mixed) with
+  seeded randomness,
+* :mod:`repro.sim.trip` — a trip (speed curve + route) with integrated
+  travel distance,
+* :mod:`repro.sim.vehicle` — the onboard computer: tracks the deviation
+  and evaluates the update policy each tick,
+* :mod:`repro.sim.engine` — runs a trip under a policy and produces
+  :class:`~repro.sim.metrics.TripMetrics`,
+* :mod:`repro.sim.fleet` — multi-vehicle simulation that feeds the
+  moving-objects DBMS and the time-space index.
+"""
+
+from repro.sim.clock import SimulationClock
+from repro.sim.engine import PolicySimulation, TripResult, simulate_trip
+from repro.sim.metrics import TripMetrics, aggregate_metrics
+from repro.sim.speed_curves import (
+    CityCurve,
+    ConstantCurve,
+    HighwayCurve,
+    MixedCurve,
+    PiecewiseConstantCurve,
+    RushHourCurve,
+    SpeedCurve,
+    TraceCurve,
+    TrafficJamCurve,
+    standard_curve_set,
+)
+from repro.sim.multileg import Leg, MultiLegDriver, MultiLegTrip
+from repro.sim.noise import NoisyTripView, simulate_trip_with_noise
+from repro.sim.trip import Trip
+from repro.sim.vehicle import OnboardComputer
+from repro.sim.xy_reckoning import (
+    simulate_route_dead_reckoning,
+    simulate_xy_dead_reckoning,
+)
+
+__all__ = [
+    "SimulationClock",
+    "SpeedCurve",
+    "ConstantCurve",
+    "PiecewiseConstantCurve",
+    "HighwayCurve",
+    "CityCurve",
+    "TraceCurve",
+    "TrafficJamCurve",
+    "RushHourCurve",
+    "MixedCurve",
+    "standard_curve_set",
+    "Trip",
+    "OnboardComputer",
+    "PolicySimulation",
+    "TripResult",
+    "simulate_trip",
+    "TripMetrics",
+    "aggregate_metrics",
+    "Leg",
+    "MultiLegTrip",
+    "MultiLegDriver",
+    "NoisyTripView",
+    "simulate_trip_with_noise",
+    "simulate_xy_dead_reckoning",
+    "simulate_route_dead_reckoning",
+]

@@ -1,0 +1,155 @@
+"""The policy-simulation engine (paper §3.4).
+
+"For each speed-curve, update policy, and update cost C we execute a
+simulation run that computes the total cost (a single number) and the
+average uncertainty (also a single number) of the policy on the curve
+for the given update cost."  :func:`simulate_trip` is that run.
+
+The engine advances a fixed-step clock over the trip.  At each tick it:
+
+1. observes the onboard state (deviation, speed history),
+2. accrues deviation cost for the tick and samples the DBMS-side
+   uncertainty bound,
+3. evaluates the policy and applies any update (which resets the
+   deviation and re-bases the uncertainty bound).
+
+The uncertainty bound is recomputed from
+:func:`repro.core.bounds.bounds_for_policy` whenever the declared speed
+changes (i.e. on every update) — exactly the information flow of §3.3,
+where the DBMS derives the bound from the policy, ``P.speed``, ``C``,
+``V`` and the time since the last update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bounds import DeviationBounds, bounds_for_policy
+from repro.core.policy import UpdatePolicy
+from repro.errors import SimulationError
+from repro.sim.clock import SimulationClock
+from repro.sim.metrics import TripMetrics
+from repro.sim.trip import Trip
+from repro.sim.vehicle import OnboardComputer, UpdateEvent
+from repro.units import DEFAULT_TICK_MINUTES
+
+
+@dataclass(frozen=True, slots=True)
+class TripSeries:
+    """Optional per-tick traces for plotting and debugging."""
+
+    times: list[float]
+    deviations: list[float]
+    uncertainty_bounds: list[float]
+    database_travel: list[float]
+    actual_travel: list[float]
+
+
+@dataclass(frozen=True, slots=True)
+class TripResult:
+    """Everything a simulation run produced."""
+
+    metrics: TripMetrics
+    updates: list[UpdateEvent] = field(default_factory=list)
+    series: TripSeries | None = None
+
+
+class PolicySimulation:
+    """A reusable engine binding a trip to a policy.
+
+    Use :func:`simulate_trip` for the common one-shot case; instantiate
+    this class directly when you need to inspect the computer mid-run or
+    to drive several policies over the same pre-built trip.
+    """
+
+    def __init__(self, trip: Trip, policy: UpdatePolicy,
+                 dt: float = DEFAULT_TICK_MINUTES,
+                 max_speed: float | None = None) -> None:
+        self.trip = trip
+        self.policy = policy
+        self.clock = SimulationClock(trip.duration, dt)
+        self.max_speed = max_speed if max_speed is not None else trip.max_speed
+        if self.max_speed < 0:
+            raise SimulationError(f"max speed must be nonnegative, got {self.max_speed}")
+
+    def run(self, record_series: bool = False) -> TripResult:
+        """Execute the whole trip and return its result."""
+        computer = OnboardComputer(self.trip, self.policy)
+        bounds = self._bounds_for(computer.declared_speed)
+        dt = self.clock.dt
+
+        deviation_integral = 0.0
+        deviation_cost = 0.0
+        uncertainty_integral = 0.0
+        max_deviation = 0.0
+        max_uncertainty = 0.0
+
+        times: list[float] = []
+        deviations: list[float] = []
+        bound_trace: list[float] = []
+        db_travel_trace: list[float] = []
+        actual_travel_trace: list[float] = []
+
+        for _, t in self.clock.ticks():
+            state = computer.observe(t)
+            deviation = state.deviation
+            bound = bounds.total(state.elapsed)
+
+            deviation_integral += deviation * dt
+            deviation_cost += self.policy.cost_function.rate(deviation) * dt
+            uncertainty_integral += bound * dt
+            max_deviation = max(max_deviation, deviation)
+            max_uncertainty = max(max_uncertainty, bound)
+
+            if record_series:
+                times.append(t)
+                deviations.append(deviation)
+                bound_trace.append(bound)
+                db_travel_trace.append(computer.database_travel(t))
+                actual_travel_trace.append(self.trip.distance_travelled(t))
+
+            decision = self.policy.decide(state)
+            if decision.send:
+                computer.apply_update(t, decision, deviation)
+                bounds = self._bounds_for(computer.declared_speed)
+
+        duration = self.clock.duration
+        metrics = TripMetrics(
+            policy=self.policy.name,
+            update_cost=self.policy.update_cost,
+            duration=duration,
+            num_updates=computer.num_updates,
+            deviation_integral=deviation_integral,
+            deviation_cost=deviation_cost,
+            total_cost=(
+                self.policy.update_cost * computer.num_updates + deviation_cost
+            ),
+            avg_deviation=deviation_integral / duration,
+            max_deviation=max_deviation,
+            avg_uncertainty=uncertainty_integral / duration,
+            max_uncertainty=max_uncertainty,
+        )
+        series = (
+            TripSeries(
+                times=times,
+                deviations=deviations,
+                uncertainty_bounds=bound_trace,
+                database_travel=db_travel_trace,
+                actual_travel=actual_travel_trace,
+            )
+            if record_series
+            else None
+        )
+        return TripResult(metrics=metrics, updates=list(computer.events),
+                          series=series)
+
+    def _bounds_for(self, declared_speed: float) -> DeviationBounds:
+        return bounds_for_policy(self.policy, declared_speed, self.max_speed)
+
+
+def simulate_trip(trip: Trip, policy: UpdatePolicy,
+                  dt: float = DEFAULT_TICK_MINUTES,
+                  max_speed: float | None = None,
+                  record_series: bool = False) -> TripResult:
+    """Simulate one trip under one policy (the paper's unit of work)."""
+    return PolicySimulation(trip, policy, dt, max_speed).run(record_series)

@@ -1,0 +1,136 @@
+"""Multi-vehicle simulation feeding the moving-objects DBMS.
+
+Each vehicle runs its own onboard computer and update policy; when a
+policy fires, the vehicle transmits a
+:class:`~repro.dbms.update_log.PositionUpdateMessage` with its *actual*
+position and the declared speed, and the database installs it (and
+re-indexes the object's o-plane).  This is the full paper pipeline:
+vehicles → update policies → messages → DBMS → index → queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.policy import UpdatePolicy
+from repro.dbms.database import MovingObjectDatabase
+from repro.dbms.update_log import PositionUpdateMessage
+from repro.errors import SimulationError
+from repro.sim.clock import SimulationClock
+from repro.sim.trip import Trip
+from repro.sim.vehicle import OnboardComputer
+from repro.units import DEFAULT_TICK_MINUTES
+
+
+@dataclass
+class FleetVehicle:
+    """One vehicle in the fleet: a trip, a policy, an onboard computer."""
+
+    object_id: str
+    trip: Trip
+    policy: UpdatePolicy
+    computer: OnboardComputer
+
+    @property
+    def messages_sent(self) -> int:
+        return self.computer.num_updates
+
+
+class FleetSimulation:
+    """Drives a set of vehicles against one database.
+
+    Vehicles must be added before :meth:`run`.  All trips start at
+    simulation time 0; a vehicle whose trip is shorter than the run goes
+    quiet after its trip ends (no further updates — the DBMS keeps
+    dead-reckoning from its last report, as it would in reality).
+    """
+
+    def __init__(self, database: MovingObjectDatabase,
+                 dt: float = DEFAULT_TICK_MINUTES) -> None:
+        self.database = database
+        self.dt = dt
+        self.vehicles: dict[str, FleetVehicle] = {}
+
+    def add_vehicle(self, object_id: str, class_name: str, trip: Trip,
+                    policy: UpdatePolicy,
+                    attributes: dict[str, Any] | None = None) -> FleetVehicle:
+        """Register a vehicle and write its trip-start position attribute."""
+        if object_id in self.vehicles:
+            raise SimulationError(f"duplicate vehicle id {object_id!r}")
+        if not trip.fits_route():
+            raise SimulationError(
+                f"trip for {object_id!r} does not fit its route "
+                f"({trip.start_travel + trip.total_distance:.2f} mi needed, "
+                f"{trip.route.length:.2f} mi available)"
+            )
+        if trip.route.route_id not in self.database.routes:
+            self.database.register_route(trip.route)
+        start_position = trip.position(0.0)
+        self.database.insert_moving_object(
+            object_id=object_id,
+            class_name=class_name,
+            route_id=trip.route.route_id,
+            t=0.0,
+            position=start_position,
+            direction=trip.direction,
+            speed=trip.speed(0.0),
+            policy=policy,
+            max_speed=trip.max_speed,
+            attributes=attributes,
+        )
+        vehicle = FleetVehicle(
+            object_id=object_id,
+            trip=trip,
+            policy=policy,
+            computer=OnboardComputer(trip, policy),
+        )
+        self.vehicles[object_id] = vehicle
+        return vehicle
+
+    def run(self, duration: float | None = None,
+            on_tick: Callable[[float], None] | None = None) -> dict[str, int]:
+        """Simulate the fleet; returns per-vehicle message counts.
+
+        ``on_tick(t)`` is invoked after each tick has been fully
+        processed — the hook the query workloads use to issue range
+        queries against a live database.
+        """
+        if not self.vehicles:
+            raise SimulationError("fleet has no vehicles")
+        if duration is None:
+            duration = max(v.trip.duration for v in self.vehicles.values())
+        clock = SimulationClock(duration, self.dt)
+        for _, t in clock.ticks():
+            for vehicle in self.vehicles.values():
+                if t > vehicle.trip.duration + 1e-9:
+                    continue
+                state = vehicle.computer.observe(t)
+                decision = vehicle.policy.decide(state)
+                if not decision.send:
+                    continue
+                vehicle.computer.apply_update(t, decision, state.deviation)
+                position = vehicle.trip.position(t)
+                self.database.process_update(
+                    PositionUpdateMessage(
+                        object_id=vehicle.object_id,
+                        time=t,
+                        x=position.x,
+                        y=position.y,
+                        speed=decision.speed_to_declare,
+                    )
+                )
+            if on_tick is not None:
+                on_tick(t)
+        return {
+            object_id: vehicle.messages_sent
+            for object_id, vehicle in self.vehicles.items()
+        }
+
+    def actual_position(self, object_id: str, t: float):
+        """Ground-truth position of a vehicle (for answer validation)."""
+        try:
+            vehicle = self.vehicles[object_id]
+        except KeyError:
+            raise SimulationError(f"unknown vehicle {object_id!r}") from None
+        return vehicle.trip.position(min(t, vehicle.trip.duration))

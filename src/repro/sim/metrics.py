@@ -1,0 +1,118 @@
+"""Per-trip metrics and aggregation (paper §3.4).
+
+For each (speed-curve, policy, update cost) run the paper computes "the
+total cost (a single number) and the average uncertainty (also a single
+number)", then averages over the speed-curves and plots against the
+update cost.  :class:`TripMetrics` carries those numbers (plus a few
+diagnostics); :func:`aggregate_metrics` performs the over-curves
+average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True, slots=True)
+class TripMetrics:
+    """Scalar outcomes of simulating one trip under one policy."""
+
+    #: Policy identifier (``dl``, ``ail``, ``cil``, ``traditional``, ...).
+    policy: str
+    #: Update cost ``C`` used for the run.
+    update_cost: float
+    #: Trip duration in minutes.
+    duration: float
+    #: Number of position-update messages sent (excl. the trip-start write).
+    num_updates: int
+    #: Integral of the deviation over the trip (mile-minutes).
+    deviation_integral: float
+    #: Deviation cost under the policy's deviation cost function.
+    deviation_cost: float
+    #: Equation 2 over the trip: C * num_updates + deviation_cost.
+    total_cost: float
+    #: Time-average of the deviation (miles).
+    avg_deviation: float
+    #: Maximum deviation observed (miles).
+    max_deviation: float
+    #: Time-average of the DBMS-side uncertainty bound (miles).
+    avg_uncertainty: float
+    #: Maximum of the DBMS-side uncertainty bound (miles).
+    max_uncertainty: float
+
+    @property
+    def updates_per_hour(self) -> float:
+        """Message rate normalised to messages/hour."""
+        return self.num_updates * 60.0 / self.duration
+
+    @property
+    def cost_per_minute(self) -> float:
+        """Total cost per minute of trip."""
+        return self.total_cost / self.duration
+
+
+#: Metric fields averaged by :func:`aggregate_metrics` (all numeric
+#: fields; num_updates averages to a float message count).
+_NUMERIC_FIELDS = (
+    "update_cost",
+    "duration",
+    "num_updates",
+    "deviation_integral",
+    "deviation_cost",
+    "total_cost",
+    "avg_deviation",
+    "max_deviation",
+    "avg_uncertainty",
+    "max_uncertainty",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateMetrics:
+    """Metrics averaged over a set of trips (the paper's plot points)."""
+
+    policy: str
+    num_trips: int
+    update_cost: float
+    duration: float
+    num_updates: float
+    deviation_integral: float
+    deviation_cost: float
+    total_cost: float
+    avg_deviation: float
+    max_deviation: float
+    avg_uncertainty: float
+    max_uncertainty: float
+
+    @property
+    def updates_per_hour(self) -> float:
+        return self.num_updates * 60.0 / self.duration
+
+
+def aggregate_metrics(metrics: list[TripMetrics]) -> AggregateMetrics:
+    """Average trip metrics over a set of runs of the same policy.
+
+    All runs must share the policy name (they may differ in duration;
+    the averages are plain means, as in the paper's "average the total
+    cost over all the speed curves").
+    """
+    if not metrics:
+        raise SimulationError("cannot aggregate an empty metrics list")
+    policies = {m.policy for m in metrics}
+    if len(policies) > 1:
+        raise SimulationError(
+            f"cannot aggregate across policies: {sorted(policies)}"
+        )
+    count = len(metrics)
+    means = {
+        name: sum(getattr(m, name) for m in metrics) / count
+        for name in _NUMERIC_FIELDS
+    }
+    return AggregateMetrics(policy=metrics[0].policy, num_trips=count, **means)
+
+
+def metrics_field_names() -> list[str]:
+    """Names of all scalar fields of :class:`TripMetrics` (for reports)."""
+    return [f.name for f in fields(TripMetrics)]

@@ -1,0 +1,247 @@
+"""Multi-leg trips: route changes mid-journey (paper §3.1).
+
+"If during the trip the object changes its route, then it sends a
+position update message that includes the identification of the new
+route to be stored in P.route.  If we define the route distance between
+two points on different routes to be infinite, then this will trigger a
+position update whenever the object changes routes."
+
+A :class:`MultiLegTrip` strings several routes into one journey under a
+single speed curve.  :class:`MultiLegDriver` drives it against a
+database: within a leg the normal update policy runs; crossing a leg
+boundary forces an update carrying the new route id (the infinite-
+route-distance rule), which also swaps the o-plane in the time-space
+index onto the new route.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.core.policy import OnboardState, UpdatePolicy
+from repro.dbms.database import MovingObjectDatabase
+from repro.dbms.update_log import PositionUpdateMessage
+from repro.errors import SimulationError
+from repro.geometry.point import Point
+from repro.routes.route import Route
+from repro.sim.clock import SimulationClock
+from repro.sim.speed_curves import SpeedCurve
+from repro.sim.trip import Trip
+from repro.units import DEFAULT_TICK_MINUTES
+
+
+@dataclass(frozen=True, slots=True)
+class Leg:
+    """One leg of a journey: a route travelled in a direction."""
+
+    route: Route
+    direction: int = 0
+
+    def __post_init__(self) -> None:
+        if self.direction not in (0, 1):
+            raise SimulationError(
+                f"direction must be 0 or 1, got {self.direction}"
+            )
+
+
+class MultiLegTrip:
+    """A journey over consecutive routes under one speed curve.
+
+    The legs are travelled end to end: the object enters leg ``i+1`` at
+    travel distance ``sum of lengths of legs 0..i``.  The speed curve's
+    total distance must fit within the combined length.
+    """
+
+    def __init__(self, legs: list[Leg], curve: SpeedCurve) -> None:
+        if not legs:
+            raise SimulationError("a multi-leg trip needs at least one leg")
+        self.legs = list(legs)
+        self.curve = curve
+        self._boundaries = [0.0]
+        for leg in legs:
+            self._boundaries.append(self._boundaries[-1] + leg.route.length)
+        # Reuse the single-route trip's integrator for the profile.
+        times, cumulative = Trip._integrate(curve)
+        self._times = times
+        self._cumulative = cumulative
+        if self.total_distance > self.total_length + 1e-9:
+            raise SimulationError(
+                f"journey distance {self.total_distance:.2f} exceeds the "
+                f"combined leg length {self.total_length:.2f}"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.curve.duration
+
+    @property
+    def total_length(self) -> float:
+        """Combined length of all legs."""
+        return self._boundaries[-1]
+
+    @property
+    def total_distance(self) -> float:
+        """Distance the speed curve actually covers."""
+        return self._cumulative[-1]
+
+    @property
+    def max_speed(self) -> float:
+        return self.curve.max_speed()
+
+    def distance_travelled(self, t: float) -> float:
+        """Global travel distance at time ``t`` (interpolated)."""
+        if not -1e-9 <= t <= self.duration + 1e-9:
+            raise SimulationError(
+                f"time {t} outside trip duration [0, {self.duration}]"
+            )
+        t = min(max(t, 0.0), self.duration)
+        idx = bisect.bisect_right(self._times, t) - 1
+        idx = min(max(idx, 0), len(self._times) - 2)
+        t0, t1 = self._times[idx], self._times[idx + 1]
+        d0, d1 = self._cumulative[idx], self._cumulative[idx + 1]
+        if t1 <= t0:
+            return d0
+        return d0 + (d1 - d0) * (t - t0) / (t1 - t0)
+
+    def speed(self, t: float) -> float:
+        return self.curve.speed(t)
+
+    def leg_index_at(self, travel: float) -> int:
+        """Index of the leg containing global travel distance ``travel``."""
+        idx = bisect.bisect_right(self._boundaries, travel) - 1
+        return min(max(idx, 0), len(self.legs) - 1)
+
+    def locate(self, t: float) -> tuple[int, float]:
+        """``(leg index, travel within that leg)`` at time ``t``."""
+        travel = self.distance_travelled(t)
+        idx = self.leg_index_at(travel)
+        return idx, travel - self._boundaries[idx]
+
+    def position(self, t: float) -> Point:
+        """Plane position at time ``t``."""
+        idx, within = self.locate(t)
+        leg = self.legs[idx]
+        return leg.route.travel_point(
+            min(within, leg.route.length), leg.direction
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class LegTransition:
+    """A route-change update recorded by the driver."""
+
+    time: float
+    from_route: str
+    to_route: str
+
+
+class MultiLegDriver:
+    """Drives one multi-leg vehicle against a database.
+
+    The per-leg policy logic mirrors the onboard computer: deviation in
+    within-leg travel coordinates, policy evaluated each tick.  A leg
+    boundary forces an update that carries the new route id.
+    """
+
+    def __init__(self, object_id: str, class_name: str,
+                 trip: MultiLegTrip, policy: UpdatePolicy,
+                 database: MovingObjectDatabase,
+                 dt: float = DEFAULT_TICK_MINUTES) -> None:
+        self.object_id = object_id
+        self.trip = trip
+        self.policy = policy
+        self.database = database
+        self.dt = dt
+        self.transitions: list[LegTransition] = []
+        self.policy_updates = 0
+
+        for leg in trip.legs:
+            if leg.route.route_id not in database.routes:
+                database.register_route(leg.route)
+        database.insert_moving_object(
+            object_id=object_id,
+            class_name=class_name,
+            route_id=trip.legs[0].route.route_id,
+            t=0.0,
+            position=trip.position(0.0),
+            direction=trip.legs[0].direction,
+            speed=trip.speed(0.0),
+            policy=policy,
+            max_speed=trip.max_speed,
+        )
+        self._leg_index = 0
+        self._base_time = 0.0
+        self._base_travel = 0.0           # global travel at last update
+        self._declared_speed = trip.speed(0.0)
+        self._last_zero_elapsed = 0.0
+
+    def run(self) -> int:
+        """Simulate the whole journey; returns total messages sent."""
+        clock = SimulationClock(self.trip.duration, self.dt)
+        for _, t in clock.ticks():
+            self._tick(t)
+        return self.database.message_count(self.object_id)
+
+    def _tick(self, t: float) -> None:
+        travel = self.trip.distance_travelled(t)
+        leg_index = self.trip.leg_index_at(travel)
+        if leg_index != self._leg_index:
+            self._change_route(t, leg_index)
+            return
+        elapsed = t - self._base_time
+        reckoned = self._base_travel + self._declared_speed * elapsed
+        deviation = abs(travel - reckoned)
+        if deviation <= 1e-9:
+            self._last_zero_elapsed = elapsed
+            deviation = 0.0
+        distance = max(travel - self._base_travel, 0.0)
+        state = OnboardState(
+            elapsed=elapsed,
+            deviation=deviation,
+            distance_since_update=distance,
+            elapsed_at_last_zero_deviation=min(self._last_zero_elapsed,
+                                               elapsed),
+            current_speed=self.trip.speed(t),
+            average_speed_since_update=(
+                distance / elapsed if elapsed > 0 else self._declared_speed
+            ),
+            trip_average_speed=travel / t if t > 0 else self.trip.speed(0.0),
+            declared_speed=self._declared_speed,
+            trip_elapsed=t,
+        )
+        decision = self.policy.decide(state)
+        if decision.send:
+            self.policy_updates += 1
+            self._send_update(t, decision.speed_to_declare, route_change=None)
+
+    def _change_route(self, t: float, new_leg_index: int) -> None:
+        old_route = self.trip.legs[self._leg_index].route.route_id
+        self._leg_index = new_leg_index
+        new_route = self.trip.legs[new_leg_index].route.route_id
+        self.transitions.append(
+            LegTransition(time=t, from_route=old_route, to_route=new_route)
+        )
+        self._send_update(t, self.trip.speed(t), route_change=new_leg_index)
+
+    def _send_update(self, t: float, speed: float,
+                     route_change: int | None) -> None:
+        position = self.trip.position(t)
+        leg = self.trip.legs[self._leg_index]
+        self.database.process_update(
+            PositionUpdateMessage(
+                object_id=self.object_id,
+                time=t,
+                x=position.x,
+                y=position.y,
+                speed=speed,
+                route_id=(leg.route.route_id if route_change is not None
+                          else None),
+                direction=(leg.direction if route_change is not None
+                           else None),
+            )
+        )
+        self._base_time = t
+        self._base_travel = self.trip.distance_travelled(t)
+        self._declared_speed = speed
+        self._last_zero_elapsed = 0.0

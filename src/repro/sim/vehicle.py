@@ -1,0 +1,142 @@
+"""The onboard computer of a moving object.
+
+The paper assumes "at any point in time the moving object knows its
+current position, and it knows the parameters of the last
+position-update.  Therefore at any point in time the (computer onboard
+the) moving object can compute the current deviation."  This module is
+that computer: it tracks the parameters of the last update, derives the
+:class:`~repro.core.policy.OnboardState` the policy consumes, and
+applies update decisions.
+
+Everything here is in 1-D travel coordinates (miles travelled since
+trip start); the deviation is the absolute difference between actual
+and dead-reckoned travel, which equals route-distance for objects on a
+common route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.policy import OnboardState, UpdateDecision, UpdatePolicy
+from repro.errors import SimulationError
+from repro.sim.trip import Trip
+
+#: A deviation at or below this many miles counts as "zero" for the
+#: simple fitting method's delay tracking (float dust from curve
+#: integration, not real divergence).
+ZERO_DEVIATION_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateEvent:
+    """One position-update message, as recorded by the simulation."""
+
+    time: float
+    travel: float
+    declared_speed: float
+    #: Threshold in force when the update fired (for instrumentation).
+    threshold: float
+    #: Deviation at the instant the update fired.
+    deviation_at_update: float
+
+
+class OnboardComputer:
+    """Tracks deviation and drives an update policy for one trip."""
+
+    def __init__(self, trip: Trip, policy: UpdatePolicy) -> None:
+        self.trip = trip
+        self.policy = policy
+        # At trip start the object writes all sub-attributes, declaring
+        # its initial speed.  This initial write is part of trip set-up
+        # for every method and is not counted as an update message.
+        self.declared_speed = trip.speed(0.0)
+        self.last_update_time = 0.0
+        self.last_update_travel = 0.0
+        self._last_zero_elapsed = 0.0
+        self.events: list[UpdateEvent] = []
+
+    @property
+    def num_updates(self) -> int:
+        """Update messages sent so far (excluding the trip-start write)."""
+        return len(self.events)
+
+    def database_travel(self, t: float) -> float:
+        """Dead-reckoned travel distance the DBMS believes at time ``t``."""
+        if t < self.last_update_time:
+            raise SimulationError(
+                f"time {t} precedes last update at {self.last_update_time}"
+            )
+        return (
+            self.last_update_travel
+            + self.declared_speed * (t - self.last_update_time)
+        )
+
+    def deviation(self, t: float) -> float:
+        """Current deviation: |actual travel - database travel|."""
+        return abs(self.trip.distance_travelled(t) - self.database_travel(t))
+
+    def observe(self, t: float) -> OnboardState:
+        """Build the policy-visible state at time ``t``.
+
+        Also maintains the last-zero-deviation bookkeeping the simple
+        fitting method's delay ``b`` relies on, so ticks must be
+        observed in increasing time order.
+        """
+        elapsed = t - self.last_update_time
+        if elapsed < 0:
+            raise SimulationError(
+                f"observe({t}) precedes last update at {self.last_update_time}"
+            )
+        actual_travel = self.trip.distance_travelled(t)
+        deviation = abs(actual_travel - self.database_travel(t))
+        if deviation <= ZERO_DEVIATION_TOLERANCE:
+            self._last_zero_elapsed = elapsed
+            deviation = 0.0
+        distance_since_update = max(actual_travel - self.last_update_travel, 0.0)
+        average_since_update = (
+            distance_since_update / elapsed if elapsed > 0 else self.declared_speed
+        )
+        trip_average = actual_travel / t if t > 0 else self.trip.speed(0.0)
+        return OnboardState(
+            elapsed=elapsed,
+            deviation=deviation,
+            distance_since_update=distance_since_update,
+            elapsed_at_last_zero_deviation=min(self._last_zero_elapsed, elapsed),
+            current_speed=self.trip.speed(t),
+            average_speed_since_update=average_since_update,
+            trip_average_speed=trip_average,
+            declared_speed=self.declared_speed,
+            trip_elapsed=t,
+        )
+
+    def step(self, t: float) -> tuple[OnboardState, UpdateDecision]:
+        """Observe, decide, and apply any update — one policy tick."""
+        state = self.observe(t)
+        decision = self.policy.decide(state)
+        if decision.send:
+            self.apply_update(t, decision, state.deviation)
+        return state, decision
+
+    def apply_update(self, t: float, decision: UpdateDecision,
+                     deviation: float) -> UpdateEvent:
+        """Record a position update at time ``t``.
+
+        The update reports the object's exact current position (travel)
+        and the decision's declared speed; the deviation therefore
+        resets to zero.
+        """
+        travel = self.trip.distance_travelled(t)
+        event = UpdateEvent(
+            time=t,
+            travel=travel,
+            declared_speed=decision.speed_to_declare,
+            threshold=decision.threshold,
+            deviation_at_update=deviation,
+        )
+        self.events.append(event)
+        self.last_update_time = t
+        self.last_update_travel = travel
+        self.declared_speed = decision.speed_to_declare
+        self._last_zero_elapsed = 0.0
+        return event

@@ -1,0 +1,66 @@
+"""Unit conventions and conversion helpers.
+
+The library works in a single canonical unit system chosen to match the
+paper's worked Example 1:
+
+* **distance** — miles
+* **time** — minutes
+* **speed** — miles per minute (1 mile/minute = 60 mph)
+* **cost** — "deviation-cost units": the cost of one mile of deviation
+  sustained for one minute is 1.  The update cost ``C`` is expressed in
+  the same units, so ``C = 5`` means one position-update message costs as
+  much as a 1-mile deviation lasting five minutes.
+
+All public APIs take and return canonical units.  The helpers below exist
+so examples and workload generators can be written in familiar units
+(mph, seconds, kilometres) without sprinkling magic constants.
+"""
+
+from __future__ import annotations
+
+#: Minutes in one hour.
+MINUTES_PER_HOUR = 60.0
+
+#: Seconds in one minute.
+SECONDS_PER_MINUTE = 60.0
+
+#: Kilometres in one mile.
+KM_PER_MILE = 1.609344
+
+#: Default simulation tick: one second, expressed in minutes.
+DEFAULT_TICK_MINUTES = 1.0 / SECONDS_PER_MINUTE
+
+
+def mph_to_miles_per_minute(mph: float) -> float:
+    """Convert miles-per-hour to the canonical miles-per-minute."""
+    return mph / MINUTES_PER_HOUR
+
+
+def miles_per_minute_to_mph(speed: float) -> float:
+    """Convert canonical miles-per-minute to miles-per-hour."""
+    return speed * MINUTES_PER_HOUR
+
+
+def seconds_to_minutes(seconds: float) -> float:
+    """Convert seconds to canonical minutes."""
+    return seconds / SECONDS_PER_MINUTE
+
+
+def minutes_to_seconds(minutes: float) -> float:
+    """Convert canonical minutes to seconds."""
+    return minutes * SECONDS_PER_MINUTE
+
+
+def hours_to_minutes(hours: float) -> float:
+    """Convert hours to canonical minutes."""
+    return hours * MINUTES_PER_HOUR
+
+
+def km_to_miles(km: float) -> float:
+    """Convert kilometres to canonical miles."""
+    return km / KM_PER_MILE
+
+
+def miles_to_km(miles: float) -> float:
+    """Convert canonical miles to kilometres."""
+    return miles * KM_PER_MILE

@@ -1,0 +1,34 @@
+"""Ready-made workload scenarios from the paper's introduction.
+
+* :func:`taxi_fleet_scenario` — city cabs on a Manhattan grid ("retrieve
+  the free cabs that are currently within 1 mile of 33 N. Michigan
+  Ave."),
+* :func:`trucking_scenario` — long-haul trucks on a radial highway
+  network ("retrieve the trucks that are currently within 1 mile of
+  truck ABT312"),
+* :func:`battlefield_scenario` — units on an irregular random network
+  ("retrieve the friendly helicopters that are currently in a given
+  region"),
+* :func:`polygon_query_workload` — a randomized stream of range-query
+  polygons over a network's extent.
+"""
+
+from repro.workloads.scenarios import (
+    FleetScenario,
+    battlefield_scenario,
+    taxi_fleet_scenario,
+    trucking_scenario,
+)
+from repro.workloads.query_workloads import (
+    polygon_query_workload,
+    within_distance_workload,
+)
+
+__all__ = [
+    "FleetScenario",
+    "taxi_fleet_scenario",
+    "trucking_scenario",
+    "battlefield_scenario",
+    "polygon_query_workload",
+    "within_distance_workload",
+]

@@ -1,0 +1,63 @@
+"""Randomized query workloads over a network's extent.
+
+Generators for the two query shapes the paper's applications use:
+rectangular region queries ("the objects currently in polygon G") and
+within-distance queries ("the cabs within 1 mile of an address").  Both
+draw query centres uniformly over the network's bounding extent with
+seeded randomness, so benchmark runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ExperimentError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.routes.network import RouteNetwork
+
+
+def polygon_query_workload(network: RouteNetwork, rng: random.Random,
+                           count: int,
+                           side_miles: tuple[float, float] = (1.0, 4.0)) -> list[Polygon]:
+    """``count`` random rectangular query regions over the network.
+
+    Each region is an axis-aligned rectangle with side lengths drawn
+    from ``side_miles``, centred uniformly over the network extent.
+    """
+    if count < 1:
+        raise ExperimentError(f"count must be positive, got {count}")
+    lo, hi = side_miles
+    if not 0 < lo <= hi:
+        raise ExperimentError(f"invalid side range {side_miles}")
+    min_x, min_y, max_x, max_y = network.bounding_extent()
+    polygons = []
+    for _ in range(count):
+        width = rng.uniform(lo, hi)
+        height = rng.uniform(lo, hi)
+        cx = rng.uniform(min_x, max_x)
+        cy = rng.uniform(min_y, max_y)
+        polygons.append(
+            Polygon.rectangle(
+                cx - width / 2.0, cy - height / 2.0,
+                cx + width / 2.0, cy + height / 2.0,
+            )
+        )
+    return polygons
+
+
+def within_distance_workload(network: RouteNetwork, rng: random.Random,
+                             count: int,
+                             radius_miles: tuple[float, float] = (0.5, 2.0)) -> list[tuple[Point, float]]:
+    """``count`` random ``(center, radius)`` within-distance queries."""
+    if count < 1:
+        raise ExperimentError(f"count must be positive, got {count}")
+    lo, hi = radius_miles
+    if not 0 < lo <= hi:
+        raise ExperimentError(f"invalid radius range {radius_miles}")
+    min_x, min_y, max_x, max_y = network.bounding_extent()
+    queries = []
+    for _ in range(count):
+        center = Point(rng.uniform(min_x, max_x), rng.uniform(min_y, max_y))
+        queries.append((center, rng.uniform(lo, hi)))
+    return queries

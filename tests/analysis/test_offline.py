@@ -1,0 +1,113 @@
+"""Unit tests for repro.analysis.offline (hindsight-optimal schedules)."""
+
+import random
+
+import pytest
+
+from repro.analysis.offline import offline_optimal_schedule
+from repro.core.policies import make_policy
+from repro.errors import SimulationError
+from repro.sim.engine import simulate_trip
+from repro.sim.speed_curves import (
+    CityCurve,
+    ConstantCurve,
+    PiecewiseConstantCurve,
+)
+from repro.sim.trip import Trip
+
+C = 5.0
+
+
+class TestBasics:
+    def test_constant_speed_needs_no_updates(self):
+        trip = Trip.synthetic(ConstantCurve(20.0, 1.0))
+        schedule = offline_optimal_schedule(trip, C)
+        assert schedule.num_updates == 0
+        assert schedule.total_cost == pytest.approx(0.0, abs=1e-9)
+
+    def test_cost_decomposition(self):
+        trip = Trip.synthetic(
+            PiecewiseConstantCurve([(5.0, 1.0), (5.0, 0.0), (5.0, 1.0)])
+        )
+        schedule = offline_optimal_schedule(trip, C)
+        assert schedule.total_cost == pytest.approx(
+            C * schedule.num_updates + schedule.deviation_cost
+        )
+
+    def test_update_times_sorted_and_on_grid(self):
+        trip = Trip.synthetic(
+            PiecewiseConstantCurve([(3.0, 1.0), (3.0, 0.2)] * 3)
+        )
+        schedule = offline_optimal_schedule(trip, 1.0, dt=0.25)
+        times = list(schedule.update_times)
+        assert times == sorted(times)
+        for t in times:
+            assert (t / 0.25) == pytest.approx(round(t / 0.25))
+
+    def test_validation(self):
+        trip = Trip.synthetic(ConstantCurve(10.0, 1.0))
+        with pytest.raises(SimulationError):
+            offline_optimal_schedule(trip, -1.0)
+        with pytest.raises(SimulationError):
+            offline_optimal_schedule(trip, C, dt=0.0)
+        with pytest.raises(SimulationError):
+            offline_optimal_schedule(trip, C, mode="psychic")
+
+
+class TestOptimality:
+    def test_beats_or_matches_every_online_policy(self):
+        """The offline-current optimum lower-bounds every online policy
+        that declares current speeds (dl, cil)."""
+        rng = random.Random(13)
+        trip = Trip.synthetic(CityCurve(30.0, rng))
+        offline = offline_optimal_schedule(trip, C, dt=0.25,
+                                           mode="current")
+        # Discretisation slack: policies run on a finer grid than the
+        # schedule, so allow a small margin.
+        for name in ("dl", "cil"):
+            online = simulate_trip(
+                trip, make_policy(name, C), dt=1.0 / 30.0
+            ).metrics.total_cost
+            assert offline.total_cost <= online * 1.05
+
+    def test_clairvoyant_at_most_current(self):
+        rng = random.Random(14)
+        trip = Trip.synthetic(CityCurve(30.0, rng))
+        clairvoyant = offline_optimal_schedule(
+            trip, C, dt=0.25, mode="segment-average"
+        )
+        current = offline_optimal_schedule(trip, C, dt=0.25, mode="current")
+        assert clairvoyant.total_cost <= current.total_cost + 1e-9
+
+    def test_cheap_updates_mean_more_updates(self):
+        trip = Trip.synthetic(
+            PiecewiseConstantCurve([(4.0, 1.0), (4.0, 0.0)] * 3)
+        )
+        cheap = offline_optimal_schedule(trip, 0.5, dt=0.25)
+        pricey = offline_optimal_schedule(trip, 20.0, dt=0.25)
+        assert cheap.num_updates >= pricey.num_updates
+        assert cheap.deviation_cost <= pricey.deviation_cost + 1e-9
+
+    def test_single_stop_schedules_one_update(self):
+        """Example 1's shape: cruise then stop — one well-placed update
+        suffices when C is moderate."""
+        trip = Trip.synthetic(PiecewiseConstantCurve([(2.0, 1.0), (8.0, 0.0)]))
+        schedule = offline_optimal_schedule(trip, C, dt=0.1)
+        assert schedule.num_updates == 1
+        # The optimal update happens promptly after the stop (it pays C
+        # once to stop the deviation ramp).
+        assert 2.0 <= schedule.update_times[0] <= 4.0
+
+
+class TestExperimentTable:
+    def test_table_shape(self):
+        from repro.experiments.optimality import table_online_vs_offline
+
+        table = table_online_vs_offline(num_curves=3, duration=20.0,
+                                        policy_dt=1.0 / 12.0, offline_dt=0.5)
+        assert table.row_by_key(
+            "offline clairvoyant (lower bound)"
+        )[2] == pytest.approx(1.0)
+        # Every online policy is at least as expensive as clairvoyant.
+        for name in ("dl", "ail", "cil"):
+            assert table.row_by_key(name)[2] >= 1.0 - 1e-9

@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.polyline import Polyline
+from repro.routes.route import Route
+from repro.sim.speed_curves import PiecewiseConstantCurve
+from repro.sim.trip import Trip
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG; tests must not depend on global random state."""
+    return random.Random(1234)
+
+
+@pytest.fixture
+def straight_line() -> Polyline:
+    """A 10-mile straight polyline along the x axis."""
+    return Polyline([Point(0.0, 0.0), Point(10.0, 0.0)])
+
+
+@pytest.fixture
+def l_shaped() -> Polyline:
+    """An L-shaped polyline: 3 miles east, then 4 miles north (length 7)."""
+    return Polyline([Point(0.0, 0.0), Point(3.0, 0.0), Point(3.0, 4.0)])
+
+
+@pytest.fixture
+def straight_route_10(straight_line) -> Route:
+    """A 10-mile straight route."""
+    return Route("r-straight", straight_line)
+
+
+@pytest.fixture
+def l_route(l_shaped) -> Route:
+    """A 7-mile L-shaped route."""
+    return Route("r-l", l_shaped)
+
+
+@pytest.fixture
+def example1_trip() -> Trip:
+    """Example 1's trip: 2 minutes at 1 mi/min, then stopped 8 minutes."""
+    curve = PiecewiseConstantCurve([(2.0, 1.0), (8.0, 0.0)])
+    return Trip.synthetic(curve, route_id="example1")

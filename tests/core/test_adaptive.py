@@ -1,0 +1,124 @@
+"""Unit tests for repro.core.adaptive (policy switching)."""
+
+import pytest
+
+from repro.core.adaptive import AdaptivePolicy
+from repro.core.bounds import bounds_for_policy, immediate_linear_bounds
+from repro.core.policy import OnboardState
+from repro.errors import PolicyError
+
+C = 5.0
+
+
+def state(current=1.0, deviation=0.5, elapsed=2.0, avg=0.9,
+          trip_elapsed=None):
+    return OnboardState(
+        elapsed=elapsed,
+        deviation=deviation,
+        distance_since_update=avg * elapsed,
+        elapsed_at_last_zero_deviation=0.0,
+        current_speed=current,
+        average_speed_since_update=avg,
+        trip_average_speed=avg,
+        declared_speed=1.0,
+        trip_elapsed=trip_elapsed if trip_elapsed is not None else elapsed,
+    )
+
+
+class _Feeder:
+    """Feeds speed samples at a steady 0.1-minute cadence."""
+
+    def __init__(self, policy):
+        self.policy = policy
+        self.now = 0.0
+
+    def feed(self, speeds, deviation=0.0):
+        decision = None
+        for speed in speeds:
+            self.now += 0.1
+            decision = self.policy.decide(
+                state(current=speed, deviation=deviation,
+                      elapsed=min(self.now, 2.0), trip_elapsed=self.now)
+            )
+        return decision
+
+
+class TestRegimeDetection:
+    def test_starts_steady(self):
+        policy = AdaptivePolicy(C)
+        assert policy.active_delegate.name == "cil"
+
+    def test_steady_speeds_stay_on_cil(self):
+        policy = AdaptivePolicy(C, window_minutes=2.0)
+        _Feeder(policy).feed([1.0 + 0.01 * (i % 3) for i in range(40)])
+        assert policy.active_delegate.name == "cil"
+
+    def test_volatile_speeds_switch_to_ail(self):
+        policy = AdaptivePolicy(C, window_minutes=2.0)
+        _Feeder(policy).feed([0.0 if i % 2 else 1.0 for i in range(40)])
+        assert policy.active_delegate.name == "ail"
+
+    def test_switches_back_when_calm_returns(self):
+        policy = AdaptivePolicy(C, window_minutes=1.0)
+        feeder = _Feeder(policy)
+        feeder.feed([0.0 if i % 2 else 1.0 for i in range(20)])
+        assert policy.active_delegate.name == "ail"
+        feeder.feed([1.0] * 30)
+        assert policy.active_delegate.name == "cil"
+
+    def test_all_stopped_counts_as_volatile(self):
+        policy = AdaptivePolicy(C, window_minutes=1.0)
+        _Feeder(policy).feed([0.0] * 20)
+        assert policy.observed_volatility() == float("inf")
+        assert policy.active_delegate.name == "ail"
+
+    def test_old_samples_evicted(self):
+        policy = AdaptivePolicy(C, window_minutes=1.0)
+        feeder = _Feeder(policy)
+        feeder.feed([1.0] * 30)
+        # 30 samples at 0.1-min cadence: only the last ~10 remain.
+        assert len(policy._samples) <= 11
+
+    def test_hysteresis_prevents_flapping(self):
+        policy = AdaptivePolicy(C, window_minutes=1.0,
+                                volatility_threshold=0.3, hysteresis=0.5)
+        _Feeder(policy).feed([1.0, 1.35] * 10)  # cv ~ 0.15, below band
+        assert policy.active_delegate.name == "cil"
+
+
+class TestDecisionDelegation:
+    def test_delegates_decision_values(self):
+        policy = AdaptivePolicy(C, window_minutes=2.0)
+        decision = _Feeder(policy).feed([1.0] * 15, deviation=1.0)
+        from repro.core.policies import CurrentImmediateLinearPolicy
+
+        reference = CurrentImmediateLinearPolicy(C).decide(
+            state(current=1.0, deviation=1.0, elapsed=1.5, trip_elapsed=1.5)
+        )
+        assert decision.threshold == pytest.approx(reference.threshold)
+
+    def test_describe_names_active_delegate(self):
+        policy = AdaptivePolicy(C)
+        description = policy.describe()
+        assert description["name"] == "adaptive"
+        assert description["active_delegate"] in ("cil", "ail")
+        assert description["window_minutes"] == 4.0
+
+
+class TestBounds:
+    def test_bounds_are_immediate_linear(self):
+        policy = AdaptivePolicy(C)
+        bounds = bounds_for_policy(policy, 1.0, 1.5)
+        reference = immediate_linear_bounds(1.0, 1.5, C)
+        for t in (0.5, 2.0, 10.0):
+            assert bounds.total(t) == reference.total(t)
+
+
+class TestValidation:
+    def test_parameters_checked(self):
+        with pytest.raises(PolicyError):
+            AdaptivePolicy(C, volatility_threshold=0.0)
+        with pytest.raises(PolicyError):
+            AdaptivePolicy(C, window_minutes=0.0)
+        with pytest.raises(PolicyError):
+            AdaptivePolicy(C, hysteresis=1.0)

@@ -1,0 +1,95 @@
+"""Unit tests for repro.core.baselines."""
+
+import pytest
+
+from repro.core.baselines import (
+    FixedThresholdPolicy,
+    PeriodicPolicy,
+    TraditionalPointPolicy,
+)
+from repro.core.policy import OnboardState
+from repro.errors import PolicyError
+
+C = 5.0
+
+
+def state(elapsed=4.0, deviation=0.5, distance=4.0, current=1.0,
+          declared=1.0):
+    return OnboardState(
+        elapsed=elapsed,
+        deviation=deviation,
+        distance_since_update=distance,
+        elapsed_at_last_zero_deviation=0.0,
+        current_speed=current,
+        average_speed_since_update=distance / elapsed if elapsed else 0.0,
+        trip_average_speed=1.0,
+        declared_speed=declared,
+        trip_elapsed=elapsed,
+    )
+
+
+class TestTraditional:
+    def test_triggers_on_distance_not_deviation(self):
+        policy = TraditionalPointPolicy(C, precision=1.0)
+        # Large deviation but little distance: no update.
+        assert not policy.decide(state(deviation=5.0, distance=0.5)).send
+        # Distance reached: update.
+        assert policy.decide(state(deviation=0.0, distance=1.0)).send
+
+    def test_always_declares_zero_speed(self):
+        decision = TraditionalPointPolicy(C, precision=1.0).decide(
+            state(distance=2.0, current=1.3)
+        )
+        assert decision.send
+        assert decision.speed_to_declare == 0.0
+
+    def test_precision_validated(self):
+        with pytest.raises(PolicyError):
+            TraditionalPointPolicy(C, precision=0.0)
+
+    def test_describe(self):
+        d = TraditionalPointPolicy(C, precision=2.0).describe()
+        assert d["precision"] == 2.0
+
+
+class TestFixedThreshold:
+    def test_triggers_on_deviation(self):
+        policy = FixedThresholdPolicy(C, bound=1.0)
+        assert not policy.decide(state(deviation=0.99)).send
+        assert policy.decide(state(deviation=1.0)).send
+
+    def test_threshold_does_not_adapt(self):
+        """Unlike the cost-based policies, the trigger ignores elapsed
+        time and slope — the conclusion's criticism."""
+        policy = FixedThresholdPolicy(C, bound=1.0)
+        early = policy.decide(state(elapsed=0.5, deviation=0.9))
+        late = policy.decide(state(elapsed=50.0, deviation=0.9))
+        assert early.send == late.send is False
+        assert early.threshold == late.threshold == 1.0
+
+    def test_declares_current_speed_by_default(self):
+        decision = FixedThresholdPolicy(C, bound=0.5).decide(
+            state(deviation=1.0, current=0.7)
+        )
+        assert decision.speed_to_declare == 0.7
+
+    def test_bound_validated(self):
+        with pytest.raises(PolicyError):
+            FixedThresholdPolicy(C, bound=-1.0)
+
+
+class TestPeriodic:
+    def test_triggers_on_elapsed(self):
+        policy = PeriodicPolicy(C, period=2.0)
+        assert not policy.decide(state(elapsed=1.9, deviation=0.0)).send
+        assert policy.decide(state(elapsed=2.0, deviation=0.0)).send
+
+    def test_updates_even_with_zero_deviation(self):
+        """Time-driven: fires regardless of tracking quality."""
+        assert PeriodicPolicy(C, period=1.0).decide(
+            state(elapsed=1.5, deviation=0.0)
+        ).send
+
+    def test_period_validated(self):
+        with pytest.raises(PolicyError):
+            PeriodicPolicy(C, period=0.0)

@@ -1,0 +1,74 @@
+"""Unit tests for repro.core.cost (Equations 1-2)."""
+
+import pytest
+
+from repro.core.cost import (
+    StepDeviationCost,
+    UniformDeviationCost,
+    total_cost,
+)
+from repro.errors import PolicyError
+
+
+class TestUniform:
+    def test_rate_is_identity(self):
+        assert UniformDeviationCost().rate(2.5) == 2.5
+
+    def test_rate_rejects_negative(self):
+        with pytest.raises(PolicyError):
+            UniformDeviationCost().rate(-0.1)
+
+    def test_integrate_rectangle_rule(self):
+        cost = UniformDeviationCost().integrate([1.0, 2.0, 3.0], dt=0.5)
+        assert cost == pytest.approx(3.0)
+
+    def test_integrate_linear_ramp_matches_triangle(self):
+        """Equation 1 over a linear ramp 0..k equals k^2/(2a)."""
+        a, k, dt = 2.0, 4.0, 0.001
+        n = int(k / a / dt)
+        deviations = [a * i * dt for i in range(n)]
+        integral = UniformDeviationCost().integrate(deviations, dt)
+        assert integral == pytest.approx(k * k / (2 * a), rel=0.01)
+
+    def test_integrate_requires_positive_dt(self):
+        with pytest.raises(PolicyError):
+            UniformDeviationCost().integrate([1.0], dt=0.0)
+
+
+class TestStep:
+    def test_zero_below_threshold(self):
+        step = StepDeviationCost(threshold=1.0)
+        assert step.rate(0.0) == 0.0
+        assert step.rate(1.0) == 0.0  # threshold itself is free
+
+    def test_one_above_threshold(self):
+        assert StepDeviationCost(1.0).rate(1.01) == 1.0
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(PolicyError):
+            StepDeviationCost(-1.0)
+
+    def test_negative_deviation_rejected(self):
+        with pytest.raises(PolicyError):
+            StepDeviationCost(1.0).rate(-0.5)
+
+    def test_integrate_counts_violating_time(self):
+        step = StepDeviationCost(2.0)
+        cost = step.integrate([1.0, 3.0, 3.0, 1.0], dt=0.5)
+        assert cost == pytest.approx(1.0)
+
+
+class TestTotalCost:
+    def test_equation_2(self):
+        assert total_cost(5.0, 3, 7.5) == 22.5
+
+    def test_zero_updates(self):
+        assert total_cost(5.0, 0, 2.0) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            total_cost(-1.0, 1, 0.0)
+        with pytest.raises(PolicyError):
+            total_cost(1.0, -1, 0.0)
+        with pytest.raises(PolicyError):
+            total_cost(1.0, 1, -0.1)

@@ -1,0 +1,70 @@
+"""Unit tests for repro.core.estimators."""
+
+import pytest
+
+from repro.core.estimators import (
+    DelayedLinearEstimator,
+    ImmediateLinearEstimator,
+)
+from repro.errors import PolicyError
+
+
+class TestDelayedLinear:
+    def test_zero_before_delay(self):
+        f = DelayedLinearEstimator(slope=2.0, delay=3.0)
+        assert f(0.0) == 0.0
+        assert f(2.9) == 0.0
+
+    def test_linear_after_delay(self):
+        f = DelayedLinearEstimator(slope=2.0, delay=3.0)
+        assert f(3.0) == 0.0
+        assert f(5.0) == pytest.approx(4.0)
+
+    def test_f0_is_zero(self):
+        """The paper requires f(0) = 0 for every estimator."""
+        for slope, delay in ((0.0, 0.0), (1.0, 0.0), (2.0, 5.0)):
+            assert DelayedLinearEstimator(slope, delay)(0.0) == 0.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(PolicyError):
+            DelayedLinearEstimator(1.0, 0.0)(-1.0)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(PolicyError):
+            DelayedLinearEstimator(-1.0, 0.0)
+        with pytest.raises(PolicyError):
+            DelayedLinearEstimator(1.0, -1.0)
+
+
+class TestImmediateLinear:
+    def test_is_delayed_with_zero_delay(self):
+        f = ImmediateLinearEstimator(slope=1.5)
+        assert f.delay == 0.0
+        assert f(4.0) == 6.0
+
+    def test_matches_delayed_special_case(self):
+        imm = ImmediateLinearEstimator(0.7)
+        delayed = DelayedLinearEstimator(0.7, 0.0)
+        for t in (0.0, 1.0, 3.3, 10.0):
+            assert imm(t) == delayed(t)
+
+
+class TestPrediction:
+    """The §3.1 two-branch prediction of the future deviation."""
+
+    def test_with_update_resets_to_estimator(self):
+        f = ImmediateLinearEstimator(1.0)
+        assert f.predicted_deviation(3.0, current_deviation=5.0,
+                                     send_update=True) == 3.0
+
+    def test_without_update_adds_current_deviation(self):
+        f = ImmediateLinearEstimator(1.0)
+        assert f.predicted_deviation(3.0, current_deviation=5.0,
+                                     send_update=False) == 8.0
+
+    def test_sending_always_at_most_not_sending(self):
+        f = DelayedLinearEstimator(2.0, 1.0)
+        for t in (0.0, 0.5, 2.0, 8.0):
+            send = f.predicted_deviation(t, 4.0, True)
+            keep = f.predicted_deviation(t, 4.0, False)
+            assert send <= keep

@@ -1,0 +1,64 @@
+"""Unit tests for repro.core.fitting (the simple fitting method)."""
+
+import pytest
+
+from repro.core.fitting import SimpleFitting
+from repro.core.policy import OnboardState
+from repro.errors import PolicyError
+
+
+def state(elapsed=4.0, deviation=2.0, last_zero=1.0, **overrides):
+    values = dict(
+        elapsed=elapsed,
+        deviation=deviation,
+        distance_since_update=elapsed * 1.0,
+        elapsed_at_last_zero_deviation=last_zero,
+        current_speed=1.0,
+        average_speed_since_update=1.0,
+        trip_average_speed=1.0,
+        declared_speed=1.0,
+        trip_elapsed=elapsed,
+    )
+    values.update(overrides)
+    return OnboardState(**values)
+
+
+class TestDelayedFitting:
+    def test_delay_is_last_zero_time(self):
+        est = SimpleFitting(use_delay=True).fit(state())
+        assert est.delay == 1.0
+
+    def test_slope_is_k_over_t_minus_b(self):
+        est = SimpleFitting(use_delay=True).fit(
+            state(elapsed=4.0, deviation=2.0, last_zero=1.0)
+        )
+        # a = k / (t - b) = 2 / 3.
+        assert est.slope == pytest.approx(2.0 / 3.0)
+
+    def test_requires_positive_deviation(self):
+        with pytest.raises(PolicyError):
+            SimpleFitting(True).fit(state(deviation=0.0))
+
+    def test_degenerate_window_gives_finite_slope(self):
+        # Deviation appeared within the same tick that recorded zero.
+        est = SimpleFitting(True).fit(
+            state(elapsed=2.0, deviation=0.5, last_zero=2.0)
+        )
+        assert est.slope > 0.0
+        assert est.slope < float("inf")
+
+
+class TestImmediateFitting:
+    def test_delay_forced_to_zero(self):
+        est = SimpleFitting(use_delay=False).fit(state(last_zero=3.0))
+        assert est.delay == 0.0
+
+    def test_slope_is_k_over_t(self):
+        est = SimpleFitting(False).fit(state(elapsed=4.0, deviation=2.0))
+        assert est.slope == pytest.approx(0.5)
+
+    def test_example_from_paper(self):
+        """If d(t0)=k, the estimate is the line through origin with a=k/t0."""
+        est = SimpleFitting(False).fit(state(elapsed=5.0, deviation=1.5))
+        assert est(5.0) == pytest.approx(1.5)
+        assert est(10.0) == pytest.approx(3.0)

@@ -1,0 +1,97 @@
+"""Unit tests for repro.core.horizon (the generic decision procedure)."""
+
+import pytest
+
+from repro.core.bounds import bounds_for_policy
+from repro.core.cost import StepDeviationCost
+from repro.core.horizon import HorizonCostPolicy
+from repro.core.policy import OnboardState
+from repro.errors import PolicyError
+
+C = 5.0
+
+
+def state(deviation=1.0, elapsed=4.0, current=1.0):
+    return OnboardState(
+        elapsed=elapsed,
+        deviation=deviation,
+        distance_since_update=elapsed,
+        elapsed_at_last_zero_deviation=0.0,
+        current_speed=current,
+        average_speed_since_update=1.0,
+        trip_average_speed=1.0,
+        declared_speed=1.0,
+        trip_elapsed=elapsed + 1.0,
+    )
+
+
+class TestUniformCost:
+    def test_collapses_to_c_over_h(self):
+        """Uniform cost: cost difference over horizon H is exactly k*H,
+        so the update fires iff k >= C/H."""
+        policy = HorizonCostPolicy(C, horizon=5.0)
+        trigger = C / 5.0
+        assert not policy.decide(state(deviation=trigger * 0.9)).send
+        assert policy.decide(state(deviation=trigger * 1.1)).send
+
+    def test_cost_difference_is_k_times_h(self):
+        policy = HorizonCostPolicy(C, horizon=4.0)
+        difference = policy.predicted_cost_difference(state(deviation=0.75))
+        assert difference == pytest.approx(0.75 * 4.0)
+
+    def test_longer_horizon_updates_sooner(self):
+        short = HorizonCostPolicy(C, horizon=2.0)
+        long = HorizonCostPolicy(C, horizon=10.0)
+        s = state(deviation=1.0)
+        assert not short.decide(s).send   # trigger 2.5
+        assert long.decide(s).send        # trigger 0.5
+
+    def test_zero_deviation_no_update(self):
+        policy = HorizonCostPolicy(C, horizon=5.0)
+        assert not policy.decide(state(deviation=0.0)).send
+        assert policy.predicted_cost_difference(state(deviation=0.0)) == 0.0
+
+
+class TestStepCost:
+    def test_no_gain_when_both_above_threshold(self):
+        """If the estimator already predicts the deviation above the
+        step threshold, updating does not reduce the step cost."""
+        step = StepDeviationCost(threshold=0.5)
+        policy = HorizonCostPolicy(C, horizon=5.0, cost_function=step)
+        # Slope k/t = 2/4 = 0.5: base crosses 0.5 after 1 minute, so
+        # only ~1 of the 5 horizon minutes differs; gain < C.
+        assert not policy.decide(state(deviation=2.0, elapsed=4.0)).send
+
+    def test_fires_when_update_keeps_deviation_below_step(self):
+        """Small slope, deviation above the step threshold: an update
+        makes (almost) the whole horizon free."""
+        step = StepDeviationCost(threshold=0.5)
+        policy = HorizonCostPolicy(4.9, horizon=5.0, cost_function=step)
+        # Slope = 0.6/30 = 0.02: the base stays below 0.5 all horizon.
+        assert policy.decide(state(deviation=0.6, elapsed=30.0)).send
+
+    def test_bound_falls_back_to_physics(self):
+        step = StepDeviationCost(threshold=0.5)
+        policy = HorizonCostPolicy(C, horizon=5.0, cost_function=step)
+        bounds = bounds_for_policy(policy, 1.0, 1.5)
+        assert bounds.total(10.0) == pytest.approx(10.0)  # v*t
+
+
+class TestBoundsAndValidation:
+    def test_uniform_bounds_capped_at_trigger(self):
+        policy = HorizonCostPolicy(C, horizon=5.0)
+        bounds = bounds_for_policy(policy, 1.0, 1.5)
+        assert bounds.total(100.0) == pytest.approx(C / 5.0)
+
+    def test_parameters_checked(self):
+        with pytest.raises(PolicyError):
+            HorizonCostPolicy(C, horizon=0.0)
+        with pytest.raises(PolicyError):
+            HorizonCostPolicy(C, horizon=5.0, integration_step=0.0)
+        with pytest.raises(PolicyError):
+            HorizonCostPolicy(C, horizon=5.0, integration_step=6.0)
+
+    def test_describe(self):
+        description = HorizonCostPolicy(C, horizon=3.0).describe()
+        assert description["horizon"] == 3.0
+        assert description["name"] == "horizon"

@@ -1,0 +1,152 @@
+"""Unit tests for repro.core.policies (dl, ail, cil decision logic)."""
+
+import math
+
+import pytest
+
+from repro.core.policies import (
+    AverageImmediateLinearPolicy,
+    CurrentImmediateLinearPolicy,
+    DelayedLinearPolicy,
+    make_policy,
+    policy_names,
+    register_policy,
+)
+from repro.core.policy import OnboardState, UpdatePolicy
+from repro.errors import PolicyError
+
+C = 5.0
+
+
+def state(elapsed=4.0, deviation=2.0, last_zero=0.0, current=1.0,
+          avg_update=0.9, declared=1.0):
+    return OnboardState(
+        elapsed=elapsed,
+        deviation=deviation,
+        distance_since_update=avg_update * elapsed,
+        elapsed_at_last_zero_deviation=last_zero,
+        current_speed=current,
+        average_speed_since_update=avg_update,
+        trip_average_speed=0.95,
+        declared_speed=declared,
+        trip_elapsed=elapsed + 10.0,
+    )
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("name", ["dl", "ail", "cil"])
+    def test_zero_deviation_never_updates(self, name):
+        policy = make_policy(name, C)
+        decision = policy.decide(state(deviation=0.0))
+        assert not decision.send
+        assert decision.speed_to_declare == 1.0  # keeps declared speed
+
+    @pytest.mark.parametrize("name", ["dl", "ail", "cil"])
+    def test_negative_update_cost_rejected(self, name):
+        with pytest.raises(PolicyError):
+            make_policy(name, -1.0)
+
+    @pytest.mark.parametrize("name", ["dl", "ail", "cil"])
+    def test_describe_quintuple(self, name):
+        description = make_policy(name, C).describe()
+        assert description["name"] == name
+        assert description["deviation_cost_function"] == "uniform"
+        assert description["update_cost"] == C
+        assert description["fitting_method"] == "simple"
+
+
+class TestAil:
+    def test_fires_at_equation3_threshold(self):
+        policy = AverageImmediateLinearPolicy(C)
+        # 2C/t = 2.5 at t=4; deviation 2.5 fires, 2.4 does not.
+        assert policy.decide(state(elapsed=4.0, deviation=2.51)).send
+        assert not policy.decide(state(elapsed=4.0, deviation=2.4)).send
+
+    def test_threshold_value_reported(self):
+        decision = AverageImmediateLinearPolicy(C).decide(
+            state(elapsed=4.0, deviation=2.6)
+        )
+        # sqrt(2aC) with a = 2.6/4.
+        assert decision.threshold == pytest.approx(math.sqrt(2 * 0.65 * C))
+
+    def test_declares_average_speed(self):
+        decision = AverageImmediateLinearPolicy(C).decide(
+            state(elapsed=4.0, deviation=3.0, current=1.4, avg_update=0.7)
+        )
+        assert decision.send
+        assert decision.speed_to_declare == 0.7
+
+    def test_fires_late_even_with_small_deviation(self):
+        """Equation 3: the threshold decays as 1/t, so even a small
+        deviation eventually triggers an update."""
+        policy = AverageImmediateLinearPolicy(C)
+        assert not policy.decide(state(elapsed=2.0, deviation=0.4)).send
+        assert policy.decide(state(elapsed=30.0, deviation=0.4)).send
+
+
+class TestCil:
+    def test_same_threshold_as_ail(self):
+        s = state(elapsed=4.0, deviation=2.6)
+        ail = AverageImmediateLinearPolicy(C).decide(s)
+        cil = CurrentImmediateLinearPolicy(C).decide(s)
+        assert ail.threshold == cil.threshold
+        assert ail.send == cil.send
+
+    def test_declares_current_speed(self):
+        decision = CurrentImmediateLinearPolicy(C).decide(
+            state(elapsed=4.0, deviation=3.0, current=1.4, avg_update=0.7)
+        )
+        assert decision.send
+        assert decision.speed_to_declare == 1.4
+
+
+class TestDl:
+    def test_uses_delay_in_threshold(self):
+        # k=2 at t=4 with b=2: a = 2/(4-2) = 1; k_opt = sqrt(4+10)-2 = 1.74.
+        decision = DelayedLinearPolicy(C).decide(
+            state(elapsed=4.0, deviation=2.0, last_zero=2.0)
+        )
+        assert decision.fitted_slope == pytest.approx(1.0)
+        assert decision.fitted_delay == 2.0
+        assert decision.threshold == pytest.approx(math.sqrt(14.0) - 2.0)
+        assert decision.send  # 2.0 >= 1.74
+
+    def test_below_threshold_holds(self):
+        decision = DelayedLinearPolicy(C).decide(
+            state(elapsed=4.0, deviation=1.5, last_zero=2.0)
+        )
+        # a = 0.75, k_opt = sqrt(2.25 + 7.5) - 1.5 = 1.62; 1.5 < 1.62.
+        assert not decision.send
+
+    def test_declares_current_speed(self):
+        decision = DelayedLinearPolicy(C).decide(
+            state(elapsed=4.0, deviation=3.0, current=1.3, last_zero=1.0)
+        )
+        assert decision.send
+        assert decision.speed_to_declare == 1.3
+
+
+class TestRegistry:
+    def test_known_names(self):
+        names = policy_names()
+        for expected in ("dl", "ail", "cil", "traditional",
+                         "fixed-threshold", "periodic"):
+            assert expected in names
+
+    def test_unknown_name(self):
+        with pytest.raises(PolicyError):
+            make_policy("nope", C)
+
+    def test_register_requires_concrete_name(self):
+        class Anon(UpdatePolicy):
+            name = "abstract"
+
+            def decide(self, s):
+                raise NotImplementedError
+
+        with pytest.raises(PolicyError):
+            register_policy(Anon)
+
+    def test_make_policy_passes_kwargs(self):
+        policy = make_policy("fixed-threshold", C, bound=2.5)
+        assert policy.bound == 2.5

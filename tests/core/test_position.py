@@ -1,0 +1,97 @@
+"""Unit tests for repro.core.position (the §2 position attribute)."""
+
+import pytest
+
+from repro.core.position import PositionAttribute
+from repro.errors import PolicyError, RouteError
+from repro.geometry.point import Point
+
+
+def attr(route_id="r-straight", speed=1.0, starttime=0.0, direction=0,
+         x=0.0, y=0.0):
+    return PositionAttribute(
+        starttime=starttime,
+        route_id=route_id,
+        start_x=x,
+        start_y=y,
+        direction=direction,
+        speed=speed,
+        policy="dl",
+    )
+
+
+class TestValidation:
+    def test_direction_checked(self):
+        with pytest.raises(RouteError):
+            attr(direction=3)
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(PolicyError):
+            attr(speed=-1.0)
+
+    def test_query_before_starttime_rejected(self):
+        with pytest.raises(PolicyError):
+            attr(starttime=10.0).elapsed(5.0)
+
+
+class TestDatabasePosition:
+    def test_dead_reckoning_forward(self, straight_route_10):
+        a = attr(speed=0.5)
+        assert a.database_position(straight_route_10, 4.0) == Point(2.0, 0.0)
+
+    def test_dead_reckoning_from_mid_route(self, straight_route_10):
+        a = attr(speed=1.0, starttime=5.0, x=3.0, y=0.0)
+        assert a.database_position(straight_route_10, 7.0) == Point(5.0, 0.0)
+
+    def test_reverse_direction(self, straight_route_10):
+        a = attr(speed=1.0, direction=1, x=10.0, y=0.0)
+        assert a.database_position(straight_route_10, 3.0) == Point(7.0, 0.0)
+
+    def test_clamped_at_route_end(self, straight_route_10):
+        a = attr(speed=2.0)
+        assert a.database_position(straight_route_10, 100.0) == Point(10.0, 0.0)
+
+    def test_travel_distance(self, straight_route_10):
+        a = attr(speed=0.5, x=2.0)
+        assert a.database_travel_distance(straight_route_10, 4.0) == (
+            pytest.approx(4.0)
+        )
+
+    def test_around_corner(self, l_route):
+        a = attr(route_id="r-l", speed=1.0)
+        p = a.database_position(l_route, 5.0)
+        assert p.almost_equal(Point(3.0, 2.0))
+
+    def test_wrong_route_rejected(self, l_route):
+        with pytest.raises(RouteError):
+            attr(route_id="other").database_position(l_route, 1.0)
+
+
+class TestUpdated:
+    def test_update_replaces_motion_fields(self):
+        a = attr(speed=1.0)
+        b = a.updated(7.0, Point(4.0, 0.0), speed=0.25)
+        assert b.starttime == 7.0
+        assert b.start_point == Point(4.0, 0.0)
+        assert b.speed == 0.25
+        # Unchanged fields carried over.
+        assert b.route_id == a.route_id
+        assert b.direction == a.direction
+        assert b.policy == a.policy
+
+    def test_update_can_switch_route_and_policy(self):
+        a = attr()
+        b = a.updated(1.0, Point(0.0, 0.0), 1.0, route_id="r2",
+                      direction=1, policy="ail")
+        assert b.route_id == "r2"
+        assert b.direction == 1
+        assert b.policy == "ail"
+
+    def test_original_unchanged(self):
+        a = attr(speed=1.0)
+        a.updated(7.0, Point(4.0, 0.0), speed=0.25)
+        assert a.speed == 1.0 and a.starttime == 0.0
+
+    def test_dead_reckoning_after_update(self, straight_route_10):
+        a = attr(speed=1.0).updated(2.0, Point(2.0, 0.0), speed=0.5)
+        assert a.database_position(straight_route_10, 6.0) == Point(4.0, 0.0)

@@ -1,0 +1,67 @@
+"""Unit tests for repro.core.speed (predicted-speed strategies)."""
+
+import pytest
+
+from repro.core.policy import OnboardState
+from repro.core.speed import (
+    AverageSpeedSinceUpdate,
+    BlendedSpeed,
+    CurrentSpeed,
+    TripAverageSpeed,
+)
+from repro.errors import PolicyError
+
+
+def state(current=1.2, avg_update=0.8, avg_trip=0.9):
+    return OnboardState(
+        elapsed=5.0,
+        deviation=1.0,
+        distance_since_update=4.0,
+        elapsed_at_last_zero_deviation=0.0,
+        current_speed=current,
+        average_speed_since_update=avg_update,
+        trip_average_speed=avg_trip,
+        declared_speed=1.0,
+        trip_elapsed=10.0,
+    )
+
+
+class TestPredictors:
+    def test_current(self):
+        assert CurrentSpeed().predict(state()) == 1.2
+
+    def test_average_since_update(self):
+        assert AverageSpeedSinceUpdate().predict(state()) == 0.8
+
+    def test_trip_average(self):
+        assert TripAverageSpeed().predict(state()) == 0.9
+
+    def test_negative_speeds_clamped(self):
+        # Speeds are physically nonnegative; predictors guard anyway.
+        s = state(current=-0.5, avg_update=-0.1, avg_trip=-0.2)
+        assert CurrentSpeed().predict(s) == 0.0
+        assert AverageSpeedSinceUpdate().predict(s) == 0.0
+        assert TripAverageSpeed().predict(s) == 0.0
+
+    def test_names(self):
+        assert CurrentSpeed().name == "current"
+        assert AverageSpeedSinceUpdate().name == "average-since-update"
+        assert TripAverageSpeed().name == "trip-average"
+
+
+class TestBlended:
+    def test_extremes_match_components(self):
+        s = state()
+        assert BlendedSpeed(1.0).predict(s) == CurrentSpeed().predict(s)
+        assert BlendedSpeed(0.0).predict(s) == (
+            AverageSpeedSinceUpdate().predict(s)
+        )
+
+    def test_midpoint(self):
+        assert BlendedSpeed(0.5).predict(state()) == pytest.approx(1.0)
+
+    def test_weight_validated(self):
+        with pytest.raises(PolicyError):
+            BlendedSpeed(1.5)
+        with pytest.raises(PolicyError):
+            BlendedSpeed(-0.1)

@@ -1,0 +1,99 @@
+"""Unit tests for repro.core.thresholds (Proposition 1, Equation 3)."""
+
+import math
+
+import pytest
+
+from repro.core.thresholds import (
+    cost_per_time_unit,
+    cycle_deviation_cost,
+    cycle_period,
+    immediate_threshold_from_elapsed,
+    optimal_update_threshold,
+)
+from repro.errors import PolicyError
+
+
+class TestProposition1:
+    def test_example1_value(self):
+        """Paper Example 1: a=1, b=2, C=5 gives k_opt = 3.74 - 2 = 1.74."""
+        k = optimal_update_threshold(1.0, 2.0, 5.0)
+        assert k == pytest.approx(math.sqrt(14.0) - 2.0)
+        assert k == pytest.approx(1.74, abs=0.005)
+
+    def test_zero_delay_reduces_to_sqrt_2ac(self):
+        assert optimal_update_threshold(2.0, 0.0, 8.0) == pytest.approx(
+            math.sqrt(32.0)
+        )
+
+    def test_zero_slope_never_fires(self):
+        assert optimal_update_threshold(0.0, 5.0, 5.0) == float("inf")
+
+    def test_zero_cost_updates_immediately(self):
+        # With free updates the optimal threshold is zero.
+        assert optimal_update_threshold(1.0, 0.0, 0.0) == 0.0
+
+    def test_delayed_threshold_below_immediate(self):
+        """§3.2: for a, b > 0, k_opt(a, b) <= k_opt(a, 0)."""
+        for a in (0.1, 1.0, 3.0):
+            for b in (0.5, 1.0, 4.0):
+                assert optimal_update_threshold(a, b, 5.0) <= (
+                    optimal_update_threshold(a, 0.0, 5.0) + 1e-12
+                )
+
+    def test_threshold_increases_with_cost(self):
+        ks = [optimal_update_threshold(1.0, 1.0, c) for c in (1, 5, 20, 80)]
+        assert ks == sorted(ks)
+        assert ks[0] < ks[-1]
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(PolicyError):
+            optimal_update_threshold(-1.0, 0.0, 5.0)
+        with pytest.raises(PolicyError):
+            optimal_update_threshold(1.0, -1.0, 5.0)
+        with pytest.raises(PolicyError):
+            optimal_update_threshold(1.0, 0.0, -5.0)
+
+
+class TestEquation3:
+    def test_equivalence_with_simple_fitting(self):
+        """k >= sqrt(2aC) with a = k/t  iff  k >= 2C/t."""
+        update_cost, elapsed = 5.0, 4.0
+        k_eq3 = immediate_threshold_from_elapsed(update_cost, elapsed)
+        assert k_eq3 == pytest.approx(2.5)
+        # At the boundary k = 2C/t, the sqrt form agrees exactly.
+        slope = k_eq3 / elapsed
+        assert optimal_update_threshold(slope, 0.0, update_cost) == (
+            pytest.approx(k_eq3)
+        )
+
+    def test_decreases_with_elapsed(self):
+        ks = [immediate_threshold_from_elapsed(5.0, t) for t in (1, 2, 5, 10)]
+        assert ks == sorted(ks, reverse=True)
+
+    def test_requires_positive_elapsed(self):
+        with pytest.raises(PolicyError):
+            immediate_threshold_from_elapsed(5.0, 0.0)
+
+
+class TestCycleAlgebra:
+    def test_cycle_period(self):
+        assert cycle_period(2.0, 1.0, 3.0) == 5.0
+
+    def test_cycle_period_zero_slope(self):
+        assert cycle_period(2.0, 0.0, 3.0) == float("inf")
+
+    def test_cycle_deviation_cost_is_triangle_area(self):
+        # Ramp 0 -> k over k/a minutes: area k^2 / (2a).
+        assert cycle_deviation_cost(4.0, 2.0) == 4.0
+
+    def test_cost_per_time_unit_minimised_at_kopt(self):
+        """Proposition 1's k_opt beats nearby thresholds."""
+        a, b, c = 1.3, 0.7, 6.0
+        k_opt = optimal_update_threshold(a, b, c)
+        best = cost_per_time_unit(k_opt, a, b, c)
+        for k in (k_opt * 0.5, k_opt * 0.9, k_opt * 1.1, k_opt * 2.0):
+            assert best <= cost_per_time_unit(k, a, b, c) + 1e-12
+
+    def test_cost_per_time_unit_zero_slope(self):
+        assert cost_per_time_unit(1.0, 0.0, 0.0, 5.0) == 0.0

@@ -1,0 +1,102 @@
+"""Unit tests for repro.core.uncertainty."""
+
+import pytest
+
+from repro.core.bounds import (
+    delayed_linear_bounds,
+    immediate_linear_bounds,
+)
+from repro.core.position import PositionAttribute
+from repro.core.uncertainty import UncertaintyInterval, uncertainty_interval
+from repro.errors import PolicyError
+from repro.geometry.point import Point
+
+C = 5.0
+
+
+def attr(route_id="r-straight", speed=1.0, starttime=0.0, direction=0,
+         x=0.0, y=0.0):
+    return PositionAttribute(
+        starttime=starttime, route_id=route_id, start_x=x, start_y=y,
+        direction=direction, speed=speed, policy="dl",
+    )
+
+
+class TestInterval:
+    def test_width(self):
+        iv = UncertaintyInterval("r", 0, 2.0, 5.0)
+        assert iv.width == 3.0
+        assert iv.midpoint_travel == 3.5
+
+    def test_inverted_rejected(self):
+        with pytest.raises(PolicyError):
+            UncertaintyInterval("r", 0, 5.0, 2.0)
+
+    def test_contains_travel(self):
+        iv = UncertaintyInterval("r", 0, 2.0, 5.0)
+        assert iv.contains_travel(2.0)
+        assert iv.contains_travel(3.7)
+        assert not iv.contains_travel(5.5)
+
+    def test_endpoints_and_geometry(self, straight_route_10):
+        iv = UncertaintyInterval("r-straight", 0, 2.0, 5.0)
+        lo, hi = iv.endpoints(straight_route_10)
+        assert lo == Point(2.0, 0.0) and hi == Point(5.0, 0.0)
+        geom = iv.geometry(straight_route_10)
+        assert geom.length == pytest.approx(3.0)
+
+    def test_wrong_route_rejected(self, l_route):
+        iv = UncertaintyInterval("r-straight", 0, 0.0, 1.0)
+        with pytest.raises(PolicyError):
+            iv.geometry(l_route)
+
+
+class TestConstruction:
+    def test_dl_interval_example1(self, straight_route_10):
+        """v=1, V=1.5, C=5, t=2: slow bound 2 (= vt), fast bound 1."""
+        bounds = delayed_linear_bounds(1.0, 1.5, C)
+        iv = uncertainty_interval(attr(speed=1.0), straight_route_10,
+                                  bounds, t=2.0)
+        assert iv.lower == pytest.approx(0.0)   # 2 - min(sqrt(10), 2) = 0
+        assert iv.upper == pytest.approx(3.0)   # 2 + min(sqrt(5), 1) = 3
+
+    def test_interval_contains_database_position(self, straight_route_10):
+        bounds = immediate_linear_bounds(1.0, 1.5, C)
+        for t in (0.5, 2.0, 5.0, 9.0):
+            iv = uncertainty_interval(attr(), straight_route_10, bounds, t)
+            assert iv.contains_travel(min(t * 1.0, 10.0))
+
+    def test_clamped_to_route(self, straight_route_10):
+        bounds = delayed_linear_bounds(2.0, 2.0, C)
+        iv = uncertainty_interval(attr(speed=2.0), straight_route_10,
+                                  bounds, t=100.0)
+        assert iv.upper <= 10.0
+        assert iv.lower >= 0.0
+
+    def test_zero_elapsed_is_point(self, straight_route_10):
+        bounds = immediate_linear_bounds(1.0, 1.5, C)
+        iv = uncertainty_interval(attr(x=4.0), straight_route_10, bounds, 0.0)
+        assert iv.width == pytest.approx(0.0)
+        assert iv.lower == pytest.approx(4.0)
+
+    def test_reverse_direction(self, straight_route_10):
+        bounds = delayed_linear_bounds(1.0, 1.5, C)
+        iv = uncertainty_interval(
+            attr(direction=1, x=10.0), straight_route_10, bounds, 2.0
+        )
+        lo, hi = iv.endpoints(straight_route_10)
+        # Travelling from x=10 towards x=0: interval around x=8.
+        xs = sorted((lo.x, hi.x))
+        assert xs[0] == pytest.approx(7.0)
+        assert xs[1] == pytest.approx(10.0)
+
+    def test_immediate_interval_shrinks_late(self, straight_route_10):
+        """Proposition 4's payoff: the interval narrows as time passes."""
+        bounds = immediate_linear_bounds(0.4, 1.0, C)
+        width_early = uncertainty_interval(
+            attr(speed=0.4), straight_route_10, bounds, 5.0
+        ).width
+        width_late = uncertainty_interval(
+            attr(speed=0.4), straight_route_10, bounds, 20.0
+        ).width
+        assert width_late < width_early

@@ -1,0 +1,172 @@
+"""Unit tests for repro.dbms.database (the facade)."""
+
+import pytest
+
+from repro.core.policies import make_policy
+from repro.dbms.database import MovingObjectDatabase
+from repro.dbms.update_log import PositionUpdateMessage
+from repro.errors import QueryError, SchemaError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.index.timespace import TimeSpaceIndex
+from repro.routes.generators import straight_route
+
+C = 5.0
+
+
+@pytest.fixture
+def db():
+    database = MovingObjectDatabase()
+    database.schema.define_mobile_point_class("taxi")
+    database.register_route(straight_route(20.0, "h1"))
+    return database
+
+
+def insert(db, object_id="t1", speed=1.0, policy_name="dl", t=0.0,
+           x=0.0, max_speed=1.5):
+    return db.insert_moving_object(
+        object_id=object_id,
+        class_name="taxi",
+        route_id="h1",
+        t=t,
+        position=Point(x, 0.0),
+        direction=0,
+        speed=speed,
+        policy=make_policy(policy_name, C),
+        max_speed=max_speed,
+    )
+
+
+class TestLifecycle:
+    def test_insert_and_lookup(self, db):
+        insert(db)
+        assert len(db) == 1
+        assert db.record("t1").attribute.speed == 1.0
+        assert "t1" in db.table("taxi")
+
+    def test_duplicate_id_rejected(self, db):
+        insert(db)
+        with pytest.raises(SchemaError):
+            insert(db)
+
+    def test_non_mobile_class_rejected(self, db):
+        db.schema.define_mobile_point_class("bus")  # fine
+        from repro.dbms.schema import ObjectClass
+
+        db.schema.define(ObjectClass("depot"))
+        with pytest.raises(SchemaError):
+            db.insert_moving_object(
+                "d1", "depot", "h1", 0.0, Point(0, 0), 0, 1.0,
+                make_policy("dl", C), 1.5,
+            )
+
+    def test_off_route_start_rejected(self, db):
+        with pytest.raises(Exception):
+            db.insert_moving_object(
+                "t9", "taxi", "h1", 0.0, Point(0.0, 5.0), 0, 1.0,
+                make_policy("dl", C), 1.5,
+            )
+
+    def test_remove(self, db):
+        insert(db)
+        db.remove_object("t1")
+        assert len(db) == 0
+        with pytest.raises(QueryError):
+            db.record("t1")
+
+
+class TestUpdateProcessing:
+    def test_update_moves_database_position(self, db):
+        insert(db)
+        db.process_update(
+            PositionUpdateMessage("t1", 5.0, 5.0, 0.0, speed=0.5)
+        )
+        answer = db.position_of("t1", 7.0)
+        assert answer.position.x == pytest.approx(6.0)
+
+    def test_update_advances_clock(self, db):
+        insert(db)
+        db.process_update(PositionUpdateMessage("t1", 5.0, 5.0, 0.0, 1.0))
+        assert db.clock_time == 5.0
+        with pytest.raises(QueryError):
+            db.process_update(
+                PositionUpdateMessage("t1", 4.0, 4.0, 0.0, 1.0)
+            )
+
+    def test_unknown_object_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.process_update(PositionUpdateMessage("ghost", 1.0, 0, 0, 1.0))
+
+    def test_message_count_accounting(self, db):
+        insert(db)
+        insert(db, "t2", x=1.0)
+        db.process_update(PositionUpdateMessage("t1", 1.0, 1.0, 0.0, 1.0))
+        db.process_update(PositionUpdateMessage("t1", 2.0, 2.0, 0.0, 1.0))
+        assert db.message_count() == 2
+        assert db.message_count("t1") == 2
+        assert db.message_count("t2") == 0
+        assert db.communication_cost() == 2 * C
+
+
+class TestPositionQuery:
+    def test_answer_contains_bounds_and_interval(self, db):
+        insert(db, speed=1.0)
+        answer = db.position_of("t1", 2.0)
+        assert answer.position.x == pytest.approx(2.0)
+        # dl bounds at t=2, v=1, V=1.5: slow 2, fast 1.
+        assert answer.slow_bound == pytest.approx(2.0)
+        assert answer.fast_bound == pytest.approx(1.0)
+        assert answer.error_bound == pytest.approx(2.0)
+        assert answer.interval.lower == pytest.approx(0.0)
+        assert answer.interval.upper == pytest.approx(3.0)
+
+    def test_past_query_rejected(self, db):
+        insert(db, t=0.0)
+        db.process_update(PositionUpdateMessage("t1", 5.0, 5.0, 0.0, 1.0))
+        with pytest.raises(QueryError):
+            db.position_of("t1", 4.0)
+
+    def test_future_query_allowed(self, db):
+        insert(db, speed=1.0)
+        answer = db.position_of("t1", 10.0)
+        assert answer.position.x == pytest.approx(10.0)
+
+
+class TestRangeQuery:
+    def test_may_must_without_index(self, db):
+        insert(db, "near", speed=0.0, x=2.0, policy_name="fixed-threshold")
+        insert(db, "far", speed=0.0, x=15.0, policy_name="fixed-threshold")
+        polygon = Polygon.rectangle(0.0, -1.0, 5.0, 1.0)
+        answer = db.range_query(polygon, 1.0)
+        assert "near" in answer.must
+        assert "far" not in answer.may
+        assert answer.examined == 2  # no index: full scan
+
+    def test_with_index_examines_fewer(self):
+        database = MovingObjectDatabase(index=TimeSpaceIndex(), horizon=60.0)
+        database.schema.define_mobile_point_class("taxi")
+        database.register_route(straight_route(200.0, "h1"))
+        for i in range(10):
+            database.insert_moving_object(
+                f"t{i}", "taxi", "h1", 0.0, Point(i * 20.0, 0.0), 0, 0.0,
+                make_policy("fixed-threshold", C, bound=0.5), 1.0,
+            )
+        polygon = Polygon.rectangle(-1.0, -1.0, 25.0, 1.0)
+        answer = database.range_query(polygon, 1.0)
+        assert answer.examined < 10
+        assert answer.may  # the first couple of taxis
+
+    def test_within_distance(self, db):
+        insert(db, "near", speed=0.0, x=2.0, policy_name="fixed-threshold")
+        insert(db, "far", speed=0.0, x=15.0, policy_name="fixed-threshold")
+        answer = db.within_distance(Point(2.0, 0.0), 3.0, 1.0)
+        assert "near" in answer.must
+        assert "far" not in answer.may
+        with pytest.raises(QueryError):
+            db.within_distance(Point(0, 0), -1.0, 1.0)
+
+    def test_oplane_accessor(self, db):
+        insert(db)
+        plane = db.oplane_of("t1")
+        assert plane.start_time == 0.0
+        assert plane.route.route_id == "h1"

@@ -1,0 +1,197 @@
+"""Unit tests for repro.dbms.mql (the declarative query language)."""
+
+import pytest
+
+from repro.core.policies import make_policy
+from repro.dbms.database import MovingObjectDatabase
+from repro.dbms.mql import (
+    PositionStatement,
+    RetrieveStatement,
+    WhenStatement,
+    execute,
+    parse,
+)
+from repro.dbms.query import PositionAnswer, RangeAnswer
+from repro.dbms.schema import AttributeDef
+from repro.errors import QueryError
+from repro.geometry.point import Point
+from repro.routes.generators import straight_route
+
+C = 5.0
+
+
+@pytest.fixture
+def db():
+    database = MovingObjectDatabase(horizon=120.0)
+    database.schema.define_mobile_point_class(
+        "taxi", (AttributeDef("free", "bool"), AttributeDef("zone", "string"))
+    )
+    database.register_route(straight_route(50.0, "h1"))
+    for i, (x, free) in enumerate([(2.0, True), (4.0, False), (20.0, True)]):
+        database.insert_moving_object(
+            f"taxi-{i}", "taxi", "h1", 0.0, Point(x, 0.0), 0, 0.0,
+            make_policy("fixed-threshold", C, bound=0.5), max_speed=1.0,
+            attributes={"free": free, "zone": "north"},
+        )
+    return database
+
+
+class TestParsing:
+    def test_retrieve_polygon(self):
+        stmt = parse(
+            "RETRIEVE taxi WHERE free = true "
+            "IN POLYGON ((0,0), (5,0), (5,5), (0,5)) AT 3.5"
+        )
+        assert isinstance(stmt, RetrieveStatement)
+        assert stmt.class_name == "taxi"
+        assert stmt.where == {"free": True}
+        assert stmt.polygon is not None
+        assert stmt.at_time == 3.5
+
+    def test_retrieve_within(self):
+        stmt = parse("RETRIEVE WITHIN 1.5 OF (3.0, 4.0)")
+        assert stmt.class_name is None
+        assert stmt.radius == 1.5
+        assert stmt.center == Point(3.0, 4.0)
+        assert stmt.at_time is None
+
+    def test_where_multiple_conditions(self):
+        stmt = parse(
+            "RETRIEVE taxi WHERE free = false AND zone = 'north' "
+            "WITHIN 2 OF (0, 0)"
+        )
+        assert stmt.where == {"free": False, "zone": "north"}
+
+    def test_position(self):
+        stmt = parse("POSITION OF taxi-1 AT 10")
+        assert isinstance(stmt, PositionStatement)
+        assert stmt.object_id == "taxi-1"
+        assert stmt.at_time == 10.0
+
+    def test_when_may_and_must(self):
+        may = parse(
+            "WHEN MAY taxi-1 REACH POLYGON ((9,0), (11,0), (11,2), (9,2)) "
+            "UNTIL 40"
+        )
+        assert isinstance(may, WhenStatement)
+        assert not may.must and may.until == 40.0
+        must = parse(
+            "WHEN MUST taxi-1 REACH POLYGON ((9,0), (11,0), (11,2), (9,2))"
+        )
+        assert must.must and must.until is None
+
+    def test_keywords_case_insensitive(self):
+        stmt = parse("retrieve taxi within 1 of (0, 0)")
+        assert isinstance(stmt, RetrieveStatement)
+
+    def test_negative_numbers(self):
+        stmt = parse("RETRIEVE WITHIN 1 OF (-3.5, -4)")
+        assert stmt.center == Point(-3.5, -4.0)
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "DELETE FROM taxis",
+        "RETRIEVE taxi",                          # missing region
+        "RETRIEVE taxi WITHIN OF (0,0)",          # missing radius
+        "RETRIEVE taxi IN POLYGON ((0,0), (1,0))" " trailing",
+        "POSITION taxi-1",                        # missing OF
+        "WHEN PERHAPS taxi-1 REACH POLYGON ((0,0),(1,0),(1,1))",
+        "RETRIEVE taxi WHERE free == true WITHIN 1 OF (0,0)",
+        "RETRIEVE taxi WHERE free = WITHIN 1 OF (0,0)",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(QueryError):
+            parse(bad)
+
+
+class TestExecution:
+    def test_retrieve_polygon_with_filter(self, db):
+        answer = execute(
+            db,
+            "RETRIEVE taxi WHERE free = true "
+            "IN POLYGON ((0, -1), (6, -1), (6, 1), (0, 1))",
+        )
+        assert isinstance(answer, RangeAnswer)
+        assert answer.may == frozenset({"taxi-0"})   # taxi-1 not free
+
+    def test_retrieve_within(self, db):
+        answer = execute(db, "RETRIEVE WITHIN 3 OF (3.0, 0.0)")
+        assert answer.may == frozenset({"taxi-0", "taxi-1"})
+
+    def test_default_time_is_clock(self, db):
+        answer = execute(db, "RETRIEVE WITHIN 3 OF (3.0, 0.0)")
+        assert answer.time == db.clock_time
+
+    def test_position(self, db):
+        answer = execute(db, "POSITION OF taxi-0")
+        assert isinstance(answer, PositionAnswer)
+        assert answer.position.x == pytest.approx(2.0)
+        assert answer.error_bound >= 0.0
+
+    def test_when_queries(self, db):
+        # A stationary (speed 0, bound 0.5) taxi can only ever reach a
+        # region overlapping its half-mile band.
+        near = execute(
+            db,
+            "WHEN MAY taxi-0 REACH "
+            "POLYGON ((1.8, -1), (2.6, -1), (2.6, 1), (1.8, 1)) UNTIL 10",
+        )
+        assert near is not None and near >= 0.0
+        far = execute(
+            db,
+            "WHEN MAY taxi-0 REACH "
+            "POLYGON ((30, -1), (31, -1), (31, 1), (30, 1)) UNTIL 10",
+        )
+        assert far is None
+
+    def test_string_literal_filter(self, db):
+        answer = execute(
+            db,
+            "RETRIEVE taxi WHERE zone = 'north' WITHIN 3 OF (3, 0)",
+        )
+        assert answer.may == frozenset({"taxi-0", "taxi-1"})
+        answer = execute(
+            db,
+            "RETRIEVE taxi WHERE zone = 'south' WITHIN 3 OF (3, 0)",
+        )
+        assert answer.may == frozenset()
+
+
+class TestNearestAndObjectProximity:
+    def test_parse_nearest(self):
+        from repro.dbms.mql import NearestStatement
+
+        stmt = parse("RETRIEVE 2 NEAREST taxi WHERE free = true TO (1, 2) AT 5")
+        assert isinstance(stmt, NearestStatement)
+        assert stmt.k == 2
+        assert stmt.class_name == "taxi"
+        assert stmt.where == {"free": True}
+        assert stmt.center == Point(1.0, 2.0)
+        assert stmt.at_time == 5.0
+
+    def test_parse_nearest_requires_integer_k(self):
+        with pytest.raises(QueryError):
+            parse("RETRIEVE 2.5 NEAREST taxi TO (1, 2)")
+        with pytest.raises(QueryError):
+            parse("RETRIEVE 0 NEAREST taxi TO (1, 2)")
+
+    def test_parse_of_object(self):
+        stmt = parse("RETRIEVE truck WITHIN 1.0 OF OBJECT truck-7")
+        assert stmt.anchor_id == "truck-7"
+        assert stmt.center is None
+
+    def test_execute_nearest(self, db):
+        answers = execute(db, "RETRIEVE 2 NEAREST taxi TO (0, 0)")
+        assert [a.object_id for a in answers] == ["taxi-0", "taxi-1"]
+
+    def test_execute_nearest_with_filter(self, db):
+        answers = execute(
+            db, "RETRIEVE 2 NEAREST taxi WHERE free = true TO (0, 0)"
+        )
+        assert [a.object_id for a in answers] == ["taxi-0", "taxi-2"]
+
+    def test_execute_of_object(self, db):
+        answer = execute(db, "RETRIEVE taxi WITHIN 3 OF OBJECT taxi-0")
+        assert "taxi-1" in answer.may
+        assert "taxi-0" not in answer.may
+        assert "taxi-2" not in answer.may

@@ -1,0 +1,104 @@
+"""Property-based tests for the MQL parser (hypothesis).
+
+Generates structured statements, renders them to text, and checks the
+parser recovers exactly the generated fields — a round-trip fuzz over
+the grammar.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbms.mql import (
+    NearestStatement,
+    PositionStatement,
+    RetrieveStatement,
+    WhenStatement,
+    parse,
+)
+
+numbers = st.floats(min_value=-50.0, max_value=50.0,
+                    allow_nan=False, allow_infinity=False).map(
+    lambda x: round(x, 3)
+)
+radii = st.floats(min_value=0.1, max_value=20.0).map(lambda x: round(x, 3))
+identifiers = st.from_regex(r"[a-z][a-z0-9\-]{0,10}", fullmatch=True).filter(
+    lambda s: s.upper() not in {
+        "RETRIEVE", "WHERE", "AND", "IN", "POLYGON", "WITHIN", "OF", "AT",
+        "POSITION", "WHEN", "MAY", "MUST", "REACH", "UNTIL", "TRUE",
+        "FALSE", "NEAREST", "TO", "OBJECT",
+    }
+)
+attr_values = st.one_of(
+    st.booleans(),
+    st.from_regex(r"[a-z0-9 ]{0,12}", fullmatch=True),
+)
+
+
+def render_where(where: dict) -> str:
+    if not where:
+        return ""
+    parts = []
+    for key, value in where.items():
+        if isinstance(value, bool):
+            rendered = "true" if value else "false"
+        else:
+            rendered = f"'{value}'"
+        parts.append(f"{key} = {rendered}")
+    return " WHERE " + " AND ".join(parts)
+
+
+@settings(max_examples=60)
+@given(identifiers, st.dictionaries(identifiers, attr_values, max_size=3),
+       radii, numbers, numbers, st.one_of(st.none(), radii))
+def test_within_roundtrip(class_name, where, radius, x, y, at_time):
+    text = (
+        f"RETRIEVE {class_name}{render_where(where)} "
+        f"WITHIN {radius} OF ({x}, {y})"
+    )
+    if at_time is not None:
+        text += f" AT {at_time}"
+    statement = parse(text)
+    assert isinstance(statement, RetrieveStatement)
+    assert statement.class_name == class_name
+    assert statement.where == where
+    assert statement.radius == radius
+    assert statement.center.x == x and statement.center.y == y
+    assert statement.at_time == at_time
+
+
+@settings(max_examples=40)
+@given(st.integers(min_value=1, max_value=99), identifiers, numbers, numbers)
+def test_nearest_roundtrip(k, class_name, x, y):
+    statement = parse(f"RETRIEVE {k} NEAREST {class_name} TO ({x}, {y})")
+    assert isinstance(statement, NearestStatement)
+    assert statement.k == k
+    assert statement.class_name == class_name
+
+
+@settings(max_examples=40)
+@given(identifiers, st.one_of(st.none(), radii))
+def test_position_roundtrip(object_id, at_time):
+    text = f"POSITION OF {object_id}"
+    if at_time is not None:
+        text += f" AT {at_time}"
+    statement = parse(text)
+    assert isinstance(statement, PositionStatement)
+    assert statement.object_id == object_id
+    assert statement.at_time == at_time
+
+
+@settings(max_examples=40)
+@given(identifiers, st.booleans(),
+       st.lists(st.tuples(numbers, numbers), min_size=3, max_size=6))
+def test_when_roundtrip(object_id, must, points):
+    # Ensure the vertices are distinct enough to form a polygon.
+    spread = [(x + i * 10.0, y) for i, (x, y) in enumerate(points)]
+    rendered = ", ".join(f"({x}, {y})" for x, y in spread)
+    keyword = "MUST" if must else "MAY"
+    statement = parse(
+        f"WHEN {keyword} {object_id} REACH POLYGON ({rendered}) UNTIL 40"
+    )
+    assert isinstance(statement, WhenStatement)
+    assert statement.object_id == object_id
+    assert statement.must == must
+    assert statement.until == 40.0

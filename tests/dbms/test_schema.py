@@ -1,0 +1,105 @@
+"""Unit tests for repro.dbms.schema."""
+
+import pytest
+
+from repro.dbms.schema import (
+    AttributeDef,
+    Mobility,
+    ObjectClass,
+    Schema,
+    SpatialKind,
+)
+from repro.errors import SchemaError
+
+
+class TestAttributeDef:
+    def test_known_types(self):
+        for type_name, value in (
+            ("string", "x"), ("int", 3), ("float", 1.5), ("bool", True)
+        ):
+            AttributeDef("a", type_name).validate(value)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeDef("a", "blob")
+
+    def test_type_mismatch(self):
+        with pytest.raises(SchemaError):
+            AttributeDef("a", "int").validate("not an int")
+
+    def test_bool_not_accepted_as_int(self):
+        with pytest.raises(SchemaError):
+            AttributeDef("a", "int").validate(True)
+
+    def test_int_accepted_as_float(self):
+        AttributeDef("a", "float").validate(3)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeDef("", "int")
+
+
+class TestObjectClass:
+    def test_mobile_must_be_point(self):
+        with pytest.raises(SchemaError):
+            ObjectClass("bad", SpatialKind.LINE, Mobility.MOBILE)
+
+    def test_mobile_point_flag(self):
+        taxi = ObjectClass("taxi", SpatialKind.POINT, Mobility.MOBILE)
+        assert taxi.is_mobile_point
+        depot = ObjectClass("depot", SpatialKind.POINT, Mobility.STATIONARY)
+        assert not depot.is_mobile_point
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            ObjectClass(
+                "c",
+                attributes=(AttributeDef("a", "int"), AttributeDef("a", "int")),
+            )
+
+    def test_attribute_lookup(self):
+        c = ObjectClass("c", attributes=(AttributeDef("x", "int"),))
+        assert c.attribute("x").type_name == "int"
+        with pytest.raises(SchemaError):
+            c.attribute("y")
+
+    def test_validate_row(self):
+        c = ObjectClass(
+            "c",
+            attributes=(
+                AttributeDef("name", "string", required=True),
+                AttributeDef("age", "int"),
+            ),
+        )
+        c.validate_row({"name": "bob", "age": 4})
+        c.validate_row({"name": "bob"})
+        with pytest.raises(SchemaError):
+            c.validate_row({"age": 4})  # missing required
+        with pytest.raises(SchemaError):
+            c.validate_row({"name": "bob", "extra": 1})
+
+
+class TestSchema:
+    def test_define_and_get(self):
+        schema = Schema()
+        schema.define(ObjectClass("taxi", SpatialKind.POINT, Mobility.MOBILE))
+        assert schema.get("taxi").name == "taxi"
+        assert "taxi" in schema
+
+    def test_duplicate_rejected(self):
+        schema = Schema()
+        schema.define(ObjectClass("x"))
+        with pytest.raises(SchemaError):
+            schema.define(ObjectClass("x"))
+
+    def test_unknown_class(self):
+        with pytest.raises(SchemaError):
+            Schema().get("ghost")
+
+    def test_convenience_mobile_point(self):
+        schema = Schema()
+        taxi = schema.define_mobile_point_class(
+            "taxi", (AttributeDef("free", "bool"),)
+        )
+        assert taxi.is_mobile_point
+        assert schema.class_names() == ["taxi"]

@@ -1,0 +1,96 @@
+"""Unit tests for repro.dbms.storage."""
+
+import pytest
+
+from repro.dbms.schema import AttributeDef, ObjectClass
+from repro.dbms.storage import Table
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table(
+        ObjectClass(
+            "taxi",
+            attributes=(
+                AttributeDef("free", "bool"),
+                AttributeDef("driver", "string"),
+            ),
+        )
+    )
+
+
+class TestInsert:
+    def test_insert_and_get(self, table):
+        table.insert("t1", {"free": True})
+        assert table.get("t1") == {"free": True}
+        assert "t1" in table and len(table) == 1
+
+    def test_insert_empty_row(self, table):
+        table.insert("t1")
+        assert table.get("t1") == {}
+
+    def test_duplicate_rejected(self, table):
+        table.insert("t1")
+        with pytest.raises(SchemaError):
+            table.insert("t1")
+
+    def test_empty_id_rejected(self, table):
+        with pytest.raises(SchemaError):
+            table.insert("")
+
+    def test_schema_enforced(self, table):
+        with pytest.raises(SchemaError):
+            table.insert("t1", {"free": "yes"})
+        with pytest.raises(SchemaError):
+            table.insert("t2", {"unknown": 1})
+
+
+class TestUpdateDelete:
+    def test_update_merges(self, table):
+        table.insert("t1", {"free": True})
+        table.update("t1", {"driver": "ann"})
+        assert table.get("t1") == {"free": True, "driver": "ann"}
+
+    def test_update_unknown_id(self, table):
+        with pytest.raises(SchemaError):
+            table.update("ghost", {"free": True})
+
+    def test_update_validates(self, table):
+        table.insert("t1")
+        with pytest.raises(SchemaError):
+            table.update("t1", {"free": 3})
+
+    def test_delete(self, table):
+        table.insert("t1")
+        table.delete("t1")
+        assert "t1" not in table
+        with pytest.raises(SchemaError):
+            table.delete("t1")
+
+
+class TestReads:
+    def test_get_returns_copy(self, table):
+        table.insert("t1", {"free": True})
+        row = table.get("t1")
+        row["free"] = False
+        assert table.get("t1")["free"] is True
+
+    def test_rows_iteration(self, table):
+        table.insert("t1", {"free": True})
+        table.insert("t2", {"free": False})
+        assert {oid for oid, _ in table.rows()} == {"t1", "t2"}
+
+    def test_scan_equality(self, table):
+        table.insert("t1", {"free": True, "driver": "ann"})
+        table.insert("t2", {"free": False, "driver": "ann"})
+        table.insert("t3", {"free": True, "driver": "bob"})
+        assert set(table.scan(free=True)) == {"t1", "t3"}
+        assert table.scan(free=True, driver="ann") == ["t1"]
+        assert table.scan(driver="zoe") == []
+
+    def test_snapshot_isolated(self, table):
+        table.insert("t1", {"free": True})
+        snap = table.snapshot()
+        table.update("t1", {"free": False})
+        assert snap["t1"]["free"] is True

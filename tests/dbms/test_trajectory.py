@@ -1,0 +1,100 @@
+"""Unit tests for repro.dbms.trajectory (future-position queries)."""
+
+import pytest
+
+from repro.core.policies import make_policy
+from repro.dbms.database import MovingObjectDatabase
+from repro.dbms.trajectory import (
+    predicted_interval,
+    when_may_reach,
+    when_must_reach,
+)
+from repro.errors import QueryError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.routes.generators import straight_route
+
+C = 5.0
+
+
+@pytest.fixture
+def db():
+    database = MovingObjectDatabase(horizon=120.0)
+    database.schema.define_mobile_point_class("heli")
+    database.register_route(straight_route(100.0, "corridor"))
+    database.insert_moving_object(
+        "h1", "heli", "corridor", 0.0, Point(0.0, 0.0), 0,
+        speed=1.0, policy=make_policy("dl", C), max_speed=1.5,
+    )
+    return database
+
+
+class TestPredictedInterval:
+    def test_future_interval_centres_on_reckoning(self, db):
+        interval = predicted_interval(db, "h1", 10.0)
+        assert interval.contains_travel(10.0)
+        # dl bounds at t=10: slow sqrt(10)=3.16, fast sqrt(5)=2.24.
+        assert interval.lower == pytest.approx(10.0 - 3.1623, abs=0.01)
+        assert interval.upper == pytest.approx(10.0 + 2.2361, abs=0.01)
+
+    def test_before_update_rejected(self, db):
+        db.process_update(
+            __import__("repro.dbms.update_log", fromlist=["x"])
+            .PositionUpdateMessage("h1", 5.0, 5.0, 0.0, 1.0)
+        )
+        with pytest.raises(QueryError):
+            predicted_interval(db, "h1", 4.0)
+
+
+class TestWhenMayReach:
+    def test_region_ahead(self, db):
+        """A region 20 miles ahead: the fastest consistent trajectory
+        travels at v plus the fast bound."""
+        region = Polygon.rectangle(20.0, -1.0, 25.0, 1.0)
+        t = when_may_reach(db, "h1", region, until=60.0)
+        assert t is not None
+        # Upper envelope reaches x=20 when vt + fast(t) = 20; with the
+        # plateau fast bound 2.236 this is t ~ 17.76.
+        assert t == pytest.approx(17.76, abs=0.3)
+
+    def test_region_already_touching(self, db):
+        region = Polygon.rectangle(-1.0, -1.0, 1.0, 1.0)
+        t = when_may_reach(db, "h1", region, until=60.0)
+        assert t == pytest.approx(0.0, abs=1e-6)
+
+    def test_unreachable_region(self, db):
+        # Off-route entirely.
+        region = Polygon.rectangle(0.0, 10.0, 5.0, 12.0)
+        assert when_may_reach(db, "h1", region, until=30.0) is None
+
+    def test_region_beyond_horizon(self, db):
+        region = Polygon.rectangle(90.0, -1.0, 95.0, 1.0)
+        assert when_may_reach(db, "h1", region, until=10.0) is None
+
+    def test_bad_horizon_rejected(self, db):
+        region = Polygon.rectangle(5.0, -1.0, 6.0, 1.0)
+        with pytest.raises(QueryError):
+            when_may_reach(db, "h1", region, until=0.0)
+
+
+class TestWhenMustReach:
+    def test_must_is_later_than_may(self, db):
+        region = Polygon.rectangle(15.0, -1.0, 40.0, 1.0)
+        may = when_may_reach(db, "h1", region, until=60.0)
+        must = when_must_reach(db, "h1", region, until=60.0)
+        assert may is not None and must is not None
+        assert must >= may
+
+    def test_must_requires_interval_inside(self, db):
+        """A region narrower than the uncertainty never certifies."""
+        region = Polygon.rectangle(20.0, -1.0, 21.0, 1.0)
+        assert when_must_reach(db, "h1", region, until=60.0) is None
+
+    def test_must_in_wide_region(self, db):
+        region = Polygon.rectangle(10.0, -1.0, 60.0, 1.0)
+        must = when_must_reach(db, "h1", region, until=60.0)
+        assert must is not None
+        # At that instant the whole interval is inside.
+        interval = predicted_interval(db, "h1", must)
+        assert interval.lower >= 10.0 - 1e-6
+        assert interval.upper <= 60.0 + 1e-6

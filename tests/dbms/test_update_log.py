@@ -1,0 +1,76 @@
+"""Unit tests for repro.dbms.update_log."""
+
+import pytest
+
+from repro.dbms.update_log import PositionUpdateMessage, UpdateLog
+from repro.errors import QueryError
+
+
+def msg(object_id="v1", time=1.0, speed=1.0):
+    return PositionUpdateMessage(
+        object_id=object_id, time=time, x=0.0, y=0.0, speed=speed
+    )
+
+
+class TestMessage:
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            PositionUpdateMessage("", 0.0, 0.0, 0.0, 1.0)
+        with pytest.raises(QueryError):
+            msg(speed=-1.0)
+
+    def test_optional_fields_default_none(self):
+        m = msg()
+        assert m.route_id is None and m.direction is None and m.policy is None
+
+
+class TestLog:
+    def test_record_and_counts(self):
+        log = UpdateLog()
+        log.record(msg("a", 1.0))
+        log.record(msg("b", 2.0))
+        log.record(msg("a", 3.0))
+        assert log.total_messages == len(log) == 3
+        assert log.count_for("a") == 2
+        assert log.count_for("ghost") == 0
+        assert log.counts_by_object() == {"a": 2, "b": 1}
+
+    def test_time_order_enforced(self):
+        log = UpdateLog()
+        log.record(msg(time=5.0))
+        with pytest.raises(QueryError):
+            log.record(msg(time=4.0))
+
+    def test_equal_times_allowed(self):
+        log = UpdateLog()
+        log.record(msg("a", 5.0))
+        log.record(msg("b", 5.0))
+        assert log.total_messages == 2
+
+    def test_messages_for(self):
+        log = UpdateLog()
+        log.record(msg("a", 1.0))
+        log.record(msg("b", 2.0))
+        assert [m.time for m in log.messages_for("a")] == [1.0]
+
+    def test_messages_between(self):
+        log = UpdateLog()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            log.record(msg(time=t))
+        assert len(log.messages_between(2.0, 3.0)) == 2
+        with pytest.raises(QueryError):
+            log.messages_between(3.0, 2.0)
+
+    def test_total_cost(self):
+        log = UpdateLog()
+        log.record(msg(time=1.0))
+        log.record(msg(time=2.0))
+        assert log.total_cost(5.0) == 10.0
+        with pytest.raises(QueryError):
+            log.total_cost(-1.0)
+
+    def test_messages_returns_copy(self):
+        log = UpdateLog()
+        log.record(msg())
+        log.messages().clear()
+        assert log.total_messages == 1

@@ -1,0 +1,73 @@
+"""Unit tests for repro.experiments.figures."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.figures import (
+    figure_bound_shapes,
+    figure_messages,
+    figure_total_cost,
+    figure_uncertainty,
+    run_standard_sweep,
+)
+from repro.experiments.sweep import SweepSpec
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_standard_sweep(
+        SweepSpec(
+            update_costs=(1.0, 5.0, 20.0),
+            num_curves=5,
+            duration=15.0,
+            dt=1.0 / 12.0,
+        )
+    )
+
+
+class TestSweepFigures:
+    def test_three_series_per_figure(self, sweep):
+        for figure in (
+            figure_messages(sweep),
+            figure_total_cost(sweep),
+            figure_uncertainty(sweep),
+        ):
+            assert {s.name for s in figure.series} == {"dl", "ail", "cil"}
+            assert all(len(s.xs) == 3 for s in figure.series)
+
+    def test_render_contains_table_and_chart(self, sweep):
+        text = figure_messages(sweep).render()
+        assert "update cost C" in text
+        assert "dl" in text
+        assert "|" in text  # chart rows
+
+    def test_render_without_chart(self, sweep):
+        text = figure_messages(sweep).render(chart=False)
+        assert "|" not in text.splitlines()[3]
+
+    def test_messages_monotone_in_cost(self, sweep):
+        figure = figure_messages(sweep)
+        for series in figure.series:
+            assert list(series.ys) == sorted(series.ys, reverse=True)
+
+    def test_uncertainty_grows_with_cost(self, sweep):
+        figure = figure_uncertainty(sweep)
+        for series in figure.series:
+            assert series.ys[0] < series.ys[-1]
+
+
+class TestBoundShapes:
+    def test_dl_plateaus_immediate_decays(self):
+        figure = figure_bound_shapes(points=40, horizon=15.0)
+        dl = dict(zip(figure.series[0].xs, figure.series[0].ys))
+        imm = dict(zip(figure.series[1].xs, figure.series[1].ys))
+        xs = sorted(dl)
+        # dl: never decreases.
+        values = [dl[x] for x in xs]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+        # immediate: strictly lower than dl at the end.
+        assert imm[xs[-1]] < dl[xs[-1]]
+
+    def test_points_validated(self):
+        with pytest.raises(ExperimentError):
+            figure_bound_shapes(points=1)

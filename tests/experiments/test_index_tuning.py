@@ -1,0 +1,17 @@
+"""Unit tests for repro.experiments.index_tuning (E19)."""
+
+from repro.experiments.index_tuning import table_slab_tuning
+
+
+class TestSlabTuning:
+    def test_tradeoff_shape(self):
+        table = table_slab_tuning(
+            slab_widths=(2.0, 10.0), num_objects=40, num_queries=6
+        )
+        narrow, wide = table.rows
+        # Narrow slabs: more boxes stored and swapped, fewer candidates.
+        assert narrow[1] > wide[1]
+        assert narrow[2] > wide[2]
+        assert narrow[3] <= wide[3]
+        # Exactness invariant across widths.
+        assert narrow[5] == wide[5]

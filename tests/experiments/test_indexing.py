@@ -1,0 +1,52 @@
+"""Unit tests for repro.experiments.indexing (E7, E8, E12)."""
+
+import pytest
+
+from repro.experiments.indexing import (
+    experiment_index_maintenance,
+    experiment_index_sublinearity,
+    experiment_may_must_correctness,
+)
+
+
+class TestSublinearity:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return experiment_index_sublinearity(
+            fleet_sizes=(40, 160), queries_per_size=8, seed=3
+        )
+
+    def test_rows_per_size(self, table):
+        assert [row[0] for row in table.rows] == [40, 160]
+
+    def test_index_examines_fraction(self, table):
+        """The index must examine far fewer candidates than a scan."""
+        for row in table.rows:
+            fraction = row[3]
+            assert fraction < 0.8
+
+    def test_fraction_shrinks_with_scale(self, table):
+        """Sublinearity: the examined fraction drops as the fleet grows
+        (queries stay the same size)."""
+        fractions = [row[3] for row in table.rows]
+        assert fractions[-1] < fractions[0]
+
+
+class TestMayMustCorrectness:
+    def test_zero_violations(self):
+        table = experiment_may_must_correctness(
+            num_objects=30, num_queries=8, seed=4
+        )
+        assert table.row_by_key("violations")[1] == 0
+        assert table.row_by_key("must answers verified inside")[1] >= 0
+        assert table.row_by_key("excluded objects verified outside")[1] > 0
+
+
+class TestMaintenance:
+    def test_swap_counts_match(self):
+        table = experiment_index_maintenance(num_objects=30, seed=6)
+        removed = table.row_by_key("boxes removed per swap")[1]
+        inserted = table.row_by_key("boxes inserted per swap")[1]
+        assert removed == inserted > 0
+        assert table.row_by_key("objects indexed")[1] == 30
+        assert table.row_by_key("tree height")[1] >= 2

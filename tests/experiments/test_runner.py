@@ -1,0 +1,24 @@
+"""Smoke test for the full experiment runner."""
+
+import io
+
+from repro.experiments.runner import main, run_all
+
+
+class TestRunner:
+    def test_fast_report_contains_all_experiments(self):
+        out = io.StringIO()
+        run_all(fast=True, out=out)
+        report = out.getvalue()
+        for experiment_id in (
+            "[E1]", "[E2]", "[E3]", "[E4]", "[E5]", "[E6]",
+            "[E7]", "[E8]", "[E9]", "[E10]", "[E11]", "[E12]",
+            "[E13]", "[E14]", "[E15]", "[E16]", "[E17]", "[E18]", "[E19]",
+        ):
+            assert experiment_id in report
+        assert "Wolfson" in report
+
+    def test_main_entry(self, capsys):
+        assert main(["--fast"]) == 0
+        captured = capsys.readouterr()
+        assert "[E12]" in captured.out

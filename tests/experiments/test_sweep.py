@@ -1,0 +1,73 @@
+"""Unit tests for repro.experiments.sweep."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.sweep import SweepSpec, build_curves, run_policy_sweep
+
+FAST = SweepSpec(
+    policy_names=("dl", "ail"),
+    update_costs=(1.0, 10.0),
+    num_curves=3,
+    duration=10.0,
+    dt=1.0 / 10.0,
+)
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            SweepSpec(policy_names=())
+        with pytest.raises(ExperimentError):
+            SweepSpec(update_costs=())
+        with pytest.raises(ExperimentError):
+            SweepSpec(update_costs=(-1.0,))
+        with pytest.raises(ExperimentError):
+            SweepSpec(num_curves=0)
+
+    def test_build_curves_deterministic(self):
+        a = build_curves(FAST)
+        b = build_curves(FAST)
+        assert len(a) == len(b) == 3
+        assert [c.kind for c in a] == [c.kind for c in b]
+
+
+class TestRun:
+    def test_grid_complete(self):
+        result = run_policy_sweep(FAST)
+        assert set(result.cells) == {"dl", "ail"}
+        for by_cost in result.cells.values():
+            assert set(by_cost) == {1.0, 10.0}
+            for aggregate in by_cost.values():
+                assert aggregate.num_trips == 3
+
+    def test_metric_series_sorted_by_cost(self):
+        result = run_policy_sweep(FAST)
+        series = result.metric_series("dl", "num_updates")
+        assert [c for c, _ in series] == [1.0, 10.0]
+
+    def test_unknown_policy_or_metric(self):
+        result = run_policy_sweep(FAST)
+        with pytest.raises(ExperimentError):
+            result.metric_series("ghost", "num_updates")
+        with pytest.raises(ExperimentError):
+            result.metric_series("dl", "nope")
+
+    def test_messages_decrease_with_cost(self):
+        """The paper's core economics: higher C means fewer messages."""
+        result = run_policy_sweep(FAST)
+        for policy in ("dl", "ail"):
+            series = dict(result.metric_series(policy, "num_updates"))
+            assert series[10.0] <= series[1.0]
+
+    def test_policy_kwargs_passed(self):
+        spec = SweepSpec(
+            policy_names=("fixed-threshold",),
+            update_costs=(5.0,),
+            num_curves=2,
+            duration=10.0,
+            dt=1.0 / 10.0,
+            policy_kwargs={"fixed-threshold": {"bound": 0.5}},
+        )
+        result = run_policy_sweep(spec)
+        assert result.cells["fixed-threshold"][5.0].num_trips == 2

@@ -1,0 +1,87 @@
+"""Unit tests for repro.experiments.tables."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.tables import (
+    example1_threshold_trace,
+    table_delay_ablation,
+    table_example1,
+    table_predictor_ablation,
+    table_threshold_algebra,
+    table_update_savings,
+)
+
+FAST = dict(num_curves=4, duration=15.0, dt=1.0 / 12.0)
+
+
+class TestUpdateSavings:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return table_update_savings(**FAST)
+
+    def test_headline_savings(self, table):
+        """Temporal policies need a small fraction of the traditional
+        baseline's messages (paper: ~15 %)."""
+        for policy in ("dl", "ail", "cil", "fixed-threshold"):
+            ratio = table.row_by_key(policy)[2]
+            assert ratio < 0.35, (policy, ratio)
+
+    def test_baseline_ratio_is_one(self, table):
+        assert table.row_by_key("traditional")[2] == pytest.approx(1.0)
+
+    def test_render(self, table):
+        text = table.render()
+        assert "traditional" in text and "ratio" in text
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            table_update_savings(precision_miles=0.0)
+
+    def test_row_by_key_missing(self, table):
+        with pytest.raises(ExperimentError):
+            table.row_by_key("ghost")
+
+
+class TestExample1:
+    def test_paper_values_match(self):
+        table = table_example1()
+        for row in table.rows:
+            paper, library = row[1], row[2]
+            assert library == pytest.approx(paper, abs=0.01), row[0]
+
+    def test_simulated_trace(self):
+        minutes = example1_threshold_trace()
+        assert minutes == pytest.approx(1.74, abs=0.05)
+
+
+class TestThresholdAlgebra:
+    def test_inequality_rows_hold(self):
+        table = table_threshold_algebra()
+        for row in table.rows:
+            if str(row[0]).startswith("k_opt"):
+                assert row[3] is True
+
+    def test_incomparability_demonstrated(self):
+        """At least one adversarial curve has dl != ail update counts."""
+        table = table_threshold_algebra()
+        update_rows = [r for r in table.rows if "updates" in str(r[0])]
+        assert update_rows
+        assert any(r[1] != r[2] for r in update_rows)
+
+
+class TestAblations:
+    def test_predictor_ablation_city_prefers_average(self):
+        table = table_predictor_ablation(num_curves=4, duration=20.0,
+                                         dt=1.0 / 12.0)
+        city = table.row_by_key("city")
+        assert city[3] == "average"
+
+    def test_delay_ablation_shape(self):
+        table = table_delay_ablation(num_curves=4, duration=20.0,
+                                     dt=1.0 / 12.0)
+        assert len(table.rows) == 2
+        stable = table.row_by_key("piecewise-stable")
+        drifting = table.row_by_key("continuous-drift")
+        # The delay matters more on piecewise-stable curves.
+        assert stable[5] >= drifting[5] - 1e-9

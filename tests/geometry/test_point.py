@@ -1,0 +1,82 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point
+
+
+class TestVectorAlgebra:
+    def test_addition(self):
+        assert Point(1.0, 2.0) + Point(3.0, 4.0) == Point(4.0, 6.0)
+
+    def test_subtraction(self):
+        assert Point(3.0, 4.0) - Point(1.0, 2.0) == Point(2.0, 2.0)
+
+    def test_scalar_multiplication_both_sides(self):
+        assert Point(1.0, 2.0) * 3.0 == Point(3.0, 6.0)
+        assert 3.0 * Point(1.0, 2.0) == Point(3.0, 6.0)
+
+    def test_dot_product(self):
+        assert Point(1.0, 2.0).dot(Point(3.0, 4.0)) == 11.0
+
+    def test_dot_orthogonal_is_zero(self):
+        assert Point(1.0, 0.0).dot(Point(0.0, 5.0)) == 0.0
+
+    def test_cross_product_sign(self):
+        # Counter-clockwise turn has positive cross product.
+        assert Point(1.0, 0.0).cross(Point(0.0, 1.0)) == 1.0
+        assert Point(0.0, 1.0).cross(Point(1.0, 0.0)) == -1.0
+
+    def test_cross_parallel_is_zero(self):
+        assert Point(2.0, 2.0).cross(Point(4.0, 4.0)) == 0.0
+
+
+class TestDistances:
+    def test_norm_is_hypotenuse(self):
+        assert Point(3.0, 4.0).norm() == 5.0
+
+    def test_distance_symmetry(self):
+        a, b = Point(1.0, 1.0), Point(4.0, 5.0)
+        assert a.distance_to(b) == b.distance_to(a) == 5.0
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(2.5, -7.1)
+        assert p.distance_to(p) == 0.0
+
+
+class TestLerp:
+    def test_endpoints(self):
+        a, b = Point(0.0, 0.0), Point(10.0, 20.0)
+        assert a.lerp(b, 0.0) == a
+        assert a.lerp(b, 1.0) == b
+
+    def test_midpoint(self):
+        assert Point(0.0, 0.0).lerp(Point(2.0, 4.0), 0.5) == Point(1.0, 2.0)
+
+    def test_extrapolation(self):
+        assert Point(0.0, 0.0).lerp(Point(1.0, 0.0), 2.0) == Point(2.0, 0.0)
+
+
+class TestMisc:
+    def test_iteration_and_tuple(self):
+        p = Point(1.5, 2.5)
+        assert tuple(p) == (1.5, 2.5)
+        assert p.as_tuple() == (1.5, 2.5)
+
+    def test_almost_equal_within_tolerance(self):
+        assert Point(1.0, 1.0).almost_equal(Point(1.0 + 1e-12, 1.0))
+
+    def test_almost_equal_fails_outside_tolerance(self):
+        assert not Point(1.0, 1.0).almost_equal(Point(1.001, 1.0))
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0.0, 0.0).x = 1.0  # type: ignore[misc]
+
+    def test_hashable(self):
+        assert len({Point(0.0, 0.0), Point(0.0, 0.0), Point(1.0, 0.0)}) == 2
+
+    def test_nan_propagates_in_norm(self):
+        assert math.isnan(Point(float("nan"), 0.0).norm())

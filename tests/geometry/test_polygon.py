@@ -1,0 +1,123 @@
+"""Unit tests for repro.geometry.polygon."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.polyline import Polyline
+from repro.geometry.segment import Segment
+
+
+@pytest.fixture
+def unit_square() -> Polygon:
+    return Polygon.rectangle(0.0, 0.0, 1.0, 1.0)
+
+
+@pytest.fixture
+def u_shape() -> Polygon:
+    """A non-convex U: two towers joined at the bottom."""
+    return Polygon.from_coordinates(
+        [(0, 0), (5, 0), (5, 4), (4, 4), (4, 1), (1, 1), (1, 4), (0, 4)]
+    )
+
+
+class TestConstruction:
+    def test_needs_three_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon([Point(0, 0), Point(1, 0)])
+
+    def test_closing_vertex_dropped(self):
+        p = Polygon.from_coordinates([(0, 0), (1, 0), (0, 1), (0, 0)])
+        assert len(p.vertices) == 3
+
+    def test_rectangle_validation(self):
+        with pytest.raises(GeometryError):
+            Polygon.rectangle(1.0, 0.0, 0.0, 1.0)
+
+    def test_area_square(self, unit_square):
+        assert unit_square.area() == 1.0
+
+    def test_area_orientation_independent(self):
+        cw = Polygon.from_coordinates([(0, 0), (0, 1), (1, 1), (1, 0)])
+        ccw = Polygon.from_coordinates([(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert cw.area() == ccw.area() == 1.0
+
+    def test_bounding_rect(self, u_shape):
+        r = u_shape.bounding_rect
+        assert (r.min_x, r.min_y, r.max_x, r.max_y) == (0, 0, 5, 4)
+
+    def test_edges_close_the_ring(self, unit_square):
+        edges = unit_square.edges()
+        assert len(edges) == 4
+        assert edges[-1].end == edges[0].start
+
+
+class TestContainsPoint:
+    def test_interior(self, unit_square):
+        assert unit_square.contains_point(Point(0.5, 0.5))
+
+    def test_exterior(self, unit_square):
+        assert not unit_square.contains_point(Point(1.5, 0.5))
+
+    def test_boundary_is_inside(self, unit_square):
+        assert unit_square.contains_point(Point(1.0, 0.5))
+        assert unit_square.contains_point(Point(0.0, 0.0))
+
+    def test_nonconvex_notch_is_outside(self, u_shape):
+        # The notch between the towers.
+        assert not u_shape.contains_point(Point(2.5, 3.0))
+
+    def test_nonconvex_towers_are_inside(self, u_shape):
+        assert u_shape.contains_point(Point(0.5, 3.0))
+        assert u_shape.contains_point(Point(4.5, 3.0))
+
+    def test_nonconvex_base_is_inside(self, u_shape):
+        assert u_shape.contains_point(Point(2.5, 0.5))
+
+
+class TestSegmentPredicates:
+    def test_fully_inside(self, unit_square):
+        s = Segment(Point(0.2, 0.2), Point(0.8, 0.8))
+        assert unit_square.intersects_segment(s)
+        assert unit_square.contains_segment(s)
+
+    def test_crossing(self, unit_square):
+        s = Segment(Point(-1.0, 0.5), Point(2.0, 0.5))
+        assert unit_square.intersects_segment(s)
+        assert not unit_square.contains_segment(s)
+
+    def test_fully_outside(self, unit_square):
+        s = Segment(Point(2.0, 2.0), Point(3.0, 3.0))
+        assert not unit_square.intersects_segment(s)
+
+    def test_endpoint_inside_other_out(self, unit_square):
+        s = Segment(Point(0.5, 0.5), Point(5.0, 5.0))
+        assert unit_square.intersects_segment(s)
+        assert not unit_square.contains_segment(s)
+
+    def test_nonconvex_chord_through_notch(self, u_shape):
+        # Both endpoints in the towers, segment dips through the notch.
+        s = Segment(Point(0.5, 3.0), Point(4.5, 3.0))
+        assert u_shape.intersects_segment(s)
+        assert not u_shape.contains_segment(s)
+
+    def test_nonconvex_contained_in_base(self, u_shape):
+        s = Segment(Point(0.5, 0.5), Point(4.5, 0.5))
+        assert u_shape.contains_segment(s)
+
+
+class TestPolylinePredicates:
+    def test_polyline_inside(self, unit_square):
+        line = Polyline([Point(0.1, 0.1), Point(0.5, 0.5), Point(0.9, 0.1)])
+        assert unit_square.intersects_polyline(line)
+        assert unit_square.contains_polyline(line)
+
+    def test_polyline_crossing(self, unit_square):
+        line = Polyline([Point(-1, 0.5), Point(0.5, 0.5), Point(0.5, 2.0)])
+        assert unit_square.intersects_polyline(line)
+        assert not unit_square.contains_polyline(line)
+
+    def test_polyline_disjoint_bbox_shortcut(self, unit_square):
+        line = Polyline([Point(10, 10), Point(11, 11)])
+        assert not unit_square.intersects_polyline(line)

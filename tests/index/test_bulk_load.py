@@ -1,0 +1,84 @@
+"""Unit tests for STR bulk loading of the R-tree."""
+
+import random
+
+import pytest
+
+from repro.geometry.bbox import Box3D
+from repro.index.rtree import RTree, SearchStats
+
+
+def random_items(count, seed):
+    rng = random.Random(seed)
+    items = []
+    for i in range(count):
+        x, y, t = rng.uniform(0, 100), rng.uniform(0, 100), rng.uniform(0, 100)
+        items.append(
+            (Box3D(x, y, t, x + rng.uniform(0.1, 3), y + rng.uniform(0.1, 3),
+                   t + rng.uniform(0.1, 3)), i)
+        )
+    return items
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = RTree.bulk_load([])
+        assert len(tree) == 0
+        assert tree.search(Box3D(0, 0, 0, 1, 1, 1)) == []
+
+    def test_single_leaf(self):
+        items = random_items(5, 1)
+        tree = RTree.bulk_load(items)
+        assert len(tree) == 5
+        assert tree.height == 1
+        tree.check_invariants()
+
+    @pytest.mark.parametrize("count", [9, 40, 200, 777])
+    def test_invariants_at_scale(self, count):
+        tree = RTree.bulk_load(random_items(count, count))
+        assert len(tree) == count
+        tree.check_invariants()
+
+    @pytest.mark.parametrize("count", [25, 150])
+    def test_search_matches_bruteforce(self, count):
+        items = random_items(count, count + 1)
+        tree = RTree.bulk_load(items)
+        rng = random.Random(9)
+        for _ in range(20):
+            x, y, t = rng.uniform(0, 90), rng.uniform(0, 90), rng.uniform(0, 90)
+            window = Box3D(x, y, t, x + 15, y + 15, t + 15)
+            expected = {i for box, i in items if box.intersects(window)}
+            assert set(tree.search(window)) == expected
+
+    def test_packed_tree_is_compact(self):
+        """STR packing yields full nodes: fewer nodes than incremental
+        insertion, with comparable query work."""
+        items = random_items(600, 3)
+        packed = RTree.bulk_load(items)
+        grown = RTree()
+        for box, payload in items:
+            grown.insert(box, payload)
+        rng = random.Random(4)
+        packed_work = grown_work = 0
+        for _ in range(30):
+            x, y, t = rng.uniform(0, 95), rng.uniform(0, 95), rng.uniform(0, 95)
+            window = Box3D(x, y, t, x + 4, y + 4, t + 4)
+            sp, sg = SearchStats(), SearchStats()
+            assert set(packed.search(window, sp)) == set(
+                grown.search(window, sg)
+            )
+            packed_work += sp.entries_tested
+            grown_work += sg.entries_tested
+        assert packed.node_count() < grown.node_count()
+        assert packed_work <= grown_work * 1.3
+
+    def test_mutable_after_bulk_load(self):
+        """Bulk-loaded trees accept ordinary inserts and deletes."""
+        items = random_items(60, 5)
+        tree = RTree.bulk_load(items)
+        extra = Box3D(200, 200, 200, 201, 201, 201)
+        tree.insert(extra, "extra")
+        assert "extra" in tree.search(extra)
+        assert tree.delete(items[0][0], items[0][1])
+        tree.check_invariants()
+        assert len(tree) == 60

@@ -1,0 +1,61 @@
+"""Unit tests for repro.index.classify (Theorems 5 and 6)."""
+
+import pytest
+
+from repro.core.bounds import delayed_linear_bounds
+from repro.core.position import PositionAttribute
+from repro.geometry.polygon import Polygon
+from repro.index.classify import may_be_in, must_be_in
+from repro.index.oplane import OPlane
+from repro.routes.generators import straight_route
+
+C = 5.0
+
+
+@pytest.fixture
+def plane():
+    route = straight_route(40.0, "h1")
+    attr = PositionAttribute(0.0, "h1", 0.0, 0.0, 0, 1.0, "dl")
+    return OPlane(attr, route, delayed_linear_bounds(1.0, 1.5, C), 30.0)
+
+
+class TestTheorem5:
+    def test_may_when_interval_intersects(self, plane):
+        # At t=2: interval [0, 3] on the x axis.
+        g = Polygon.rectangle(2.0, -1.0, 5.0, 1.0)
+        assert may_be_in(plane, g, 2.0)
+
+    def test_not_may_when_disjoint(self, plane):
+        g = Polygon.rectangle(10.0, -1.0, 12.0, 1.0)
+        assert not may_be_in(plane, g, 2.0)
+
+    def test_may_expands_with_time(self, plane):
+        """A region ahead of the object becomes reachable later."""
+        g = Polygon.rectangle(8.0, -1.0, 9.0, 1.0)
+        assert not may_be_in(plane, g, 2.0)
+        assert may_be_in(plane, g, 8.0)
+
+
+class TestTheorem6:
+    def test_must_when_contained(self, plane):
+        g = Polygon.rectangle(-1.0, -1.0, 4.0, 1.0)
+        assert must_be_in(plane, g, 2.0)
+
+    def test_not_must_when_straddling(self, plane):
+        g = Polygon.rectangle(2.0, -1.0, 5.0, 1.0)
+        assert may_be_in(plane, g, 2.0)
+        assert not must_be_in(plane, g, 2.0)
+
+    def test_not_must_when_disjoint(self, plane):
+        g = Polygon.rectangle(10.0, -1.0, 12.0, 1.0)
+        assert not must_be_in(plane, g, 2.0)
+
+    def test_must_implies_may(self, plane):
+        for t in (1.0, 3.0, 6.0):
+            for g in (
+                Polygon.rectangle(-1.0, -1.0, 30.0, 1.0),
+                Polygon.rectangle(2.0, -1.0, 4.0, 1.0),
+                Polygon.rectangle(20.0, -1.0, 25.0, 1.0),
+            ):
+                if must_be_in(plane, g, t):
+                    assert may_be_in(plane, g, t)

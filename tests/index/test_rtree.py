@@ -1,0 +1,186 @@
+"""Unit tests for repro.index.rtree."""
+
+import random
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.geometry.bbox import Box3D
+from repro.index.rtree import RTree, SearchStats
+
+
+def box(x, y, t, dx=1.0, dy=1.0, dt=1.0):
+    return Box3D(x, y, t, x + dx, y + dy, t + dt)
+
+
+class TestConstruction:
+    def test_fanout_validation(self):
+        with pytest.raises(IndexError_):
+            RTree(max_entries=1)
+        with pytest.raises(IndexError_):
+            RTree(max_entries=8, min_entries=5)
+        with pytest.raises(IndexError_):
+            RTree(max_entries=8, min_entries=0)
+
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert tree.search(box(0, 0, 0)) == []
+
+
+class TestInsertSearch:
+    def test_single_entry(self):
+        tree = RTree()
+        tree.insert(box(0, 0, 0), "a")
+        assert len(tree) == 1
+        assert tree.search(box(0.5, 0.5, 0.5, 0.1, 0.1, 0.1)) == ["a"]
+        assert tree.search(box(5, 5, 5)) == []
+
+    def test_split_preserves_entries(self):
+        tree = RTree(max_entries=4, min_entries=2)
+        for i in range(20):
+            tree.insert(box(float(i * 2), 0, 0), f"e{i}")
+        assert len(tree) == 20
+        assert tree.height > 1
+        tree.check_invariants()
+        # Every entry still findable.
+        for i in range(20):
+            hits = tree.search(box(float(i * 2), 0, 0, 0.5, 0.5, 0.5))
+            assert f"e{i}" in hits
+
+    def test_search_window_multiple_hits(self):
+        tree = RTree()
+        for i in range(10):
+            tree.insert(box(float(i), 0, 0), i)
+        hits = tree.search(Box3D(2.0, 0.0, 0.0, 5.0, 1.0, 1.0))
+        assert set(hits) == {1, 2, 3, 4, 5}
+
+    def test_duplicate_payload_multiple_boxes(self):
+        tree = RTree()
+        tree.insert(box(0, 0, 0), "obj")
+        tree.insert(box(10, 0, 0), "obj")
+        assert len(tree) == 2
+        assert tree.search(Box3D(-1, -1, -1, 20, 2, 2)) == ["obj", "obj"]
+
+    def test_degenerate_boxes_indexed(self):
+        """Zero-volume boxes (flat uncertainty strips) must work."""
+        tree = RTree(max_entries=4, min_entries=2)
+        for i in range(30):
+            tree.insert(Box3D(float(i), 0.0, 0.0, float(i) + 1, 0.0, 5.0), i)
+        tree.check_invariants()
+        hits = tree.search(Box3D(10.5, 0.0, 2.0, 10.5, 0.0, 2.0))
+        assert 10 in hits
+
+    def test_search_at_time(self):
+        tree = RTree()
+        tree.insert(Box3D(0, 0, 0, 1, 1, 10), "early")
+        tree.insert(Box3D(0, 0, 20, 1, 1, 30), "late")
+        assert tree.search_at_time(0, 0, 1, 1, 5.0) == ["early"]
+        assert tree.search_at_time(0, 0, 1, 1, 25.0) == ["late"]
+
+    def test_search_stats(self):
+        tree = RTree(max_entries=4, min_entries=2)
+        for i in range(50):
+            tree.insert(box(float(i), 0, 0), i)
+        stats = SearchStats()
+        tree.search(box(3.0, 0, 0, 0.5, 0.5, 0.5), stats)
+        assert stats.nodes_visited >= 1
+        assert stats.entries_tested > 0
+        assert stats.results >= 1
+        # Point-ish query should not visit the whole tree.
+        assert stats.entries_tested < 50 + tree.node_count()
+
+
+class TestDelete:
+    def test_delete_exact(self):
+        tree = RTree()
+        b = box(0, 0, 0)
+        tree.insert(b, "a")
+        assert tree.delete(b, "a")
+        assert len(tree) == 0
+        assert not tree.delete(b, "a")
+
+    def test_delete_requires_exact_match(self):
+        tree = RTree()
+        tree.insert(box(0, 0, 0), "a")
+        assert not tree.delete(box(0, 0, 0, 2.0), "a")
+        assert not tree.delete(box(0, 0, 0), "b")
+        assert len(tree) == 1
+
+    def test_delete_with_condense(self):
+        tree = RTree(max_entries=4, min_entries=2)
+        boxes = [box(float(i), 0, 0) for i in range(25)]
+        for i, b in enumerate(boxes):
+            tree.insert(b, i)
+        for i in range(0, 25, 2):
+            assert tree.delete(boxes[i], i)
+        tree.check_invariants()
+        assert len(tree) == 12
+        for i in range(1, 25, 2):
+            assert i in tree.search(boxes[i])
+
+    def test_delete_payload_all_boxes(self):
+        tree = RTree(max_entries=4, min_entries=2)
+        for i in range(10):
+            tree.insert(box(float(i), 0, 0), "keep" if i % 2 else "drop")
+        removed = tree.delete_payload("drop")
+        assert removed == 5
+        assert len(tree) == 5
+        tree.check_invariants()
+        hits = tree.search(Box3D(-1, -1, -1, 20, 2, 2))
+        assert set(hits) == {"keep"}
+
+    def test_delete_to_empty_and_reuse(self):
+        tree = RTree(max_entries=4, min_entries=2)
+        boxes = [box(float(i), float(i), 0) for i in range(12)]
+        for i, b in enumerate(boxes):
+            tree.insert(b, i)
+        for i, b in enumerate(boxes):
+            assert tree.delete(b, i)
+        assert len(tree) == 0
+        tree.insert(box(0, 0, 0), "fresh")
+        assert tree.search(box(0, 0, 0)) == ["fresh"]
+        tree.check_invariants()
+
+
+class TestRandomized:
+    def test_matches_bruteforce(self):
+        rng = random.Random(99)
+        tree = RTree(max_entries=6, min_entries=2)
+        entries = []
+        for i in range(200):
+            b = box(
+                rng.uniform(0, 50), rng.uniform(0, 50), rng.uniform(0, 50),
+                rng.uniform(0.1, 5), rng.uniform(0.1, 5), rng.uniform(0.1, 5),
+            )
+            tree.insert(b, i)
+            entries.append((b, i))
+        tree.check_invariants()
+        for _ in range(30):
+            window = box(
+                rng.uniform(0, 50), rng.uniform(0, 50), rng.uniform(0, 50),
+                rng.uniform(1, 10), rng.uniform(1, 10), rng.uniform(1, 10),
+            )
+            expected = {i for b, i in entries if b.intersects(window)}
+            assert set(tree.search(window)) == expected
+
+    def test_interleaved_insert_delete(self):
+        rng = random.Random(7)
+        tree = RTree(max_entries=5, min_entries=2)
+        alive = {}
+        counter = 0
+        for _ in range(400):
+            if alive and rng.random() < 0.4:
+                key = rng.choice(list(alive))
+                assert tree.delete(alive.pop(key), key)
+            else:
+                b = box(rng.uniform(0, 30), rng.uniform(0, 30),
+                        rng.uniform(0, 30))
+                tree.insert(b, counter)
+                alive[counter] = b
+                counter += 1
+        tree.check_invariants()
+        assert len(tree) == len(alive)
+        window = Box3D(-1, -1, -1, 31, 31, 31)
+        assert set(tree.search(window)) == set(alive)

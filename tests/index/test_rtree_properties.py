@@ -1,0 +1,57 @@
+"""Property-based tests for the R-tree (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.bbox import Box3D
+from repro.index.rtree import RTree
+
+coords = st.floats(min_value=0.0, max_value=100.0,
+                   allow_nan=False, allow_infinity=False)
+extents = st.floats(min_value=0.0, max_value=20.0)
+
+
+@st.composite
+def boxes(draw):
+    x, y, t = draw(coords), draw(coords), draw(coords)
+    return Box3D(x, y, t, x + draw(extents), y + draw(extents),
+                 t + draw(extents))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(boxes(), min_size=1, max_size=60), boxes())
+def test_search_matches_bruteforce(items, window):
+    """For any insertion sequence, search equals brute force."""
+    tree = RTree(max_entries=4, min_entries=2)
+    for i, b in enumerate(items):
+        tree.insert(b, i)
+    tree.check_invariants()
+    expected = {i for i, b in enumerate(items) if b.intersects(window)}
+    assert set(tree.search(window)) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(boxes(), min_size=1, max_size=40),
+       st.lists(st.integers(min_value=0, max_value=39), max_size=20))
+def test_delete_sequence_consistent(items, delete_order):
+    """Deletions leave exactly the surviving entries findable."""
+    tree = RTree(max_entries=4, min_entries=2)
+    for i, b in enumerate(items):
+        tree.insert(b, i)
+    alive = dict(enumerate(items))
+    for key in delete_order:
+        if key in alive:
+            assert tree.delete(alive.pop(key), key)
+    tree.check_invariants()
+    assert len(tree) == len(alive)
+    everything = Box3D(-1, -1, -1, 200, 200, 200)
+    assert set(tree.search(everything)) == set(alive)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(boxes(), min_size=2, max_size=50))
+def test_invariants_after_bulk_insert(items):
+    tree = RTree(max_entries=4, min_entries=2)
+    for i, b in enumerate(items):
+        tree.insert(b, i)
+        tree.check_invariants()

@@ -1,0 +1,62 @@
+"""Unit tests for repro.index.scan (linear-scan baseline)."""
+
+import pytest
+
+from repro.core.bounds import delayed_linear_bounds
+from repro.core.position import PositionAttribute
+from repro.errors import IndexError_
+from repro.geometry.bbox import Rect2D
+from repro.index.oplane import OPlane
+from repro.index.rtree import SearchStats
+from repro.index.scan import LinearScanIndex
+from repro.routes.generators import straight_route
+
+
+def plane_for(route, x=0.0):
+    attr = PositionAttribute(0.0, route.route_id, x, 0.0, 0, 1.0, "dl")
+    return OPlane(attr, route, delayed_linear_bounds(1.0, 1.5, 5.0), 20.0)
+
+
+@pytest.fixture
+def route():
+    return straight_route(40.0, "h1")
+
+
+class TestLinearScan:
+    def test_everything_is_a_candidate(self, route):
+        index = LinearScanIndex()
+        index.insert("a", plane_for(route, 0.0))
+        index.insert("b", plane_for(route, 35.0))
+        window = Rect2D(0.0, -1.0, 1.0, 1.0)
+        assert index.candidates_at(window, 1.0) == {"a", "b"}
+
+    def test_stats_reflect_full_scan(self, route):
+        index = LinearScanIndex()
+        for i in range(7):
+            index.insert(f"o{i}", plane_for(route, float(i)))
+        stats = SearchStats()
+        index.candidates_at(Rect2D(0, 0, 1, 1), 1.0, stats)
+        assert stats.entries_tested == 7
+        assert stats.results == 7
+
+    def test_lifecycle(self, route):
+        index = LinearScanIndex()
+        plane = plane_for(route)
+        index.insert("a", plane)
+        assert "a" in index and len(index) == 1
+        assert index.plane_of("a") is plane
+        with pytest.raises(IndexError_):
+            index.insert("a", plane)
+        index.replace("a", plane_for(route, 5.0))
+        assert index.plane_of("a").attribute.start_x == 5.0
+        index.remove("a")
+        assert len(index) == 0
+        with pytest.raises(IndexError_):
+            index.remove("a")
+        with pytest.raises(IndexError_):
+            index.plane_of("a")
+
+    def test_object_ids(self, route):
+        index = LinearScanIndex()
+        index.insert("x", plane_for(route))
+        assert index.object_ids() == ["x"]

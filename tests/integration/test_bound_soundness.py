@@ -1,0 +1,64 @@
+"""Soundness of the §3.3 bounds under simulation, across all policies.
+
+The propositions promise: the actual deviation never exceeds the
+DBMS-computed bound.  In discrete time the policy reacts one tick late,
+so the tolerated slack is one tick of relative speed.
+"""
+
+import random
+
+import pytest
+
+from repro.core.policies import make_policy
+from repro.sim.engine import simulate_trip
+from repro.sim.speed_curves import standard_curve_set
+from repro.sim.trip import Trip
+
+DT = 1.0 / 30.0
+
+
+def run_and_check(policy_name, curve, update_cost=5.0, **kwargs):
+    trip = Trip.synthetic(curve)
+    policy = make_policy(policy_name, update_cost, **kwargs)
+    result = simulate_trip(trip, policy, dt=DT, record_series=True)
+    slack = trip.max_speed * DT * 2 + 1e-6
+    violations = [
+        (t, dev, bound)
+        for t, dev, bound in zip(
+            result.series.times,
+            result.series.deviations,
+            result.series.uncertainty_bounds,
+        )
+        if dev > bound + slack
+    ]
+    assert not violations, violations[:3]
+    return result
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return standard_curve_set(random.Random(321), count=5, duration=20.0)
+
+
+class TestBoundSoundness:
+    @pytest.mark.parametrize("policy_name", ["dl", "ail", "cil"])
+    def test_paper_policies(self, policy_name, curves):
+        for curve in curves:
+            run_and_check(policy_name, curve)
+
+    def test_fixed_threshold(self, curves):
+        for curve in curves:
+            run_and_check("fixed-threshold", curve, bound=1.0)
+
+    def test_traditional(self, curves):
+        for curve in curves:
+            run_and_check("traditional", curve, precision=1.0)
+
+    def test_periodic(self, curves):
+        for curve in curves:
+            run_and_check("periodic", curve, period=2.0)
+
+    @pytest.mark.parametrize("update_cost", [0.5, 2.0, 10.0, 40.0])
+    def test_across_update_costs(self, update_cost, curves):
+        run_and_check("ail", curves[0], update_cost=update_cost)
+        run_and_check("dl", curves[1], update_cost=update_cost)

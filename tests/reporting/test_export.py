@@ -1,0 +1,60 @@
+"""Unit tests for repro.reporting.export."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.reporting.export import rows_to_csv, series_to_csv, write_csv
+from repro.reporting.series import Series
+
+
+class TestRowsToCsv:
+    def test_basic(self):
+        text = rows_to_csv(["a", "b"], [[1, 2.5], ["x,y", "q"]])
+        lines = text.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+        assert lines[2] == '"x,y",q'  # comma quoted
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            rows_to_csv([], [])
+        with pytest.raises(ExperimentError):
+            rows_to_csv(["a"], [[1, 2]])
+
+    def test_table_result_integration(self):
+        from repro.experiments.tables import table_example1
+
+        table = table_example1()
+        text = rows_to_csv(table.headers, table.rows)
+        assert text.splitlines()[0] == "quantity,paper,library"
+        assert len(text.splitlines()) == len(table.rows) + 1
+
+
+class TestSeriesToCsv:
+    def test_shared_axis(self):
+        xs = (1.0, 2.0)
+        text = series_to_csv(
+            [Series("up", xs, (1.0, 2.0)), Series("down", xs, (2.0, 1.0))],
+            x_label="C",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "C,up,down"
+        assert lines[1] == "1.0,1.0,2.0"
+
+    def test_axis_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            series_to_csv([
+                Series("a", (1.0,), (1.0,)),
+                Series("b", (2.0,), (1.0,)),
+            ])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            series_to_csv([])
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(str(path), rows_to_csv(["h"], [[1]]))
+        assert path.read_text() == "h\n1\n"

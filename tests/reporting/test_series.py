@@ -1,0 +1,78 @@
+"""Unit tests for repro.reporting.series."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.reporting.series import Series, render_chart, render_series_table
+
+
+@pytest.fixture
+def pair_of_series():
+    xs = (1.0, 2.0, 3.0)
+    return [
+        Series("up", xs, (1.0, 2.0, 3.0)),
+        Series("down", xs, (3.0, 2.0, 1.0)),
+    ]
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            Series("bad", (1.0, 2.0), (1.0,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            Series("bad", (), ())
+
+    def test_from_pairs(self):
+        s = Series.from_pairs("s", [(1.0, 10.0), (2.0, 20.0)])
+        assert s.xs == (1.0, 2.0)
+        assert s.ys == (10.0, 20.0)
+
+
+class TestSeriesTable:
+    def test_shared_axis(self, pair_of_series):
+        text = render_series_table(pair_of_series, x_label="C")
+        assert "C" in text and "up" in text and "down" in text
+        assert "3.000" in text
+
+    def test_mismatched_axes_rejected(self, pair_of_series):
+        other = Series("odd", (9.0,), (9.0,))
+        with pytest.raises(ExperimentError):
+            render_series_table(pair_of_series + [other])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_series_table([])
+
+
+class TestChart:
+    def test_contains_glyphs_and_legend(self, pair_of_series):
+        chart = render_chart(pair_of_series, width=32, height=8)
+        assert "o up" in chart and "x down" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_axis_labels(self, pair_of_series):
+        chart = render_chart(pair_of_series)
+        assert "x: 1 .. 3" in chart
+        assert "y: 1 .. 3" in chart
+
+    def test_size_validation(self, pair_of_series):
+        with pytest.raises(ExperimentError):
+            render_chart(pair_of_series, width=4)
+        with pytest.raises(ExperimentError):
+            render_chart(pair_of_series, height=2)
+
+    def test_nonfinite_values_skipped(self):
+        s = Series("s", (1.0, 2.0, 3.0), (1.0, float("inf"), 2.0))
+        chart = render_chart([s])
+        assert "y: 1 .. 2" in chart
+
+    def test_all_nonfinite_rejected(self):
+        s = Series("s", (1.0,), (float("nan"),))
+        with pytest.raises(ExperimentError):
+            render_chart([s])
+
+    def test_flat_series_ok(self):
+        s = Series("flat", (1.0, 2.0), (5.0, 5.0))
+        assert "flat" in render_chart([s])

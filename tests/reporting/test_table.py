@@ -1,0 +1,48 @@
+"""Unit tests for repro.reporting.table."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.reporting.table import render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(["name", "value"], [["a", 1.5], ["bb", 2.0]])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert lines[1].startswith("-")
+        assert "1.500" in text and "2.000" in text
+
+    def test_title_underlined(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_precision(self):
+        text = render_table(["x"], [[1.23456]], precision=1)
+        assert "1.2" in text and "1.23" not in text
+
+    def test_bool_and_special_floats(self):
+        text = render_table(
+            ["a", "b", "c"], [[True, float("inf"), float("nan")]]
+        )
+        assert "yes" in text and "inf" in text and "nan" in text
+
+    def test_empty_rows_ok(self):
+        text = render_table(["only", "headers"], [])
+        assert "only" in text
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_table(["a", "b"], [[1]])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_table([], [])
+
+    def test_columns_aligned(self):
+        text = render_table(["col"], [[1.0], [100.0]])
+        rows = text.splitlines()[2:]
+        assert len(rows[0]) == len(rows[1])

@@ -1,0 +1,120 @@
+"""Unit tests for repro.routes.generators."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.errors import RouteError
+from repro.routes.generators import (
+    grid_city_network,
+    radial_highway_network,
+    random_network,
+    straight_route,
+    winding_route,
+)
+
+
+class TestStraightRoute:
+    def test_length_and_heading(self):
+        route = straight_route(10.0, heading_degrees=90.0)
+        assert route.length == pytest.approx(10.0)
+        end = route.polyline.end
+        assert end.x == pytest.approx(0.0, abs=1e-9)
+        assert end.y == pytest.approx(10.0)
+
+    def test_origin(self):
+        route = straight_route(2.0, origin=(5.0, 5.0))
+        assert route.polyline.start.as_tuple() == (5.0, 5.0)
+
+    def test_invalid_length(self):
+        with pytest.raises(RouteError):
+            straight_route(0.0)
+
+
+class TestWindingRoute:
+    def test_arc_length_close_to_request(self):
+        route = winding_route(20.0, random.Random(3))
+        assert route.length == pytest.approx(20.0, rel=1e-6)
+
+    def test_actually_winds(self):
+        route = winding_route(20.0, random.Random(3))
+        start, end = route.polyline.start, route.polyline.end
+        # Euclidean displacement is well below arc length.
+        assert start.distance_to(end) < route.length * 0.95
+
+    def test_deterministic(self):
+        r1 = winding_route(10.0, random.Random(7))
+        r2 = winding_route(10.0, random.Random(7))
+        assert r1.polyline.vertices == r2.polyline.vertices
+
+    def test_invalid_params(self):
+        with pytest.raises(RouteError):
+            winding_route(-1.0, random.Random(1))
+        with pytest.raises(RouteError):
+            winding_route(5.0, random.Random(1), segment_length=0.0)
+
+
+class TestGridCity:
+    def test_counts(self):
+        net = grid_city_network(blocks_x=3, blocks_y=2, block_miles=0.5)
+        assert net.num_intersections() == 4 * 3
+        # Horizontal roads: 3 per row * 3 rows; vertical: 2 per col * 4 cols.
+        assert net.num_roads() == 3 * 3 + 2 * 4
+
+    def test_connected(self):
+        net = grid_city_network(blocks_x=4, blocks_y=4)
+        assert nx.is_connected(net.graph)
+
+    def test_block_spacing(self):
+        net = grid_city_network(blocks_x=2, blocks_y=2, block_miles=0.25)
+        assert net.position_of((1, 0)).x == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(RouteError):
+            grid_city_network(blocks_x=0)
+
+
+class TestRadialHighway:
+    def test_structure(self):
+        net = radial_highway_network(spokes=6, spoke_miles=20.0)
+        # hub + 6 ring + 6 tips.
+        assert net.num_intersections() == 13
+        # 6 hub-ring + 6 ring-tip + 6 ring-ring.
+        assert net.num_roads() == 18
+        assert nx.is_connected(net.graph)
+
+    def test_spoke_length(self):
+        net = radial_highway_network(spokes=4, spoke_miles=10.0,
+                                     ring_fraction=0.5)
+        tip = net.position_of(("tip", 0))
+        assert math.hypot(tip.x, tip.y) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(RouteError):
+            radial_highway_network(spokes=2)
+        with pytest.raises(RouteError):
+            radial_highway_network(ring_fraction=1.5)
+
+
+class TestRandomNetwork:
+    def test_connected_and_sized(self):
+        net = random_network(30, 10.0, random.Random(11))
+        assert net.num_intersections() == 30
+        assert nx.is_connected(net.graph)
+
+    def test_extent_respected(self):
+        net = random_network(20, 5.0, random.Random(2))
+        min_x, min_y, max_x, max_y = net.bounding_extent()
+        assert min_x >= 0.0 and min_y >= 0.0
+        assert max_x <= 5.0 and max_y <= 5.0
+
+    def test_deterministic(self):
+        n1 = random_network(10, 5.0, random.Random(4))
+        n2 = random_network(10, 5.0, random.Random(4))
+        assert n1.bounding_extent() == n2.bounding_extent()
+
+    def test_validation(self):
+        with pytest.raises(RouteError):
+            random_network(1, 5.0, random.Random(1))

@@ -1,0 +1,88 @@
+"""Unit tests for repro.routes.route."""
+
+import pytest
+
+from repro.errors import RouteError
+from repro.geometry.point import Point
+from repro.geometry.polyline import Polyline
+from repro.routes.route import Route, RouteDatabase
+
+
+class TestRoute:
+    def test_requires_id(self, straight_line):
+        with pytest.raises(RouteError):
+            Route("", straight_line)
+
+    def test_length_delegates(self, straight_route_10):
+        assert straight_route_10.length == 10.0
+
+    def test_endpoints_by_direction(self, straight_route_10):
+        assert straight_route_10.endpoint(0) == Point(0.0, 0.0)
+        assert straight_route_10.endpoint(1) == Point(10.0, 0.0)
+
+    def test_invalid_direction(self, straight_route_10):
+        with pytest.raises(RouteError):
+            straight_route_10.endpoint(2)
+
+    def test_travel_point_forward(self, straight_route_10):
+        assert straight_route_10.travel_point(3.0, 0) == Point(3.0, 0.0)
+
+    def test_travel_point_reverse(self, straight_route_10):
+        assert straight_route_10.travel_point(3.0, 1) == Point(7.0, 0.0)
+
+    def test_travel_distance_roundtrip_both_directions(self, l_route):
+        for direction in (0, 1):
+            point = l_route.travel_point(2.5, direction)
+            back = l_route.travel_distance_of(point, direction)
+            assert back == pytest.approx(2.5)
+
+    def test_route_distance_direction_free(self, l_route):
+        a = l_route.travel_point(1.0, 0)
+        b = l_route.travel_point(5.0, 0)
+        assert l_route.route_distance(a, b) == pytest.approx(4.0)
+        assert l_route.route_distance(b, a) == pytest.approx(4.0)
+
+    def test_interval_polyline_forward(self, l_route):
+        strip = l_route.interval_polyline(1.0, 5.0, 0)
+        assert strip.length == pytest.approx(4.0)
+        assert strip.start.almost_equal(Point(1.0, 0.0))
+
+    def test_interval_polyline_reverse_direction(self, l_route):
+        # Travel 1..5 in direction 1 = arc 2..6 from the polyline start.
+        strip = l_route.interval_polyline(1.0, 5.0, 1)
+        assert strip.length == pytest.approx(4.0)
+        ends = {strip.start.as_tuple(), strip.end.as_tuple()}
+        expected = {
+            l_route.polyline.point_at(2.0).as_tuple(),
+            l_route.polyline.point_at(6.0).as_tuple(),
+        }
+        assert {
+            (round(x, 9), round(y, 9)) for x, y in ends
+        } == {(round(x, 9), round(y, 9)) for x, y in expected}
+
+
+class TestRouteDatabase:
+    def test_add_get(self, straight_route_10):
+        db = RouteDatabase()
+        db.add(straight_route_10)
+        assert db.get("r-straight") is straight_route_10
+        assert "r-straight" in db
+        assert len(db) == 1
+
+    def test_duplicate_rejected(self, straight_route_10):
+        db = RouteDatabase()
+        db.add(straight_route_10)
+        with pytest.raises(RouteError):
+            db.add(Route("r-straight", straight_route_10.polyline))
+
+    def test_unknown_id(self):
+        db = RouteDatabase()
+        with pytest.raises(RouteError):
+            db.get("missing")
+
+    def test_iteration_and_ids(self, straight_route_10, l_route):
+        db = RouteDatabase()
+        db.add(straight_route_10)
+        db.add(l_route)
+        assert sorted(db.ids()) == ["r-l", "r-straight"]
+        assert {r.route_id for r in db} == {"r-l", "r-straight"}

@@ -1,0 +1,43 @@
+"""Unit tests for repro.sim.clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimulationClock
+
+
+class TestClock:
+    def test_tick_count(self):
+        clock = SimulationClock(duration=10.0, dt=0.5)
+        assert clock.num_ticks == 20
+
+    def test_ticks_cover_duration(self):
+        clock = SimulationClock(duration=1.0, dt=0.25)
+        times = [t for _, t in clock.ticks()]
+        assert times == [0.25, 0.5, 0.75, 1.0]
+
+    def test_tick_times_do_not_accumulate_error(self):
+        clock = SimulationClock(duration=60.0, dt=1.0 / 60.0)
+        last_index, last_time = list(clock.ticks())[-1]
+        assert last_index == 3600
+        assert last_time == pytest.approx(60.0, abs=1e-9)
+
+    def test_time_at(self):
+        clock = SimulationClock(duration=2.0, dt=0.5)
+        assert clock.time_at(0) == 0.0
+        assert clock.time_at(4) == 2.0
+
+    def test_time_at_out_of_range(self):
+        clock = SimulationClock(duration=2.0, dt=0.5)
+        with pytest.raises(SimulationError):
+            clock.time_at(5)
+        with pytest.raises(SimulationError):
+            clock.time_at(-1)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            SimulationClock(duration=0.0)
+        with pytest.raises(SimulationError):
+            SimulationClock(duration=1.0, dt=0.0)
+        with pytest.raises(SimulationError):
+            SimulationClock(duration=1.0, dt=2.0)

@@ -1,0 +1,112 @@
+"""Unit tests for repro.sim.fleet."""
+
+import pytest
+
+from repro.core.policies import make_policy
+from repro.dbms.database import MovingObjectDatabase
+from repro.errors import SimulationError
+from repro.index.timespace import TimeSpaceIndex
+from repro.routes.generators import straight_route
+from repro.sim.fleet import FleetSimulation
+from repro.sim.speed_curves import ConstantCurve, PiecewiseConstantCurve
+from repro.sim.trip import Trip
+
+C = 5.0
+
+
+def build_fleet(index=None):
+    database = MovingObjectDatabase(index=index)
+    database.schema.define_mobile_point_class("vehicle")
+    return database, FleetSimulation(database, dt=1.0 / 30.0)
+
+
+class TestAddVehicle:
+    def test_registers_object_and_route(self):
+        database, fleet = build_fleet()
+        trip = Trip(straight_route(15.0, "h1"), ConstantCurve(10.0, 1.0))
+        fleet.add_vehicle("v1", "vehicle", trip, make_policy("ail", C))
+        assert "h1" in database.routes
+        assert len(database) == 1
+        record = database.record("v1")
+        assert record.attribute.speed == 1.0
+        assert record.max_speed == trip.max_speed
+
+    def test_duplicate_rejected(self):
+        _, fleet = build_fleet()
+        trip = Trip(straight_route(15.0, "h1"), ConstantCurve(10.0, 1.0))
+        fleet.add_vehicle("v1", "vehicle", trip, make_policy("ail", C))
+        trip2 = Trip(straight_route(15.0, "h2"), ConstantCurve(10.0, 1.0))
+        with pytest.raises(SimulationError):
+            fleet.add_vehicle("v1", "vehicle", trip2, make_policy("ail", C))
+
+    def test_trip_must_fit_route(self):
+        _, fleet = build_fleet()
+        trip = Trip(straight_route(2.0, "short"), ConstantCurve(10.0, 1.0))
+        with pytest.raises(SimulationError):
+            fleet.add_vehicle("v1", "vehicle", trip, make_policy("ail", C))
+
+
+class TestRun:
+    def test_empty_fleet_rejected(self):
+        _, fleet = build_fleet()
+        with pytest.raises(SimulationError):
+            fleet.run()
+
+    def test_messages_reach_database(self):
+        database, fleet = build_fleet()
+        curve = PiecewiseConstantCurve([(3.0, 1.0), (3.0, 0.0)] * 2)
+        trip = Trip(straight_route(10.0, "h1"), curve)
+        fleet.add_vehicle("v1", "vehicle", trip, make_policy("cil", C))
+        counts = fleet.run()
+        assert counts["v1"] > 0
+        assert database.update_log.count_for("v1") == counts["v1"]
+
+    def test_database_position_accurate_after_run(self):
+        database, fleet = build_fleet()
+        curve = PiecewiseConstantCurve([(3.0, 1.0), (3.0, 0.0)] * 2)
+        trip = Trip(straight_route(10.0, "h1"), curve)
+        fleet.add_vehicle("v1", "vehicle", trip, make_policy("cil", C))
+        fleet.run()
+        t = trip.duration
+        answer = database.position_of("v1", t)
+        actual = fleet.actual_position("v1", t)
+        assert answer.position.distance_to(actual) <= (
+            answer.error_bound + trip.max_speed / 30.0 + 1e-6
+        )
+
+    def test_on_tick_hook(self):
+        _, fleet = build_fleet()
+        trip = Trip(straight_route(5.0, "h1"), ConstantCurve(2.0, 1.0))
+        fleet.add_vehicle("v1", "vehicle", trip, make_policy("ail", C))
+        seen = []
+        fleet.run(on_tick=seen.append)
+        assert len(seen) == 60  # 2 minutes at dt = 1/30
+        assert seen[-1] == pytest.approx(2.0)
+
+    def test_vehicle_goes_quiet_after_trip_end(self):
+        database, fleet = build_fleet()
+        short = Trip(straight_route(5.0, "h1"),
+                     PiecewiseConstantCurve([(1.0, 1.0), (1.0, 0.0)]))
+        long = Trip(straight_route(15.0, "h2"), ConstantCurve(6.0, 1.0))
+        fleet.add_vehicle("short", "vehicle", short, make_policy("cil", 0.5))
+        fleet.add_vehicle("long", "vehicle", long, make_policy("cil", 0.5))
+        fleet.run()
+        last_short = [
+            m.time for m in database.update_log.messages_for("short")
+        ]
+        assert all(t <= short.duration + 1e-9 for t in last_short)
+
+    def test_index_kept_in_sync(self):
+        index = TimeSpaceIndex()
+        database, fleet = build_fleet(index=index)
+        curve = PiecewiseConstantCurve([(3.0, 1.0), (3.0, 0.0)])
+        trip = Trip(straight_route(10.0, "h1"), curve)
+        fleet.add_vehicle("v1", "vehicle", trip, make_policy("cil", C))
+        fleet.run()
+        assert "v1" in index
+        index.tree.check_invariants()
+
+    def test_actual_position_unknown_vehicle(self):
+        _, fleet = build_fleet()
+        with pytest.raises(SimulationError):
+            fleet.actual_position("ghost", 1.0)

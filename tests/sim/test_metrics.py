@@ -1,0 +1,64 @@
+"""Unit tests for repro.sim.metrics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.metrics import (
+    TripMetrics,
+    aggregate_metrics,
+    metrics_field_names,
+)
+
+
+def metrics(policy="ail", num_updates=4, total_cost=30.0, duration=60.0,
+            update_cost=5.0):
+    return TripMetrics(
+        policy=policy,
+        update_cost=update_cost,
+        duration=duration,
+        num_updates=num_updates,
+        deviation_integral=10.0,
+        deviation_cost=10.0,
+        total_cost=total_cost,
+        avg_deviation=10.0 / duration,
+        max_deviation=1.5,
+        avg_uncertainty=1.0,
+        max_uncertainty=3.0,
+    )
+
+
+class TestTripMetrics:
+    def test_updates_per_hour(self):
+        assert metrics(num_updates=6, duration=30.0).updates_per_hour == 12.0
+
+    def test_cost_per_minute(self):
+        assert metrics(total_cost=30.0, duration=60.0).cost_per_minute == 0.5
+
+    def test_field_names_cover_dataclass(self):
+        names = metrics_field_names()
+        assert "policy" in names and "total_cost" in names
+        assert len(names) == 11
+
+
+class TestAggregate:
+    def test_means(self):
+        agg = aggregate_metrics([
+            metrics(num_updates=2, total_cost=20.0),
+            metrics(num_updates=4, total_cost=40.0),
+        ])
+        assert agg.num_trips == 2
+        assert agg.num_updates == 3.0
+        assert agg.total_cost == 30.0
+        assert agg.policy == "ail"
+
+    def test_updates_per_hour_on_aggregate(self):
+        agg = aggregate_metrics([metrics(num_updates=3, duration=30.0)])
+        assert agg.updates_per_hour == 6.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            aggregate_metrics([])
+
+    def test_mixed_policies_rejected(self):
+        with pytest.raises(SimulationError):
+            aggregate_metrics([metrics(policy="ail"), metrics(policy="dl")])

@@ -1,0 +1,127 @@
+"""Unit tests for repro.sim.multileg (route changes mid-trip)."""
+
+import pytest
+
+from repro.core.policies import make_policy
+from repro.dbms.database import MovingObjectDatabase
+from repro.errors import SimulationError
+from repro.index.timespace import TimeSpaceIndex
+from repro.routes.generators import straight_route
+from repro.sim.multileg import Leg, MultiLegDriver, MultiLegTrip
+from repro.sim.speed_curves import ConstantCurve, PiecewiseConstantCurve
+
+DT = 1.0 / 30.0
+
+
+def two_leg_trip(speed=1.0, duration=10.0):
+    leg_a = Leg(straight_route(6.0, "leg-a", origin=(0.0, 0.0)))
+    leg_b = Leg(straight_route(6.0, "leg-b", origin=(6.0, 0.0),
+                               heading_degrees=90.0))
+    return MultiLegTrip([leg_a, leg_b], ConstantCurve(duration, speed))
+
+
+class TestMultiLegTrip:
+    def test_needs_legs(self):
+        with pytest.raises(SimulationError):
+            MultiLegTrip([], ConstantCurve(10.0, 1.0))
+
+    def test_journey_must_fit(self):
+        leg = Leg(straight_route(2.0, "short"))
+        with pytest.raises(SimulationError):
+            MultiLegTrip([leg], ConstantCurve(10.0, 1.0))
+
+    def test_total_length(self):
+        trip = two_leg_trip()
+        assert trip.total_length == pytest.approx(12.0)
+        assert trip.total_distance == pytest.approx(10.0, abs=0.01)
+
+    def test_locate_crosses_boundary(self):
+        trip = two_leg_trip(speed=1.0)
+        idx, within = trip.locate(3.0)
+        assert idx == 0 and within == pytest.approx(3.0, abs=0.01)
+        idx, within = trip.locate(8.0)
+        assert idx == 1 and within == pytest.approx(2.0, abs=0.01)
+
+    def test_position_follows_leg_geometry(self):
+        trip = two_leg_trip(speed=1.0)
+        p_first = trip.position(3.0)
+        assert p_first.y == pytest.approx(0.0, abs=1e-9)
+        p_second = trip.position(8.0)
+        # Second leg heads north from (6, 0).
+        assert p_second.x == pytest.approx(6.0, abs=0.01)
+        assert p_second.y == pytest.approx(2.0, abs=0.01)
+
+    def test_leg_direction_validated(self):
+        with pytest.raises(SimulationError):
+            Leg(straight_route(5.0, "r"), direction=2)
+
+
+class TestMultiLegDriver:
+    def make_db(self):
+        database = MovingObjectDatabase(index=TimeSpaceIndex(), horizon=40.0)
+        database.schema.define_mobile_point_class("courier")
+        return database
+
+    def test_route_change_forces_update(self):
+        database = self.make_db()
+        driver = MultiLegDriver(
+            "c1", "courier", two_leg_trip(), make_policy("cil", 5.0),
+            database, dt=DT,
+        )
+        total = driver.run()
+        assert len(driver.transitions) == 1
+        transition = driver.transitions[0]
+        assert transition.from_route == "leg-a"
+        assert transition.to_route == "leg-b"
+        assert transition.time == pytest.approx(6.0, abs=0.1)
+        assert total >= 1
+
+    def test_database_route_follows(self):
+        database = self.make_db()
+        driver = MultiLegDriver(
+            "c1", "courier", two_leg_trip(), make_policy("cil", 5.0),
+            database, dt=DT,
+        )
+        driver.run()
+        assert database.record("c1").attribute.route_id == "leg-b"
+
+    def test_position_query_after_change(self):
+        database = self.make_db()
+        trip = two_leg_trip()
+        driver = MultiLegDriver(
+            "c1", "courier", trip, make_policy("cil", 5.0), database, dt=DT,
+        )
+        driver.run()
+        t = database.clock_time
+        answer = database.position_of("c1", t)
+        actual = trip.position(min(t, trip.duration))
+        assert answer.position.distance_to(actual) <= (
+            answer.error_bound + trip.max_speed * DT * 2 + 1e-6
+        )
+
+    def test_index_consistent_after_changes(self):
+        database = self.make_db()
+        driver = MultiLegDriver(
+            "c1", "courier", two_leg_trip(), make_policy("cil", 5.0),
+            database, dt=DT,
+        )
+        driver.run()
+        database._index.tree.check_invariants()
+        # The o-plane now lives on the second leg.
+        plane = database._index.plane_of("c1")
+        assert plane.route.route_id == "leg-b"
+
+    def test_policy_updates_within_leg(self):
+        """A speed change inside a leg triggers a normal policy update,
+        separate from the route-change updates."""
+        leg_a = Leg(straight_route(8.0, "leg-a"))
+        leg_b = Leg(straight_route(8.0, "leg-b", origin=(8.0, 0.0)))
+        curve = PiecewiseConstantCurve([(3.0, 1.0), (3.0, 0.2), (6.0, 1.0)])
+        trip = MultiLegTrip([leg_a, leg_b], curve)
+        database = self.make_db()
+        driver = MultiLegDriver(
+            "c1", "courier", trip, make_policy("cil", 2.0), database, dt=DT,
+        )
+        driver.run()
+        assert driver.policy_updates >= 1
+        assert len(driver.transitions) == 1

@@ -1,0 +1,130 @@
+"""Unit tests for repro.sim.speed_curves."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.speed_curves import (
+    CityCurve,
+    ConstantCurve,
+    HighwayCurve,
+    MixedCurve,
+    PiecewiseConstantCurve,
+    RushHourCurve,
+    TrafficJamCurve,
+    standard_curve_set,
+)
+
+DURATION = 30.0
+
+
+def all_curve_kinds(rng):
+    return [
+        ConstantCurve(DURATION, 0.8),
+        PiecewiseConstantCurve([(10.0, 1.0), (20.0, 0.5)]),
+        HighwayCurve(DURATION, rng),
+        CityCurve(DURATION, rng),
+        TrafficJamCurve(DURATION, rng),
+        RushHourCurve(DURATION, rng),
+        MixedCurve([ConstantCurve(10.0, 1.0), ConstantCurve(20.0, 0.5)]),
+    ]
+
+
+class TestInvariants:
+    def test_speeds_nonnegative_everywhere(self, rng):
+        for curve in all_curve_kinds(rng):
+            for i in range(301):
+                t = curve.duration * i / 300
+                assert curve.speed(t) >= 0.0, type(curve).__name__
+
+    def test_max_speed_is_envelope(self, rng):
+        for curve in all_curve_kinds(rng):
+            ceiling = curve.max_speed()
+            for i in range(301):
+                t = curve.duration * i / 300
+                assert curve.speed(t) <= ceiling, type(curve).__name__
+
+    def test_deterministic_given_seed(self):
+        c1 = CityCurve(DURATION, random.Random(42))
+        c2 = CityCurve(DURATION, random.Random(42))
+        for t in (0.0, 5.5, 17.3, 29.9):
+            assert c1.speed(t) == c2.speed(t)
+
+    def test_out_of_domain_rejected(self, rng):
+        curve = HighwayCurve(DURATION, rng)
+        with pytest.raises(SimulationError):
+            curve.speed(-1.0)
+        with pytest.raises(SimulationError):
+            curve.speed(DURATION + 1.0)
+
+
+class TestPiecewise:
+    def test_phases(self):
+        curve = PiecewiseConstantCurve([(2.0, 1.0), (3.0, 0.0), (1.0, 0.5)])
+        assert curve.duration == 6.0
+        assert curve.speed(1.0) == 1.0
+        assert curve.speed(2.5) == 0.0
+        assert curve.speed(5.5) == 0.5
+
+    def test_boundary_belongs_to_next_phase(self):
+        curve = PiecewiseConstantCurve([(2.0, 1.0), (2.0, 0.0)])
+        assert curve.speed(2.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            PiecewiseConstantCurve([])
+        with pytest.raises(SimulationError):
+            PiecewiseConstantCurve([(0.0, 1.0)])
+        with pytest.raises(SimulationError):
+            PiecewiseConstantCurve([(1.0, -0.5)])
+
+
+class TestRegimes:
+    def test_highway_stays_near_cruise(self, rng):
+        curve = HighwayCurve(DURATION, rng, cruise=1.0, wobble=0.1)
+        for i in range(100):
+            t = DURATION * i / 100
+            assert 0.85 <= curve.speed(t) <= 1.15
+
+    def test_city_actually_stops(self, rng):
+        curve = CityCurve(DURATION, rng)
+        stopped = sum(
+            curve.speed(DURATION * i / 600) == 0.0 for i in range(600)
+        )
+        assert stopped > 0
+
+    def test_jam_has_crawl_phase(self, rng):
+        curve = TrafficJamCurve(DURATION, rng, cruise=1.0, crawl=0.05)
+        mid_jam = (curve.jam_start + curve.jam_end) / 2.0
+        assert curve.speed(mid_jam) == pytest.approx(0.05)
+        assert curve.speed(0.0) == 1.0
+
+    def test_rush_hour_oscillates_between_limits(self, rng):
+        curve = RushHourCurve(DURATION, rng, free_flow=0.8, congested=0.2)
+        values = [curve.speed(DURATION * i / 300) for i in range(301)]
+        assert min(values) >= 0.2 - 1e-9
+        assert max(values) <= 0.8 + 1e-9
+        assert max(values) - min(values) > 0.3
+
+    def test_mixed_concatenates(self):
+        mixed = MixedCurve([ConstantCurve(5.0, 1.0), ConstantCurve(5.0, 0.2)])
+        assert mixed.duration == 10.0
+        assert mixed.speed(2.0) == 1.0
+        assert mixed.speed(7.0) == 0.2
+
+
+class TestStandardSet:
+    def test_count_and_duration(self, rng):
+        curves = standard_curve_set(rng, count=12, duration=45.0)
+        assert len(curves) == 12
+        for curve in curves:
+            assert curve.duration == pytest.approx(45.0)
+
+    def test_covers_all_regimes(self, rng):
+        kinds = {c.kind for c in standard_curve_set(rng, count=10)}
+        assert {"highway", "city", "jam", "rush-hour", "mixed"} <= kinds
+
+    def test_validation(self, rng):
+        with pytest.raises(SimulationError):
+            standard_curve_set(rng, count=0)

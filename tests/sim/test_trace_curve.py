@@ -1,0 +1,81 @@
+"""Unit tests for TraceCurve (recorded-trace playback)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.speed_curves import TraceCurve
+from repro.sim.trip import Trip
+
+
+class TestConstruction:
+    def test_needs_two_samples(self):
+        with pytest.raises(SimulationError):
+            TraceCurve([(0.0, 1.0)])
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(SimulationError):
+            TraceCurve([(1.0, 1.0), (2.0, 1.0)])
+
+    def test_times_strictly_increasing(self):
+        with pytest.raises(SimulationError):
+            TraceCurve([(0.0, 1.0), (1.0, 1.0), (1.0, 0.5)])
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(SimulationError):
+            TraceCurve([(0.0, 1.0), (1.0, -0.5)])
+
+    def test_duration_from_last_sample(self):
+        curve = TraceCurve([(0.0, 1.0), (5.0, 0.5), (12.0, 0.8)])
+        assert curve.duration == 12.0
+
+
+class TestInterpolation:
+    def test_exact_sample_values(self):
+        curve = TraceCurve([(0.0, 1.0), (2.0, 0.0), (4.0, 0.6)])
+        assert curve.speed(0.0) == 1.0
+        assert curve.speed(2.0) == 0.0
+        assert curve.speed(4.0) == 0.6
+
+    def test_linear_between_samples(self):
+        curve = TraceCurve([(0.0, 1.0), (2.0, 0.0)])
+        assert curve.speed(1.0) == pytest.approx(0.5)
+        assert curve.speed(0.5) == pytest.approx(0.75)
+
+    def test_out_of_domain_rejected(self):
+        curve = TraceCurve([(0.0, 1.0), (1.0, 1.0)])
+        with pytest.raises(SimulationError):
+            curve.speed(2.0)
+
+    def test_feeds_a_trip(self):
+        curve = TraceCurve([(0.0, 1.0), (10.0, 1.0)])
+        trip = Trip.synthetic(curve)
+        assert trip.total_distance == pytest.approx(10.0, abs=0.01)
+
+
+class TestCsvLoading:
+    def test_roundtrip_with_header(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("time,speed\n0.0,1.0\n2.5,0.4\n5.0,0.9\n")
+        curve = TraceCurve.from_csv(str(path))
+        assert curve.duration == 5.0
+        assert curve.speed(2.5) == pytest.approx(0.4)
+
+    def test_without_header(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("0.0,1.0\n3.0,0.2\n")
+        curve = TraceCurve.from_csv(str(path))
+        assert curve.speed(3.0) == pytest.approx(0.2)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("0.0,1.0\n\n3.0,0.2\n\n")
+        assert TraceCurve.from_csv(str(path)).duration == 3.0
+
+    def test_malformed_rows_rejected(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("0.0,1.0\n3.0\n")
+        with pytest.raises(SimulationError):
+            TraceCurve.from_csv(str(path))
+        path.write_text("0.0,1.0\n3.0,abc\n")
+        with pytest.raises(SimulationError):
+            TraceCurve.from_csv(str(path))

@@ -1,0 +1,98 @@
+"""Unit tests for repro.sim.trip."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.routes.generators import straight_route
+from repro.sim.speed_curves import (
+    CityCurve,
+    ConstantCurve,
+    PiecewiseConstantCurve,
+)
+from repro.sim.trip import Trip
+
+
+class TestIntegration:
+    def test_constant_speed_distance(self):
+        trip = Trip.synthetic(ConstantCurve(10.0, 0.5))
+        assert trip.distance_travelled(4.0) == pytest.approx(2.0)
+        assert trip.total_distance == pytest.approx(5.0)
+
+    def test_piecewise_distance(self):
+        curve = PiecewiseConstantCurve([(2.0, 1.0), (3.0, 0.0), (5.0, 0.4)])
+        trip = Trip.synthetic(curve)
+        assert trip.distance_travelled(2.0) == pytest.approx(2.0, abs=0.01)
+        assert trip.distance_travelled(5.0) == pytest.approx(2.0, abs=0.01)
+        assert trip.distance_travelled(10.0) == pytest.approx(4.0, abs=0.01)
+
+    def test_distance_monotone(self, rng):
+        trip = Trip.synthetic(CityCurve(20.0, rng))
+        previous = 0.0
+        for i in range(201):
+            t = 20.0 * i / 200
+            d = trip.distance_travelled(t)
+            assert d >= previous - 1e-12
+            previous = d
+
+    def test_interpolation_between_samples(self):
+        trip = Trip.synthetic(ConstantCurve(10.0, 1.0))
+        # Query off the internal integration grid.
+        assert trip.distance_travelled(1.2345) == pytest.approx(1.2345,
+                                                                abs=1e-6)
+
+    def test_out_of_domain_rejected(self):
+        trip = Trip.synthetic(ConstantCurve(10.0, 1.0))
+        with pytest.raises(SimulationError):
+            trip.distance_travelled(11.0)
+        with pytest.raises(SimulationError):
+            trip.distance_travelled(-0.5)
+
+
+class TestRouteBinding:
+    def test_position_on_straight_route(self):
+        trip = Trip.synthetic(ConstantCurve(10.0, 1.0))
+        p = trip.position(3.0)
+        assert p.x == pytest.approx(3.0, abs=1e-6)
+        assert p.y == pytest.approx(0.0, abs=1e-9)
+
+    def test_synthetic_route_fits(self, rng):
+        trip = Trip.synthetic(CityCurve(30.0, rng))
+        assert trip.fits_route()
+
+    def test_travel_clamped_at_route_end(self):
+        route = straight_route(2.0, "short")
+        trip = Trip(route, ConstantCurve(10.0, 1.0))
+        assert not trip.fits_route()
+        assert trip.travel_at(10.0) == pytest.approx(2.0)
+
+    def test_start_travel_offset(self):
+        route = straight_route(20.0, "long")
+        trip = Trip(route, ConstantCurve(5.0, 1.0), start_travel=3.0)
+        assert trip.position(2.0).x == pytest.approx(5.0, abs=1e-6)
+
+    def test_start_travel_validated(self):
+        route = straight_route(2.0, "short")
+        with pytest.raises(SimulationError):
+            Trip(route, ConstantCurve(1.0, 1.0), start_travel=5.0)
+
+    def test_direction_validated(self):
+        route = straight_route(5.0, "r")
+        with pytest.raises(SimulationError):
+            Trip(route, ConstantCurve(1.0, 1.0), direction=2)
+
+    def test_reverse_direction_position(self):
+        route = straight_route(10.0, "rev")
+        trip = Trip(route, ConstantCurve(5.0, 1.0), direction=1)
+        assert trip.position(3.0).x == pytest.approx(7.0, abs=1e-6)
+
+
+class TestEnvelope:
+    def test_max_speed_covers_curve(self, rng):
+        trip = Trip.synthetic(CityCurve(20.0, rng))
+        for i in range(101):
+            assert trip.speed(20.0 * i / 100) <= trip.max_speed
+
+    def test_duration_delegates(self):
+        assert Trip.synthetic(ConstantCurve(12.5, 0.1)).duration == 12.5

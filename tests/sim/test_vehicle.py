@@ -1,0 +1,120 @@
+"""Unit tests for repro.sim.vehicle (the onboard computer)."""
+
+import pytest
+
+from repro.core.policies import AverageImmediateLinearPolicy, DelayedLinearPolicy
+from repro.errors import SimulationError
+from repro.sim.speed_curves import ConstantCurve, PiecewiseConstantCurve
+from repro.sim.trip import Trip
+from repro.sim.vehicle import OnboardComputer
+
+C = 5.0
+
+
+class TestDeviationTracking:
+    def test_zero_deviation_at_constant_speed(self):
+        trip = Trip.synthetic(ConstantCurve(10.0, 1.0))
+        computer = OnboardComputer(trip, DelayedLinearPolicy(C))
+        for t in (1.0, 5.0, 9.0):
+            assert computer.deviation(t) == pytest.approx(0.0, abs=1e-9)
+
+    def test_deviation_grows_after_stop(self, example1_trip):
+        computer = OnboardComputer(example1_trip, DelayedLinearPolicy(C))
+        # Declared 1 mi/min at t=0; stopped from t=2.
+        assert computer.deviation(2.0) == pytest.approx(0.0, abs=1e-6)
+        assert computer.deviation(3.0) == pytest.approx(1.0, abs=0.02)
+        assert computer.deviation(4.0) == pytest.approx(2.0, abs=0.02)
+
+    def test_database_travel_dead_reckons(self, example1_trip):
+        computer = OnboardComputer(example1_trip, DelayedLinearPolicy(C))
+        assert computer.database_travel(4.0) == pytest.approx(4.0)
+
+    def test_query_before_update_rejected(self, example1_trip):
+        computer = OnboardComputer(example1_trip, DelayedLinearPolicy(C))
+        state = computer.observe(3.0)
+        decision = computer.policy.decide(state)
+        computer.apply_update(3.0, decision, state.deviation)
+        with pytest.raises(SimulationError):
+            computer.database_travel(2.0)
+
+
+class TestObserve:
+    def test_state_fields_at_constant_speed(self):
+        trip = Trip.synthetic(ConstantCurve(10.0, 0.5))
+        computer = OnboardComputer(trip, AverageImmediateLinearPolicy(C))
+        state = computer.observe(4.0)
+        assert state.elapsed == 4.0
+        assert state.deviation == 0.0
+        assert state.current_speed == 0.5
+        assert state.average_speed_since_update == pytest.approx(0.5)
+        assert state.trip_average_speed == pytest.approx(0.5)
+        assert state.declared_speed == 0.5
+
+    def test_last_zero_tracking_gives_delay(self, example1_trip):
+        """The dl fitting's b: deviation was zero until the stop at t=2."""
+        computer = OnboardComputer(example1_trip, DelayedLinearPolicy(C))
+        for t in (0.5, 1.0, 1.5, 2.0, 2.5, 3.0):
+            state = computer.observe(t)
+        assert state.elapsed_at_last_zero_deviation == pytest.approx(2.0,
+                                                                     abs=0.02)
+
+    def test_average_speed_reflects_stop(self, example1_trip):
+        computer = OnboardComputer(example1_trip, DelayedLinearPolicy(C))
+        state = computer.observe(4.0)
+        # Travelled 2 miles in 4 minutes.
+        assert state.average_speed_since_update == pytest.approx(0.5,
+                                                                 abs=0.01)
+
+
+class TestUpdates:
+    def test_step_fires_and_resets(self, example1_trip):
+        computer = OnboardComputer(example1_trip, DelayedLinearPolicy(C))
+        fired_at = None
+        t = 0.0
+        dt = 1.0 / 60.0
+        while t < example1_trip.duration - dt:
+            t += dt
+            _, decision = computer.step(t)
+            if decision.send:
+                fired_at = t
+                break
+        assert fired_at is not None
+        # Example 1: update ~1.74 minutes after the stop at t=2.
+        assert fired_at == pytest.approx(2.0 + 1.74, abs=0.05)
+        # Deviation resets after the update.
+        assert computer.deviation(fired_at) == pytest.approx(0.0, abs=1e-9)
+        assert computer.num_updates == 1
+        event = computer.events[0]
+        assert event.deviation_at_update == pytest.approx(1.74, abs=0.05)
+        assert event.declared_speed == 0.0  # dl declares current speed
+
+    def test_update_rebases_reckoning(self, example1_trip):
+        computer = OnboardComputer(example1_trip, DelayedLinearPolicy(C))
+        dt = 1.0 / 60.0
+        t = 0.0
+        while computer.num_updates == 0 and t < example1_trip.duration - dt:
+            t += dt
+            computer.step(t)
+        assert computer.num_updates == 1
+        # New declared speed is the current speed (0 after the stop).
+        assert computer.declared_speed == 0.0
+        assert computer.database_travel(6.0) == pytest.approx(2.0, abs=0.01)
+        assert computer.deviation(6.0) == pytest.approx(0.0, abs=0.01)
+
+    def test_observe_going_backwards_rejected(self, example1_trip):
+        computer = OnboardComputer(example1_trip, DelayedLinearPolicy(C))
+        state = computer.observe(5.0)
+        decision = computer.policy.decide(state)
+        computer.apply_update(5.0, decision, state.deviation)
+        with pytest.raises(SimulationError):
+            computer.observe(4.0)
+
+
+class TestInitialWrite:
+    def test_initial_declared_speed_is_trip_start_speed(self):
+        curve = PiecewiseConstantCurve([(5.0, 0.7), (5.0, 0.2)])
+        computer = OnboardComputer(
+            Trip.synthetic(curve), DelayedLinearPolicy(C)
+        )
+        assert computer.declared_speed == 0.7
+        assert computer.num_updates == 0

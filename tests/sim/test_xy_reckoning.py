@@ -1,0 +1,102 @@
+"""Unit tests for repro.sim.xy_reckoning (the §5 counter-example)."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.routes.generators import straight_route, winding_route
+from repro.sim.speed_curves import ConstantCurve, PiecewiseConstantCurve
+from repro.sim.trip import Trip
+from repro.sim.xy_reckoning import (
+    simulate_route_dead_reckoning,
+    simulate_xy_dead_reckoning,
+    velocity_vector,
+)
+
+DT = 1.0 / 30.0
+
+
+class TestVelocityVector:
+    def test_along_straight_route(self):
+        trip = Trip(straight_route(20.0, "s"), ConstantCurve(10.0, 0.5))
+        v = velocity_vector(trip, 3.0)
+        assert v.x == pytest.approx(0.5)
+        assert v.y == pytest.approx(0.0, abs=1e-12)
+
+    def test_reverse_direction_flips(self):
+        trip = Trip(straight_route(20.0, "s"), ConstantCurve(10.0, 0.5),
+                    direction=1)
+        v = velocity_vector(trip, 3.0)
+        assert v.x == pytest.approx(-0.5)
+
+    def test_magnitude_is_speed(self):
+        route = winding_route(15.0, random.Random(1), "w")
+        trip = Trip(route, ConstantCurve(10.0, 1.0))
+        for t in (1.0, 5.0, 9.0):
+            v = velocity_vector(trip, t)
+            assert math.hypot(v.x, v.y) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestStraightRoute:
+    def test_constant_speed_no_updates_either_model(self):
+        trip = Trip(straight_route(15.0, "s"), ConstantCurve(10.0, 1.0))
+        xy = simulate_xy_dead_reckoning(trip, 0.2, dt=DT)
+        route = simulate_route_dead_reckoning(trip, 0.2, dt=DT)
+        assert xy.num_updates == 0
+        assert route.num_updates == 0
+        assert xy.avg_deviation == pytest.approx(0.0, abs=1e-9)
+
+    def test_speed_change_updates_both_models_equally(self):
+        curve = PiecewiseConstantCurve([(3.0, 1.0), (7.0, 0.3)])
+        trip = Trip(straight_route(12.0, "s"), curve)
+        xy = simulate_xy_dead_reckoning(trip, 0.2, dt=DT)
+        route = simulate_route_dead_reckoning(trip, 0.2, dt=DT)
+        # On a straight route the two models are equivalent.
+        assert xy.num_updates == route.num_updates > 0
+
+
+class TestWindingRoute:
+    def test_xy_model_pays_for_bends(self):
+        """The §5 claim: constant speed on a winding route costs the
+        per-coordinate model updates while the route model needs none."""
+        route = winding_route(12.0, random.Random(5), "w",
+                              max_turn_degrees=45.0)
+        trip = Trip(route, ConstantCurve(10.0, 1.0))
+        xy = simulate_xy_dead_reckoning(trip, 0.15, dt=DT)
+        route_based = simulate_route_dead_reckoning(trip, 0.15, dt=DT)
+        assert route_based.num_updates == 0
+        assert xy.num_updates > 5
+
+    def test_sharper_bends_cost_more(self):
+        rng1, rng2 = random.Random(9), random.Random(9)
+        gentle = winding_route(12.0, rng1, "g", max_turn_degrees=10.0)
+        sharp = winding_route(12.0, rng2, "sh", max_turn_degrees=70.0)
+        trip_g = Trip(gentle, ConstantCurve(10.0, 1.0))
+        trip_s = Trip(sharp, ConstantCurve(10.0, 1.0))
+        updates_g = simulate_xy_dead_reckoning(trip_g, 0.15, dt=DT).num_updates
+        updates_s = simulate_xy_dead_reckoning(trip_s, 0.15, dt=DT).num_updates
+        assert updates_s > updates_g
+
+    def test_deviation_capped_near_threshold(self):
+        route = winding_route(12.0, random.Random(3), "w")
+        trip = Trip(route, ConstantCurve(10.0, 1.0))
+        result = simulate_xy_dead_reckoning(trip, 0.2, dt=DT)
+        slack = trip.max_speed * DT * 2
+        assert result.max_deviation <= 0.2 + slack
+
+
+class TestValidation:
+    def test_threshold_positive(self):
+        trip = Trip(straight_route(15.0, "s"), ConstantCurve(10.0, 1.0))
+        with pytest.raises(SimulationError):
+            simulate_xy_dead_reckoning(trip, 0.0)
+        with pytest.raises(SimulationError):
+            simulate_route_dead_reckoning(trip, -1.0)
+
+    def test_updates_per_hour(self):
+        trip = Trip(straight_route(15.0, "s"),
+                    PiecewiseConstantCurve([(5.0, 1.0), (5.0, 0.0)]))
+        result = simulate_route_dead_reckoning(trip, 0.5, dt=DT)
+        assert result.updates_per_hour == result.num_updates * 6.0

@@ -1,0 +1,112 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(args):
+    out = io.StringIO()
+    code = main(args, out=out)
+    return code, out.getvalue()
+
+
+class TestSimulate:
+    def test_default_run(self):
+        code, output = run_cli(
+            ["simulate", "--duration", "10", "--dt", "0.1"]
+        )
+        assert code == 0
+        assert "updates sent" in output
+        assert "total cost" in output
+
+    def test_policy_and_cost_flags(self):
+        code, output = run_cli(
+            ["simulate", "--policy", "dl", "--cost", "2.0",
+             "--duration", "10", "--dt", "0.1"]
+        )
+        assert code == 0
+        assert "dl (C = 2.0)" in output
+
+    def test_series_csv_written(self, tmp_path):
+        path = str(tmp_path / "series.csv")
+        code, output = run_cli(
+            ["simulate", "--duration", "5", "--dt", "0.1",
+             "--series-csv", path]
+        )
+        assert code == 0
+        header = open(path).readline().strip()
+        assert header == "time,deviation,uncertainty_bound"
+
+    def test_trace_input(self, tmp_path):
+        trace = tmp_path / "trace.csv"
+        trace.write_text("0.0,1.0\n5.0,1.0\n10.0,0.0\n")
+        code, output = run_cli(
+            ["simulate", "--trace", str(trace), "--dt", "0.1"]
+        )
+        assert code == 0
+        assert "trace" in output
+
+
+class TestScenario:
+    def test_taxi_scenario(self):
+        code, output = run_cli(
+            ["scenario", "--name", "taxi", "--size", "3",
+             "--duration", "4"]
+        )
+        assert code == 0
+        assert "taxi-fleet" in output
+        assert "messages" in output
+
+    def test_snapshot_saved(self, tmp_path):
+        path = str(tmp_path / "db.json")
+        code, output = run_cli(
+            ["scenario", "--name", "taxi", "--size", "3",
+             "--duration", "4", "--snapshot", path]
+        )
+        assert code == 0
+        assert "snapshot written" in output
+
+
+class TestQuery:
+    def test_query_against_snapshot(self, tmp_path):
+        path = str(tmp_path / "db.json")
+        code, _ = run_cli(
+            ["scenario", "--name", "taxi", "--size", "3",
+             "--duration", "4", "--snapshot", path]
+        )
+        assert code == 0
+        code, output = run_cli(
+            ["query", path, "RETRIEVE taxi WITHIN 50 OF (8, 8)"]
+        )
+        assert code == 0
+        assert "must:" in output
+        code, output = run_cli(["query", path, "POSITION OF taxi-1"])
+        assert code == 0
+        assert "position (" in output
+
+    def test_bad_statement_reports_error(self, tmp_path):
+        path = str(tmp_path / "db.json")
+        run_cli(["scenario", "--name", "taxi", "--size", "2",
+                 "--duration", "4", "--snapshot", path])
+        code, _ = run_cli(["query", path, "DROP TABLE taxis"])
+        assert code == 1
+
+
+class TestReport:
+    def test_fast_report(self):
+        code, output = run_cli(["report", "--fast"])
+        assert code == 0
+        assert "[E1]" in output and "[E17]" in output
+
+
+class TestParsing:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_curve_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--curve", "warp"])

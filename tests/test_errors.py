@@ -1,0 +1,35 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            errors.GeometryError,
+            errors.RouteError,
+            errors.PolicyError,
+            errors.SchemaError,
+            errors.QueryError,
+            errors.IndexError_,
+            errors.SimulationError,
+            errors.ExperimentError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_route_error_is_geometry_error(self):
+        assert issubclass(errors.RouteError, errors.GeometryError)
+
+    def test_spatial_index_alias(self):
+        assert errors.SpatialIndexError is errors.IndexError_
+
+    def test_index_error_does_not_shadow_builtin(self):
+        assert errors.IndexError_ is not IndexError
+        with pytest.raises(errors.IndexError_):
+            raise errors.IndexError_("boom")
+
+    def test_single_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.PolicyError("policy broke")

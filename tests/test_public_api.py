@@ -1,0 +1,38 @@
+"""The package root exports a working public API."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_docstring_example_runs(self):
+        """The README/quickstart snippet must actually work."""
+        import random
+
+        from repro import (
+            AverageImmediateLinearPolicy,
+            HighwayCurve,
+            Trip,
+            simulate_trip,
+        )
+
+        curve = HighwayCurve(10.0, random.Random(1))
+        trip = Trip.synthetic(curve)
+        result = simulate_trip(
+            trip, AverageImmediateLinearPolicy(update_cost=5.0),
+            dt=1.0 / 12.0,
+        )
+        assert result.metrics.total_cost >= 0.0
+
+    def test_policy_factory_covers_paper_policies(self):
+        from repro import make_policy
+
+        for name in ("dl", "ail", "cil"):
+            policy = make_policy(name, 5.0)
+            assert policy.name == name

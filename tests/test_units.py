@@ -1,0 +1,26 @@
+"""Unit tests for repro.units."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_mph_roundtrip(self):
+        assert units.mph_to_miles_per_minute(60.0) == 1.0
+        assert units.miles_per_minute_to_mph(1.0) == 60.0
+        assert units.miles_per_minute_to_mph(
+            units.mph_to_miles_per_minute(37.5)
+        ) == pytest.approx(37.5)
+
+    def test_time_conversions(self):
+        assert units.seconds_to_minutes(90.0) == 1.5
+        assert units.minutes_to_seconds(1.5) == 90.0
+        assert units.hours_to_minutes(2.0) == 120.0
+
+    def test_km_roundtrip(self):
+        assert units.miles_to_km(1.0) == pytest.approx(1.609344)
+        assert units.km_to_miles(units.miles_to_km(3.3)) == pytest.approx(3.3)
+
+    def test_default_tick_is_one_second(self):
+        assert units.DEFAULT_TICK_MINUTES == pytest.approx(1.0 / 60.0)

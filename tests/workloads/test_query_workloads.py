@@ -1,0 +1,63 @@
+"""Unit tests for repro.workloads.query_workloads."""
+
+import random
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.routes.generators import grid_city_network
+from repro.workloads.query_workloads import (
+    polygon_query_workload,
+    within_distance_workload,
+)
+
+
+@pytest.fixture
+def network():
+    return grid_city_network(blocks_x=8, blocks_y=8, block_miles=0.5)
+
+
+class TestPolygonWorkload:
+    def test_count_and_shape(self, network):
+        polygons = polygon_query_workload(
+            network, random.Random(1), 10, side_miles=(1.0, 2.0)
+        )
+        assert len(polygons) == 10
+        for polygon in polygons:
+            rect = polygon.bounding_rect
+            assert 1.0 <= rect.width <= 2.0
+            assert 1.0 <= rect.height <= 2.0
+
+    def test_centres_cover_extent(self, network):
+        polygons = polygon_query_workload(network, random.Random(2), 50)
+        xs = [p.bounding_rect.center.x for p in polygons]
+        assert min(xs) < 1.5 and max(xs) > 2.5  # spread over the 4-mi grid
+
+    def test_deterministic(self, network):
+        a = polygon_query_workload(network, random.Random(3), 5)
+        b = polygon_query_workload(network, random.Random(3), 5)
+        assert [p.bounding_rect for p in a] == [p.bounding_rect for p in b]
+
+    def test_validation(self, network):
+        with pytest.raises(ExperimentError):
+            polygon_query_workload(network, random.Random(1), 0)
+        with pytest.raises(ExperimentError):
+            polygon_query_workload(network, random.Random(1), 5,
+                                   side_miles=(2.0, 1.0))
+
+
+class TestWithinDistanceWorkload:
+    def test_count_and_radii(self, network):
+        queries = within_distance_workload(
+            network, random.Random(1), 10, radius_miles=(0.5, 1.5)
+        )
+        assert len(queries) == 10
+        for _, radius in queries:
+            assert 0.5 <= radius <= 1.5
+
+    def test_validation(self, network):
+        with pytest.raises(ExperimentError):
+            within_distance_workload(network, random.Random(1), 0)
+        with pytest.raises(ExperimentError):
+            within_distance_workload(network, random.Random(1), 5,
+                                     radius_miles=(0.0, 1.0))

@@ -1,0 +1,80 @@
+"""Unit tests for repro.workloads.scenarios."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.workloads.scenarios import (
+    battlefield_scenario,
+    taxi_fleet_scenario,
+    trucking_scenario,
+)
+
+# Small sizes keep these integration-ish tests quick.
+KW = dict(duration=6.0, dt=1.0 / 20.0)
+
+
+class TestTaxiFleet:
+    def test_builds_and_runs(self):
+        scenario = taxi_fleet_scenario(num_taxis=4, **KW)
+        counts = scenario.fleet.run()
+        assert len(counts) == 4
+        assert len(scenario.database) == 4
+
+    def test_free_attribute_present(self):
+        scenario = taxi_fleet_scenario(num_taxis=4, **KW)
+        table = scenario.database.table("taxi")
+        values = {table.get(oid).get("free") for oid in table.ids()}
+        assert values <= {True, False}
+
+    def test_deterministic_given_seed(self):
+        a = taxi_fleet_scenario(num_taxis=3, seed=5, **KW)
+        b = taxi_fleet_scenario(num_taxis=3, seed=5, **KW)
+        assert a.fleet.run() == b.fleet.run()
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            taxi_fleet_scenario(num_taxis=0)
+
+
+class TestTrucking:
+    def test_builds_and_runs(self):
+        scenario = trucking_scenario(num_trucks=4, **KW)
+        counts = scenario.fleet.run()
+        assert len(counts) == 4
+        table = scenario.database.table("truck")
+        assert all("carrier" in table.get(oid) for oid in table.ids())
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            trucking_scenario(num_trucks=0)
+
+
+class TestBattlefield:
+    def test_builds_and_runs(self):
+        scenario = battlefield_scenario(num_units=5, **KW)
+        scenario.fleet.run()
+        table = scenario.database.table("unit")
+        sides = {table.get(oid)["allegiance"] for oid in table.ids()}
+        assert sides == {"friendly", "hostile"}
+
+    def test_friendly_filter_composes_with_range_query(self):
+        """The intro's query: friendly units in a region = range answer
+        intersected with an attribute scan."""
+        scenario = battlefield_scenario(num_units=6, **KW)
+        scenario.fleet.run()
+        from repro.geometry.polygon import Polygon
+
+        min_x, min_y, max_x, max_y = scenario.network.bounding_extent()
+        region = Polygon.rectangle(min_x - 1, min_y - 1, max_x + 1, max_y + 1)
+        t = scenario.database.clock_time
+        answer = scenario.database.range_query(region, t)
+        friendly = set(scenario.database.table("unit").scan(
+            allegiance="friendly"
+        ))
+        assert (answer.may & friendly) <= friendly
+        # The whole-extent region must contain every unit.
+        assert answer.must == frozenset(scenario.database.object_ids())
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            battlefield_scenario(num_units=0)
