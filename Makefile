@@ -8,16 +8,16 @@ install:
 	$(PYTHON) setup.py develop
 
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 report:
-	$(PYTHON) -m repro.experiments.runner
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.runner
 
 report-fast:
-	$(PYTHON) -m repro.experiments.runner --fast
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.runner --fast
 
 examples:
 	@for script in examples/*.py; do \

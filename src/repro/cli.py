@@ -1,12 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the library's day-one workflows:
+Five commands cover the library's day-one workflows:
 
 * ``report [--fast]`` — regenerate the full reproduction report
-  (every paper table/figure plus the extension experiments),
+  (every paper table/figure plus the extension experiments); with
+  ``--metrics-out`` it also dumps a JSONL metrics snapshot,
 * ``simulate`` — run one trip under one policy and print its metrics
   (optionally dumping the per-tick series as CSV),
 * ``scenario`` — run a fleet scenario and print message accounting,
+* ``stats`` — run a fleet scenario under a live metrics registry and
+  tracer, issue range queries against the running database, and emit
+  the metric snapshot (Prometheus text and/or JSONL, plus an optional
+  span trace),
 * ``query`` — execute an MQL statement against a JSON database
   snapshot (see :mod:`repro.dbms.persistence`).
 """
@@ -58,11 +63,22 @@ def _build_curve(kind: str, duration: float, seed: int,
 def _cmd_report(args: argparse.Namespace, out: TextIO) -> int:
     from repro.experiments.runner import run_all
 
-    run_all(fast=args.fast, out=out)
+    if args.metrics_out is not None:
+        from repro.obs import use_registry, write_jsonl
+
+        with use_registry() as registry:
+            run_all(fast=args.fast, out=out)
+        write_jsonl(registry, args.metrics_out)
+        print(f"metrics snapshot written to {args.metrics_out}", file=out)
+    else:
+        run_all(fast=args.fast, out=out)
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace, out: TextIO) -> int:
+    # Seed the global RNG too: --seed must fully determinize the run
+    # even for components that draw from the module-level generator.
+    random.seed(args.seed)
     curve = _build_curve(args.curve, args.duration, args.seed, args.trace)
     trip = Trip.synthetic(curve, route_id="cli")
     policy = make_policy(args.policy, args.cost)
@@ -92,7 +108,7 @@ def _cmd_simulate(args: argparse.Namespace, out: TextIO) -> int:
     return 0
 
 
-def _cmd_scenario(args: argparse.Namespace, out: TextIO) -> int:
+def _build_scenario(name: str, size: int, duration: float, seed: int):
     from repro.workloads import (
         battlefield_scenario,
         taxi_fleet_scenario,
@@ -105,18 +121,22 @@ def _cmd_scenario(args: argparse.Namespace, out: TextIO) -> int:
         "battlefield": battlefield_scenario,
     }
     try:
-        builder = builders[args.name]
+        builder = builders[name]
     except KeyError:
         raise ReproError(
-            f"unknown scenario {args.name!r}; known: {sorted(builders)}"
+            f"unknown scenario {name!r}; known: {sorted(builders)}"
         ) from None
-    kwargs = {"duration": args.duration, "seed": args.seed}
     size_param = {
         "taxi": "num_taxis", "trucking": "num_trucks",
         "battlefield": "num_units",
-    }[args.name]
-    kwargs[size_param] = args.size
-    scenario = builder(**kwargs)
+    }[name]
+    return builder(**{
+        "duration": duration, "seed": seed, size_param: size,
+    })
+
+
+def _cmd_scenario(args: argparse.Namespace, out: TextIO) -> int:
+    scenario = _build_scenario(args.name, args.size, args.duration, args.seed)
     counts = scenario.fleet.run()
     total = sum(counts.values())
     print(f"scenario      : {scenario.name}", file=out)
@@ -131,6 +151,63 @@ def _cmd_scenario(args: argparse.Namespace, out: TextIO) -> int:
 
         save_database(scenario.database, args.snapshot)
         print(f"snapshot written to {args.snapshot}", file=out)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace, out: TextIO) -> int:
+    """Run a fleet scenario under full observability and emit telemetry."""
+    from repro.obs import (
+        Tracer,
+        jsonl_snapshot,
+        prometheus_text,
+        use_registry,
+        use_tracer,
+        write_jsonl,
+        write_prometheus,
+    )
+    from repro.workloads.query_workloads import polygon_query_workload
+
+    random.seed(args.seed)
+    tracer = Tracer()
+    with use_registry() as registry, use_tracer(tracer):
+        scenario = _build_scenario(
+            args.name, args.size, args.duration, args.seed
+        )
+        polygons = polygon_query_workload(
+            scenario.network, random.Random(args.seed + 1), count=args.queries
+        )
+        # Spread the query workload evenly over the run's ticks so the
+        # latency histograms sample a live, changing database.
+        num_ticks = max(int(args.duration / scenario.fleet.dt + 1e-9), 1)
+        stride = max(num_ticks // args.queries, 1)
+        progress = {"tick": 0, "query": 0}
+
+        def on_tick(t: float) -> None:
+            progress["tick"] += 1
+            if (progress["tick"] % stride == 0
+                    and progress["query"] < len(polygons)):
+                scenario.database.range_query(polygons[progress["query"]], t)
+                progress["query"] += 1
+
+        counts = scenario.fleet.run(on_tick=on_tick)
+
+    total = sum(counts.values())
+    print(f"# scenario {scenario.name}: {len(scenario.database)} objects, "
+          f"{args.duration} min, {total} update messages, "
+          f"{progress['query']} range queries", file=out)
+    if args.format in ("prom", "both"):
+        print(prometheus_text(registry), file=out, end="")
+    if args.format in ("jsonl", "both"):
+        print(jsonl_snapshot(registry), file=out, end="")
+    if args.prom_out is not None:
+        write_prometheus(registry, args.prom_out)
+        print(f"# prometheus snapshot written to {args.prom_out}", file=out)
+    if args.jsonl_out is not None:
+        write_jsonl(registry, args.jsonl_out)
+        print(f"# jsonl snapshot written to {args.jsonl_out}", file=out)
+    if args.trace_out is not None:
+        exported = tracer.export_jsonl(args.trace_out)
+        print(f"# {exported} spans written to {args.trace_out}", file=out)
     return 0
 
 
@@ -169,6 +246,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="run the reproduction report")
     report.add_argument("--fast", action="store_true")
+    report.add_argument("--metrics-out", default=None,
+                        help="write a JSONL metrics snapshot of the run")
     report.set_defaults(func=_cmd_report)
 
     simulate = sub.add_parser("simulate", help="simulate one trip")
@@ -196,6 +275,27 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--snapshot", default=None,
                           help="save the final database as JSON")
     scenario.set_defaults(func=_cmd_scenario)
+
+    stats = sub.add_parser(
+        "stats", help="run a fleet scenario and emit a metrics snapshot"
+    )
+    stats.add_argument("--name", default="taxi",
+                       choices=("taxi", "trucking", "battlefield"))
+    stats.add_argument("--size", type=int, default=10)
+    stats.add_argument("--duration", type=float, default=15.0)
+    stats.add_argument("--seed", type=int, default=7)
+    stats.add_argument("--queries", type=int, default=20,
+                       help="range queries issued against the live database")
+    stats.add_argument("--format", default="prom",
+                       choices=("prom", "jsonl", "both"),
+                       help="snapshot format(s) printed to stdout")
+    stats.add_argument("--prom-out", default=None,
+                       help="write the Prometheus-text snapshot to this path")
+    stats.add_argument("--jsonl-out", default=None,
+                       help="write the JSONL snapshot to this path")
+    stats.add_argument("--trace-out", default=None,
+                       help="write the span trace (JSONL) to this path")
+    stats.set_defaults(func=_cmd_stats)
 
     query = sub.add_parser("query", help="run MQL against a snapshot")
     query.add_argument("snapshot", help="JSON snapshot path")

@@ -31,11 +31,29 @@ from repro.dbms.storage import Table
 from repro.dbms.update_log import PositionUpdateMessage, UpdateLog
 from repro.errors import QueryError, SchemaError
 from repro.geometry.bbox import Rect2D
+from repro.obs.instrument import timed
+from repro.obs.registry import get_registry
 from repro.geometry.point import Point
 from repro.geometry.polygon import Polygon
 from repro.index.oplane import OPlane
 from repro.index.rtree import SearchStats
 from repro.routes.route import Route, RouteDatabase
+
+_QUERY_SECONDS = "dbms_query_seconds"
+_QUERY_HELP = "Query-processor latency by query kind."
+
+
+def _classification_counters(registry):
+    """(out, may, must) counters for refinement outcome accounting."""
+    help_text = "Candidate classifications by may/must outcome."
+    return (
+        registry.counter("dbms_classified_total", help=help_text,
+                         outcome="out"),
+        registry.counter("dbms_classified_total", help=help_text,
+                         outcome="may"),
+        registry.counter("dbms_classified_total", help=help_text,
+                         outcome="must"),
+    )
 
 
 class MovingObjectDatabase:
@@ -194,6 +212,8 @@ class MovingObjectDatabase:
     # Update processing
     # ------------------------------------------------------------------
 
+    @timed("dbms_update_seconds",
+           help="Latency of installing one position update (incl. reindex).")
     def process_update(self, message: PositionUpdateMessage) -> None:
         """Install a position update (instantaneous, §2) and re-index.
 
@@ -289,6 +309,7 @@ class MovingObjectDatabase:
                 "horizon or query earlier"
             )
 
+    @timed(_QUERY_SECONDS, help=_QUERY_HELP, kind="position")
     def position_of(self, object_id: str, t: float) -> PositionAnswer:
         """"What is the current position of m?" with error bounds (§3.3)."""
         self._check_query_time(t)
@@ -306,6 +327,7 @@ class MovingObjectDatabase:
             interval=record.uncertainty(route, t),
         )
 
+    @timed(_QUERY_SECONDS, help=_QUERY_HELP, kind="range")
     def range_query(self, polygon: Polygon, t: float,
                     stats: SearchStats | None = None,
                     where: dict[str, Any] | None = None,
@@ -325,6 +347,8 @@ class MovingObjectDatabase:
         """
         self._check_query_time(t)
         self._check_index_coverage(t)
+        registry = get_registry()
+        counters = _classification_counters(registry) if registry.enabled else None
         candidates = self._candidates(polygon.bounding_rect, t, stats)
         candidates = self._filter_candidates(candidates, where, class_name)
         may: set[str] = set()
@@ -334,6 +358,8 @@ class MovingObjectDatabase:
             route = self.routes.get(record.attribute.route_id)
             interval = record.uncertainty(route, t)
             outcome = classify_against_polygon(interval, route, polygon)
+            if counters is not None:
+                self._count_outcome(counters, outcome)
             if outcome == Containment.OUT:
                 continue
             may.add(object_id)
@@ -355,6 +381,16 @@ class MovingObjectDatabase:
             candidates=frozenset(candidates),
         )
 
+    @staticmethod
+    def _count_outcome(counters, outcome: Containment) -> None:
+        if outcome == Containment.OUT:
+            counters[0].inc()
+        elif outcome == Containment.MUST:
+            counters[2].inc()
+        else:
+            counters[1].inc()
+
+    @timed(_QUERY_SECONDS, help=_QUERY_HELP, kind="within")
     def within_distance(self, center: Point, radius: float, t: float,
                         stats: SearchStats | None = None,
                         where: dict[str, Any] | None = None,
@@ -372,6 +408,8 @@ class MovingObjectDatabase:
             center.x - radius, center.y - radius,
             center.x + radius, center.y + radius,
         )
+        registry = get_registry()
+        counters = _classification_counters(registry) if registry.enabled else None
         candidates = self._candidates(window, t, stats)
         candidates = self._filter_candidates(candidates, where, class_name)
         may: set[str] = set()
@@ -381,6 +419,8 @@ class MovingObjectDatabase:
             route = self.routes.get(record.attribute.route_id)
             interval = record.uncertainty(route, t)
             outcome = classify_within_distance(center, radius, interval, route)
+            if counters is not None:
+                self._count_outcome(counters, outcome)
             if outcome == Containment.OUT:
                 continue
             may.add(object_id)
@@ -402,6 +442,7 @@ class MovingObjectDatabase:
             candidates=frozenset(candidates),
         )
 
+    @timed(_QUERY_SECONDS, help=_QUERY_HELP, kind="proximity")
     def within_distance_of_object(self, anchor_id: str, radius: float,
                                   t: float,
                                   where: dict[str, Any] | None = None,
@@ -466,6 +507,7 @@ class MovingObjectDatabase:
             candidates=frozenset(candidates),
         )
 
+    @timed(_QUERY_SECONDS, help=_QUERY_HELP, kind="nearest")
     def nearest(self, center: Point, k: int, t: float,
                 where: dict[str, Any] | None = None,
                 class_name: str | None = None) -> list[NearestAnswer]:

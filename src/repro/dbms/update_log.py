@@ -14,6 +14,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 
 from repro.errors import QueryError
+from repro.obs.registry import get_registry
 
 
 @dataclass(frozen=True, slots=True)
@@ -62,6 +63,12 @@ class UpdateLog:
             )
         self._messages.append(message)
         self._per_object[message.object_id] += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "dbms_update_messages_total",
+                help="Position-update messages received by the database.",
+            ).inc()
 
     def __len__(self) -> int:
         return len(self._messages)

@@ -59,3 +59,7 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness failure (bad sweep spec, missing series, ...)."""
+
+
+class ObservabilityError(ReproError):
+    """A metrics/tracing misuse (kind conflict, bad buckets, bad name)."""

@@ -194,8 +194,20 @@ def main(argv: list[str] | None = None) -> int:
         "--fast", action="store_true",
         help="reduced sweep sizes for a quick run",
     )
+    parser.add_argument(
+        "--metrics-out", default=None,
+        help="run under a live metrics registry and write its JSONL "
+             "snapshot to this path (machine-readable run telemetry)",
+    )
     args = parser.parse_args(argv)
-    run_all(fast=args.fast)
+    if args.metrics_out is not None:
+        from repro.obs import use_registry, write_jsonl
+
+        with use_registry() as registry:
+            run_all(fast=args.fast)
+        write_jsonl(registry, args.metrics_out)
+    else:
+        run_all(fast=args.fast)
     return 0
 
 

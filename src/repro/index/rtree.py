@@ -28,6 +28,8 @@ from typing import Any, Hashable, Iterator
 
 from repro.errors import IndexError_
 from repro.geometry.bbox import Box3D
+from repro.obs.metrics import COUNT_BUCKETS
+from repro.obs.registry import get_registry
 
 #: Weight of the margin term in the box measure; small enough that
 #: volume dominates whenever volumes are non-degenerate.
@@ -364,27 +366,56 @@ class RTree:
     # ------------------------------------------------------------------
 
     def search(self, box: Box3D, stats: SearchStats | None = None) -> list[Hashable]:
-        """Payloads of all leaf entries whose boxes intersect ``box``."""
+        """Payloads of all leaf entries whose boxes intersect ``box``.
+
+        When observability is enabled, the per-search work accounting
+        (nodes visited, entries tested, result count) is also published
+        to the active metrics registry — the same numbers
+        :class:`SearchStats` reports, but aggregated across every
+        search of a run instead of one call at a time.
+        """
+        registry = get_registry()
+        observed = registry.enabled
+        if observed and stats is None:
+            stats = SearchStats()
+        base_nodes = stats.nodes_visited if stats is not None else 0
+        base_entries = stats.entries_tested if stats is not None else 0
         results: list[Hashable] = []
-        if self._size == 0:
-            return results
-        stack = [self._root]
-        while stack:
-            node = stack.pop()
-            if stats is not None:
-                stats.nodes_visited += 1
-            for entry in node.entries:
+        if self._size > 0:
+            stack = [self._root]
+            while stack:
+                node = stack.pop()
                 if stats is not None:
-                    stats.entries_tested += 1
-                if not entry.box.intersects(box):
-                    continue
-                if node.is_leaf:
-                    results.append(entry.payload)
-                else:
-                    assert entry.child is not None
-                    stack.append(entry.child)
+                    stats.nodes_visited += 1
+                for entry in node.entries:
+                    if stats is not None:
+                        stats.entries_tested += 1
+                    if not entry.box.intersects(box):
+                        continue
+                    if node.is_leaf:
+                        results.append(entry.payload)
+                    else:
+                        assert entry.child is not None
+                        stack.append(entry.child)
         if stats is not None:
             stats.results = len(results)
+        if observed:
+            registry.counter(
+                "index_searches_total", help="R-tree searches executed.",
+            ).inc()
+            registry.counter(
+                "index_nodes_visited_total",
+                help="R-tree nodes visited across all searches.",
+            ).inc(stats.nodes_visited - base_nodes)
+            registry.counter(
+                "index_entries_tested_total",
+                help="R-tree entries intersection-tested across all searches.",
+            ).inc(stats.entries_tested - base_entries)
+            registry.histogram(
+                "index_search_results",
+                help="Result-set size per R-tree search.",
+                buckets=COUNT_BUCKETS,
+            ).observe(len(results))
         return results
 
     def search_at_time(self, min_x: float, min_y: float, max_x: float,

@@ -25,6 +25,7 @@ from repro.errors import IndexError_
 from repro.geometry.bbox import Box3D, Rect2D
 from repro.index.oplane import OPlane
 from repro.index.rtree import RTree, SearchStats
+from repro.obs.registry import get_registry
 
 
 @dataclass(frozen=True, slots=True)
@@ -100,6 +101,13 @@ class TimeSpaceIndex:
             self._tree.insert(box, object_id)
         self._planes[object_id] = plane
         self._boxes[object_id] = boxes
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "index_boxes_inserted_total",
+                help="Slab boxes inserted into the time-space index.",
+            ).inc(len(boxes))
+            self._publish_size(registry)
         return len(boxes)
 
     def remove(self, object_id: str) -> int:
@@ -117,7 +125,22 @@ class TimeSpaceIndex:
                 f"index corruption: expected to remove {len(boxes)} boxes "
                 f"for {object_id!r}, removed {removed}"
             )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "index_boxes_removed_total",
+                help="Slab boxes removed from the time-space index.",
+            ).inc(removed)
+            self._publish_size(registry)
         return removed
+
+    def _publish_size(self, registry) -> None:
+        registry.gauge(
+            "index_objects", help="Objects currently indexed.",
+        ).set(len(self._planes))
+        registry.gauge(
+            "index_slab_boxes", help="Slab boxes currently stored.",
+        ).set(len(self._tree))
 
     def replace(self, object_id: str, plane: OPlane) -> IndexMaintenanceStats:
         """The §4.2 update step: swap the old o-plane for the new one."""

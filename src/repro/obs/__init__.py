@@ -1,0 +1,85 @@
+"""Observability: metrics registry, run tracing, and exporters.
+
+The subsystem every scaling PR proves itself against.  Three layers:
+
+* **Instruments** (:mod:`repro.obs.metrics`) — counters, gauges, and
+  fixed-bucket histograms owned by a :class:`MetricsRegistry`; a
+  :class:`NullRegistry` is the zero-cost process default.
+* **Tracing** (:mod:`repro.obs.tracing`) — nested timed spans recorded
+  by a :class:`Tracer` with JSONL export; :func:`span` opens a span on
+  the process tracer.
+* **Exporters** (:mod:`repro.obs.exporters`) — Prometheus text format
+  and JSONL snapshots.
+
+Enable for a block::
+
+    from repro.obs import use_registry, prometheus_text
+
+    with use_registry() as registry:
+        simulate_trip(trip, policy)
+    print(prometheus_text(registry))
+
+or process-wide with :func:`enable_metrics` (``repro stats`` and
+``--metrics-out`` do this for you).
+"""
+
+from repro.obs.exporters import (
+    jsonl_lines,
+    jsonl_snapshot,
+    prometheus_text,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.instrument import time_section, timed
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS_S,
+    MILE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.registry import (
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    get_tracer,
+    set_registry,
+    set_tracer,
+    span,
+    use_registry,
+    use_tracer,
+)
+from repro.obs.tracing import NullTracer, SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "LATENCY_BUCKETS_S",
+    "MILE_BUCKETS",
+    "COUNT_BUCKETS",
+    "Tracer",
+    "NullTracer",
+    "SpanRecord",
+    "span",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "enable_metrics",
+    "disable_metrics",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "timed",
+    "time_section",
+    "prometheus_text",
+    "jsonl_lines",
+    "jsonl_snapshot",
+    "write_prometheus",
+    "write_jsonl",
+]

@@ -1,0 +1,125 @@
+"""Snapshot exporters: Prometheus text format and JSONL.
+
+Both exporters consume :meth:`MetricsRegistry.snapshot` output, so they
+work on any registry (including one restored from a snapshot dict).
+
+* :func:`prometheus_text` renders the classic exposition format —
+  ``# HELP`` / ``# TYPE`` headers, ``name{label="v"} value`` samples,
+  and ``_bucket``/``_sum``/``_count`` series for histograms — suitable
+  for a pull scrape or a textfile collector.
+* :func:`jsonl_snapshot` renders one JSON object per sample, the format
+  ``repro stats``/``--metrics-out`` dump for offline analysis (every
+  line is independently parseable, so logs can be concatenated).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_labels(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [(k, str(v)) for k, v in sorted(labels.items())] + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry's current state in Prometheus exposition format."""
+    snapshot = registry.snapshot()
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+
+    def header(name: str, kind: str) -> None:
+        if name in seen_headers:
+            return
+        seen_headers.add(name)
+        help_text = registry.help_text(name)
+        if help_text:
+            lines.append(f"# HELP {name} {_escape(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for sample in snapshot["counters"]:
+        header(sample["name"], "counter")
+        lines.append(
+            f"{sample['name']}{_format_labels(sample['labels'])} "
+            f"{_format_value(sample['value'])}"
+        )
+    for sample in snapshot["gauges"]:
+        header(sample["name"], "gauge")
+        lines.append(
+            f"{sample['name']}{_format_labels(sample['labels'])} "
+            f"{_format_value(sample['value'])}"
+        )
+    for sample in snapshot["histograms"]:
+        name = sample["name"]
+        header(name, "histogram")
+        for bucket in sample["buckets"]:
+            le = _format_value(bucket["le"])
+            labels = _format_labels(sample["labels"], extra=(("le", le),))
+            lines.append(f"{name}_bucket{labels} {bucket['count']}")
+        labels = _format_labels(sample["labels"])
+        lines.append(f"{name}_sum{labels} {_format_value(sample['sum'])}")
+        lines.append(f"{name}_count{labels} {sample['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def jsonl_lines(registry: MetricsRegistry) -> list[str]:
+    """One JSON document per metric sample (kind tagged on each line)."""
+    snapshot = registry.snapshot()
+    lines: list[str] = []
+    for kind in ("counters", "gauges", "histograms"):
+        for sample in snapshot[kind]:
+            document = {"kind": kind[:-1], **sample}
+            if kind == "histograms":
+                document["buckets"] = [
+                    {
+                        "le": ("+Inf" if bucket["le"] == math.inf
+                               else bucket["le"]),
+                        "count": bucket["count"],
+                    }
+                    for bucket in sample["buckets"]
+                ]
+            lines.append(json.dumps(document, sort_keys=True))
+    return lines
+
+
+def jsonl_snapshot(registry: MetricsRegistry) -> str:
+    """The JSONL exporter's full output as one string."""
+    lines = jsonl_lines(registry)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry, path: str) -> None:
+    """Dump :func:`prometheus_text` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(prometheus_text(registry))
+
+
+def write_jsonl(registry: MetricsRegistry, path: str) -> None:
+    """Dump :func:`jsonl_snapshot` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(jsonl_snapshot(registry))

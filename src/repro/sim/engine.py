@@ -23,10 +23,13 @@ where the DBMS derives the bound from the policy, ``P.speed``, ``C``,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.core.bounds import DeviationBounds, bounds_for_policy
 from repro.core.policy import UpdatePolicy
 from repro.errors import SimulationError
+from repro.obs.metrics import MILE_BUCKETS
+from repro.obs.registry import get_registry, span
 from repro.sim.clock import SimulationClock
 from repro.sim.metrics import TripMetrics
 from repro.sim.trip import Trip
@@ -78,6 +81,30 @@ class PolicySimulation:
         bounds = self._bounds_for(computer.declared_speed)
         dt = self.clock.dt
 
+        # Observability hooks: instruments are hoisted out of the tick
+        # loop and the whole block collapses to `observed = False` under
+        # the default NullRegistry, keeping the library path zero-cost.
+        registry = get_registry()
+        observed = registry.enabled
+        if observed:
+            policy_name = self.policy.name
+            deviation_hist = registry.histogram(
+                "sim_tick_deviation_miles",
+                help="Per-tick onboard deviation samples.",
+                buckets=MILE_BUCKETS, policy=policy_name,
+            )
+            bound_hist = registry.histogram(
+                "sim_tick_bound_miles",
+                help="Per-tick DBMS-side uncertainty bound samples.",
+                buckets=MILE_BUCKETS, policy=policy_name,
+            )
+            update_counter = registry.counter(
+                "sim_updates_total",
+                help="Position-update messages decided by the engine.",
+                policy=policy_name,
+            )
+            wall_start = perf_counter()
+
         deviation_integral = 0.0
         deviation_cost = 0.0
         uncertainty_integral = 0.0
@@ -90,28 +117,36 @@ class PolicySimulation:
         db_travel_trace: list[float] = []
         actual_travel_trace: list[float] = []
 
-        for _, t in self.clock.ticks():
-            state = computer.observe(t)
-            deviation = state.deviation
-            bound = bounds.total(state.elapsed)
+        with span("simulate_trip", policy=self.policy.name,
+                  duration=self.clock.duration, dt=dt):
+            for _, t in self.clock.ticks():
+                state = computer.observe(t)
+                deviation = state.deviation
+                bound = bounds.total(state.elapsed)
 
-            deviation_integral += deviation * dt
-            deviation_cost += self.policy.cost_function.rate(deviation) * dt
-            uncertainty_integral += bound * dt
-            max_deviation = max(max_deviation, deviation)
-            max_uncertainty = max(max_uncertainty, bound)
+                deviation_integral += deviation * dt
+                deviation_cost += self.policy.cost_function.rate(deviation) * dt
+                uncertainty_integral += bound * dt
+                max_deviation = max(max_deviation, deviation)
+                max_uncertainty = max(max_uncertainty, bound)
 
-            if record_series:
-                times.append(t)
-                deviations.append(deviation)
-                bound_trace.append(bound)
-                db_travel_trace.append(computer.database_travel(t))
-                actual_travel_trace.append(self.trip.distance_travelled(t))
+                if observed:
+                    deviation_hist.observe(deviation)
+                    bound_hist.observe(bound)
 
-            decision = self.policy.decide(state)
-            if decision.send:
-                computer.apply_update(t, decision, deviation)
-                bounds = self._bounds_for(computer.declared_speed)
+                if record_series:
+                    times.append(t)
+                    deviations.append(deviation)
+                    bound_trace.append(bound)
+                    db_travel_trace.append(computer.database_travel(t))
+                    actual_travel_trace.append(self.trip.distance_travelled(t))
+
+                decision = self.policy.decide(state)
+                if decision.send:
+                    computer.apply_update(t, decision, deviation)
+                    bounds = self._bounds_for(computer.declared_speed)
+                    if observed:
+                        update_counter.inc()
 
         duration = self.clock.duration
         metrics = TripMetrics(
@@ -129,6 +164,29 @@ class PolicySimulation:
             avg_uncertainty=uncertainty_integral / duration,
             max_uncertainty=max_uncertainty,
         )
+        if observed:
+            registry.counter(
+                "sim_runs_total", help="Completed simulation runs.",
+                policy=policy_name,
+            ).inc()
+            registry.counter(
+                "sim_ticks_total", help="Engine ticks executed.",
+            ).inc(self.clock.num_ticks)
+            registry.histogram(
+                "sim_run_seconds",
+                help="Wall-clock time per simulation run.",
+                policy=policy_name,
+            ).observe(perf_counter() - wall_start)
+            registry.gauge(
+                "sim_avg_deviation_miles",
+                help="Time-averaged deviation of the last run.",
+                policy=policy_name,
+            ).set(metrics.avg_deviation)
+            registry.gauge(
+                "sim_total_cost",
+                help="Total cost (eq. 2) of the last run.",
+                policy=policy_name,
+            ).set(metrics.total_cost)
         series = (
             TripSeries(
                 times=times,

@@ -17,6 +17,7 @@ from repro.core.policy import UpdatePolicy
 from repro.dbms.database import MovingObjectDatabase
 from repro.dbms.update_log import PositionUpdateMessage
 from repro.errors import SimulationError
+from repro.obs.registry import get_registry, span
 from repro.sim.clock import SimulationClock
 from repro.sim.trip import Trip
 from repro.sim.vehicle import OnboardComputer
@@ -101,31 +102,82 @@ class FleetSimulation:
         if duration is None:
             duration = max(v.trip.duration for v in self.vehicles.values())
         clock = SimulationClock(duration, self.dt)
-        for _, t in clock.ticks():
-            for vehicle in self.vehicles.values():
-                if t > vehicle.trip.duration + 1e-9:
-                    continue
-                state = vehicle.computer.observe(t)
-                decision = vehicle.policy.decide(state)
-                if not decision.send:
-                    continue
-                vehicle.computer.apply_update(t, decision, state.deviation)
-                position = vehicle.trip.position(t)
-                self.database.process_update(
-                    PositionUpdateMessage(
-                        object_id=vehicle.object_id,
-                        time=t,
-                        x=position.x,
-                        y=position.y,
-                        speed=decision.speed_to_declare,
-                    )
+
+        # Observability hooks (no-ops under the default NullRegistry):
+        # per-vehicle message counters, per-policy deviation sums, and
+        # aggregate bandwidth.
+        registry = get_registry()
+        observed = registry.enabled
+        if observed:
+            registry.gauge(
+                "fleet_vehicles", help="Vehicles registered in the fleet.",
+            ).set(len(self.vehicles))
+            message_counter = registry.counter(
+                "fleet_messages_total",
+                help="Update messages transmitted by the whole fleet.",
+            )
+            vehicle_counters = {
+                object_id: registry.counter(
+                    "fleet_vehicle_messages_total",
+                    help="Update messages transmitted per vehicle.",
+                    vehicle=object_id,
                 )
-            if on_tick is not None:
-                on_tick(t)
-        return {
+                for object_id in self.vehicles
+            }
+            deviation_sums: dict[str, float] = {}
+            deviation_samples: dict[str, int] = {}
+
+        with span("fleet_run", vehicles=len(self.vehicles),
+                  duration=duration, dt=self.dt):
+            for _, t in clock.ticks():
+                for vehicle in self.vehicles.values():
+                    if t > vehicle.trip.duration + 1e-9:
+                        continue
+                    state = vehicle.computer.observe(t)
+                    if observed:
+                        name = vehicle.policy.name
+                        deviation_sums[name] = (
+                            deviation_sums.get(name, 0.0) + state.deviation
+                        )
+                        deviation_samples[name] = (
+                            deviation_samples.get(name, 0) + 1
+                        )
+                    decision = vehicle.policy.decide(state)
+                    if not decision.send:
+                        continue
+                    vehicle.computer.apply_update(t, decision, state.deviation)
+                    position = vehicle.trip.position(t)
+                    self.database.process_update(
+                        PositionUpdateMessage(
+                            object_id=vehicle.object_id,
+                            time=t,
+                            x=position.x,
+                            y=position.y,
+                            speed=decision.speed_to_declare,
+                        )
+                    )
+                    if observed:
+                        message_counter.inc()
+                        vehicle_counters[vehicle.object_id].inc()
+                if on_tick is not None:
+                    on_tick(t)
+
+        counts = {
             object_id: vehicle.messages_sent
             for object_id, vehicle in self.vehicles.items()
         }
+        if observed:
+            for name, total in deviation_sums.items():
+                registry.gauge(
+                    "fleet_avg_deviation_miles",
+                    help="Mean per-tick deviation of the run, by policy.",
+                    policy=name,
+                ).set(total / deviation_samples[name])
+            registry.gauge(
+                "fleet_messages_per_minute",
+                help="Aggregate update bandwidth of the run.",
+            ).set(sum(counts.values()) / duration)
+        return counts
 
     def actual_position(self, object_id: str, t: float):
         """Ground-truth position of a vehicle (for answer validation)."""

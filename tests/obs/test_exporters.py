@@ -1,0 +1,101 @@
+"""Unit tests for repro.obs.exporters — Prometheus text and JSONL."""
+
+import json
+
+import pytest
+
+from repro.obs.exporters import (
+    jsonl_lines,
+    jsonl_snapshot,
+    prometheus_text,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def populated() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("msgs_total", help="Messages sent.", policy="dl").inc(3)
+    registry.counter("msgs_total", help="Messages sent.", policy="ail").inc(1)
+    registry.gauge("fleet_size", help="Vehicles.").set(7)
+    hist = registry.histogram(
+        "query_seconds", help="Latency.", buckets=(0.1, 1.0), kind="range"
+    )
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(9.0)
+    return registry
+
+
+class TestPrometheusText:
+    def test_counters_with_help_type_and_labels(self, populated):
+        text = prometheus_text(populated)
+        assert "# HELP msgs_total Messages sent.\n" in text
+        assert "# TYPE msgs_total counter\n" in text
+        assert 'msgs_total{policy="ail"} 1\n' in text
+        assert 'msgs_total{policy="dl"} 3\n' in text
+        # One header block per metric name, even with several series.
+        assert text.count("# TYPE msgs_total") == 1
+
+    def test_gauge_line(self, populated):
+        assert "fleet_size 7\n" in prometheus_text(populated)
+
+    def test_histogram_series(self, populated):
+        text = prometheus_text(populated)
+        assert "# TYPE query_seconds histogram\n" in text
+        assert 'query_seconds_bucket{kind="range",le="0.1"} 1\n' in text
+        assert 'query_seconds_bucket{kind="range",le="1"} 2\n' in text
+        assert 'query_seconds_bucket{kind="range",le="+Inf"} 3\n' in text
+        assert 'query_seconds_sum{kind="range"} 9.55\n' in text
+        assert 'query_seconds_count{kind="range"} 3\n' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("m", route='a"b\\c\nd').inc()
+        text = prometheus_text(registry)
+        assert 'route="a\\"b\\\\c\\nd"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_write_prometheus(self, populated, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        write_prometheus(populated, path)
+        assert open(path).read() == prometheus_text(populated)
+
+
+class TestJsonl:
+    def test_every_line_parses_and_is_kind_tagged(self, populated):
+        lines = jsonl_lines(populated)
+        documents = [json.loads(line) for line in lines]
+        kinds = {d["kind"] for d in documents}
+        assert kinds == {"counter", "gauge", "histogram"}
+        assert len(documents) == 4
+
+    def test_counter_document(self, populated):
+        documents = [json.loads(line) for line in jsonl_lines(populated)]
+        dl = next(d for d in documents
+                  if d["kind"] == "counter" and d["labels"] == {"policy": "dl"})
+        assert dl == {
+            "kind": "counter", "name": "msgs_total",
+            "labels": {"policy": "dl"}, "value": 3.0,
+        }
+
+    def test_histogram_inf_is_json_safe(self, populated):
+        documents = [json.loads(line) for line in jsonl_lines(populated)]
+        (hist,) = [d for d in documents if d["kind"] == "histogram"]
+        assert hist["buckets"][-1] == {"le": "+Inf", "count": 3}
+        assert hist["sum"] == pytest.approx(9.55)
+        assert hist["count"] == 3
+
+    def test_snapshot_string_and_writer_agree(self, populated, tmp_path):
+        path = str(tmp_path / "metrics.jsonl")
+        write_jsonl(populated, path)
+        payload = open(path).read()
+        assert payload == jsonl_snapshot(populated)
+        assert payload.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert jsonl_snapshot(MetricsRegistry()) == ""

@@ -1,0 +1,188 @@
+"""Unit tests for repro.obs.metrics — instruments and the registry."""
+
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        counter = registry.counter("updates_total")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_cannot_decrease(self, registry):
+        with pytest.raises(ObservabilityError):
+            registry.counter("updates_total").inc(-1.0)
+
+    def test_same_name_same_instrument(self, registry):
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_labels_partition_instruments(self, registry):
+        dl = registry.counter("msgs", policy="dl")
+        ail = registry.counter("msgs", policy="ail")
+        assert dl is not ail
+        dl.inc()
+        assert registry.value("msgs", policy="dl") == 1.0
+        assert registry.value("msgs", policy="ail") == 0.0
+
+    def test_label_order_does_not_matter(self, registry):
+        a = registry.counter("m", x="1", y="2")
+        b = registry.counter("m", y="2", x="1")
+        assert a is b
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("fleet_size")
+        gauge.set(10.0)
+        gauge.inc(2.0)
+        gauge.dec()
+        assert gauge.value == 11.0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self, registry):
+        hist = registry.histogram("sizes", buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 3.0, 3.0, 7.0, 100.0):
+            hist.observe(value)
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(113.5)
+        cumulative = hist.cumulative_buckets()
+        assert cumulative == [(1.0, 1), (5.0, 3), (10.0, 4), (math.inf, 5)]
+
+    def test_boundary_value_is_le(self, registry):
+        """Prometheus buckets are `le` (inclusive upper edge)."""
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        hist.observe(1.0)
+        assert hist.cumulative_buckets()[0] == (1.0, 1)
+
+    def test_quantile_approximation(self, registry):
+        hist = registry.histogram("h", buckets=COUNT_BUCKETS)
+        for _ in range(99):
+            hist.observe(3.0)
+        hist.observe(600.0)
+        assert hist.quantile(0.5) == 5.0
+        assert hist.quantile(1.0) == math.inf or hist.quantile(1.0) >= 5.0
+
+    def test_quantile_validates_range(self, registry):
+        hist = registry.histogram("h", buckets=(1.0,))
+        with pytest.raises(ObservabilityError):
+            hist.quantile(1.5)
+
+    def test_buckets_must_increase(self, registry):
+        with pytest.raises(ObservabilityError):
+            registry.histogram("bad", buckets=(2.0, 1.0))
+
+    def test_buckets_must_be_finite(self, registry):
+        with pytest.raises(ObservabilityError):
+            registry.histogram("bad", buckets=(1.0, math.inf))
+
+    def test_buckets_must_be_nonempty(self, registry):
+        with pytest.raises(ObservabilityError):
+            registry.histogram("bad", buckets=())
+
+    def test_first_registration_fixes_buckets(self, registry):
+        """Later calls with different buckets reuse the first bounds, so
+        labelled series of one metric stay comparable."""
+        a = registry.histogram("h", buckets=(1.0, 2.0), kind="a")
+        b = registry.histogram("h", buckets=(9.0,), kind="b")
+        assert b.bounds == a.bounds == (1.0, 2.0)
+
+
+class TestRegistry:
+    def test_kind_conflict_is_an_error(self, registry):
+        registry.counter("m")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("m")
+        with pytest.raises(ObservabilityError):
+            registry.histogram("m")
+
+    def test_invalid_metric_name(self, registry):
+        with pytest.raises(ObservabilityError):
+            registry.counter("bad name")
+
+    def test_invalid_label_name(self, registry):
+        with pytest.raises(ObservabilityError):
+            registry.counter("m", **{"bad-label": "x"})
+
+    def test_value_of_missing_instrument_is_zero(self, registry):
+        assert registry.value("never_registered") == 0.0
+
+    def test_value_of_histogram_is_an_error(self, registry):
+        registry.histogram("h", buckets=(1.0,))
+        with pytest.raises(ObservabilityError):
+            registry.value("h")
+
+    def test_help_text_kept_from_first_registration(self, registry):
+        registry.counter("m", help="first")
+        registry.counter("m", help="second")
+        assert registry.help_text("m") == "first"
+
+    def test_names_and_len(self, registry):
+        registry.counter("b")
+        registry.gauge("a")
+        registry.counter("b", policy="dl")
+        assert registry.names() == ["a", "b"]
+        assert len(registry) == 3
+
+    def test_snapshot_shape(self, registry):
+        registry.counter("c", policy="dl").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == [
+            {"name": "c", "labels": {"policy": "dl"}, "value": 2.0}
+        ]
+        assert snapshot["gauges"] == [
+            {"name": "g", "labels": {}, "value": 1.5}
+        ]
+        (hist,) = snapshot["histograms"]
+        assert hist["sum"] == 0.5 and hist["count"] == 1
+        assert hist["buckets"] == [
+            {"le": 1.0, "count": 1},
+            {"le": math.inf, "count": 1},
+        ]
+
+    def test_snapshot_is_sorted_and_deterministic(self, registry):
+        registry.counter("z").inc()
+        registry.counter("a", policy="b").inc()
+        registry.counter("a", policy="a").inc()
+        names = [(s["name"], tuple(sorted(s["labels"].items())))
+                 for s in registry.snapshot()["counters"]]
+        assert names == sorted(names)
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert NullRegistry().enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_instruments_are_shared_noops(self):
+        null = NullRegistry()
+        counter = null.counter("anything", label="x")
+        assert counter is null.counter("other")
+        counter.inc()
+        gauge = null.gauge("g")
+        gauge.set(1.0)
+        gauge.inc()
+        gauge.dec()
+        null.histogram("h").observe(3.0)
+        assert len(null) == 0
+        assert null.snapshot() == {
+            "counters": [], "gauges": [], "histograms": [],
+        }

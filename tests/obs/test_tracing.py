@@ -1,0 +1,139 @@
+"""Unit tests for repro.obs.tracing and the process registry/tracer."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.registry import (
+    get_registry,
+    get_tracer,
+    set_tracer,
+    span,
+    use_registry,
+    use_tracer,
+)
+from repro.obs.metrics import MetricsRegistry, NullRegistry
+from repro.obs.tracing import NullTracer, Tracer
+
+
+class TestTracer:
+    def test_span_records_duration(self):
+        ticks = iter([1.0, 3.5])
+        tracer = Tracer(clock=lambda: next(ticks))
+        with tracer.span("run"):
+            pass
+        (record,) = tracer.spans
+        assert record.name == "run"
+        assert record.duration == pytest.approx(2.5)
+
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        # Inner finishes first, so completion order is inner, outer.
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_attrs_at_open_and_inside(self):
+        tracer = Tracer()
+        with tracer.span("q", kind="range") as record:
+            record.set(results=7)
+        assert tracer.spans[0].attrs == {"kind": "range", "results": 7}
+
+    def test_exception_is_annotated_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        assert tracer.spans[0].attrs["error"] == "ValueError"
+
+    def test_buffer_bound_drops_excess(self):
+        tracer = Tracer(max_spans=2)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_max_spans_must_be_positive(self):
+        with pytest.raises(ObservabilityError):
+            Tracer(max_spans=0)
+
+    def test_helpers(self):
+        ticks = iter([0.0, 1.0, 5.0, 7.0, 10.0, 10.5])
+        tracer = Tracer(clock=lambda: next(ticks))
+        for _ in range(2):
+            with tracer.span("tick"):
+                pass
+        with tracer.span("other"):
+            pass
+        assert len(tracer.spans_named("tick")) == 2
+        assert tracer.total_time("tick") == pytest.approx(3.0)
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.dropped == 0
+
+    def test_export_jsonl(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("root", policy="dl"):
+            with tracer.span("child"):
+                pass
+        path = str(tmp_path / "trace.jsonl")
+        assert tracer.export_jsonl(path) == 2
+        lines = [json.loads(l) for l in open(path).read().splitlines()]
+        assert [l["name"] for l in lines] == ["child", "root"]
+        assert lines[1]["attrs"] == {"policy": "dl"}
+        assert lines[0]["parent_id"] == lines[1]["span_id"]
+
+    def test_export_jsonl_to_stream(self):
+        tracer = Tracer()
+        buffer = io.StringIO()
+        assert tracer.export_jsonl(buffer) == 0
+        assert buffer.getvalue() == ""
+
+
+class TestProcessDefaults:
+    def test_defaults_are_null(self):
+        assert isinstance(get_registry(), NullRegistry)
+        assert isinstance(get_tracer(), NullTracer)
+        assert get_registry().enabled is False
+
+    def test_null_span_is_a_noop_context(self):
+        with span("anything", attr=1) as record:
+            assert record is None
+        assert len(get_tracer()) == 0
+
+    def test_use_registry_scopes_and_restores(self):
+        default = get_registry()
+        with use_registry() as registry:
+            assert isinstance(registry, MetricsRegistry)
+            assert get_registry() is registry
+        assert get_registry() is default
+
+    def test_use_registry_restores_on_error(self):
+        default = get_registry()
+        with pytest.raises(RuntimeError):
+            with use_registry():
+                raise RuntimeError
+        assert get_registry() is default
+
+    def test_use_tracer_scopes_and_restores(self):
+        default = get_tracer()
+        with use_tracer() as tracer:
+            assert get_tracer() is tracer
+            with span("live"):
+                pass
+            assert len(tracer) == 1
+        assert get_tracer() is default
+
+    def test_set_tracer_returns_previous(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            assert set_tracer(None) is tracer
+        assert get_tracer() is previous

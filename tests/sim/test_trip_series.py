@@ -1,0 +1,90 @@
+"""Focused tests for :class:`TripSeries`, the per-tick trace that
+``record_series=True`` attaches to a simulation result.
+
+The series is the ground truth every figure and the observability layer
+sample from, so its tick alignment and internal consistency get their
+own suite: one entry per clock tick, and the recorded deviation must be
+exactly the gap between the database's dead-reckoned travel and the
+actual travel.
+"""
+
+import pytest
+
+from repro.core.policies import DelayedLinearPolicy, make_policy
+from repro.sim.clock import SimulationClock
+from repro.sim.engine import simulate_trip
+from repro.sim.speed_curves import CityCurve, PiecewiseConstantCurve
+from repro.sim.trip import Trip
+
+C = 5.0
+
+
+class TestTickAlignment:
+    @pytest.mark.parametrize("dt", [1.0 / 60.0, 0.1, 0.5])
+    def test_one_entry_per_tick(self, example1_trip, dt):
+        result = simulate_trip(example1_trip, DelayedLinearPolicy(C),
+                               dt=dt, record_series=True)
+        series = result.series
+        expected = SimulationClock(example1_trip.duration, dt).num_ticks
+        assert len(series.times) == expected
+        assert len(series.deviations) == expected
+        assert len(series.uncertainty_bounds) == expected
+        assert len(series.database_travel) == expected
+        assert len(series.actual_travel) == expected
+
+    def test_times_are_the_clock_ticks(self, example1_trip):
+        dt = 0.1
+        result = simulate_trip(example1_trip, DelayedLinearPolicy(C),
+                               dt=dt, record_series=True)
+        for i, t in enumerate(result.series.times, start=1):
+            assert t == pytest.approx(i * dt)
+        assert result.series.times[-1] == pytest.approx(
+            example1_trip.duration
+        )
+
+
+class TestTravelConsistency:
+    @pytest.mark.parametrize("policy_name", ["dl", "ail", "cil"])
+    def test_deviation_is_exactly_the_travel_gap(self, rng, policy_name):
+        trip = Trip.synthetic(CityCurve(20.0, rng))
+        result = simulate_trip(trip, make_policy(policy_name, C),
+                               record_series=True)
+        series = result.series
+        for deviation, db, actual in zip(
+            series.deviations, series.database_travel, series.actual_travel
+        ):
+            assert deviation == pytest.approx(abs(actual - db), abs=1e-12)
+
+    def test_travels_diverge_between_updates(self):
+        """A constant declared speed over a speed drop makes the database
+        overshoot the actual travel until the next update lands."""
+        curve = PiecewiseConstantCurve([(2.0, 1.0), (8.0, 0.0)])
+        trip = Trip.synthetic(curve)
+        result = simulate_trip(trip, DelayedLinearPolicy(C),
+                               record_series=True)
+        series = result.series
+        assert max(series.deviations) > 0.0
+        # Actual travel is monotone and ends at the trip's distance.
+        assert series.actual_travel == sorted(series.actual_travel)
+        assert series.actual_travel[-1] == pytest.approx(
+            trip.total_distance
+        )
+
+    def test_update_resets_database_travel(self):
+        """The series samples each tick *before* that tick's decision, so
+        an update shows up one tick later: the deviation recorded right
+        after an update tick returns to ~zero (the vehicle is stopped and
+        declares speed zero, so dead reckoning stays exact)."""
+        curve = PiecewiseConstantCurve([(2.0, 1.0), (8.0, 0.0)])
+        trip = Trip.synthetic(curve)
+        result = simulate_trip(trip, DelayedLinearPolicy(C),
+                               record_series=True)
+        assert result.updates, "scenario must trigger at least one update"
+        dt = 1.0 / 60.0
+        series = result.series
+        for update in result.updates:
+            at_update = int(round(update.time / dt)) - 1
+            assert series.deviations[at_update] > 0.0
+            assert series.deviations[at_update + 1] == pytest.approx(
+                0.0, abs=1e-9
+            )

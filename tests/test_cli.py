@@ -110,3 +110,96 @@ class TestParsing:
     def test_unknown_curve_choice_rejected(self):
         with pytest.raises(SystemExit):
             main(["simulate", "--curve", "warp"])
+
+
+class TestStats:
+    ARGS = ["stats", "--name", "taxi", "--size", "5", "--duration", "10",
+            "--seed", "7", "--queries", "5"]
+
+    def test_prometheus_output(self):
+        code, output = run_cli(self.ARGS + ["--format", "prom"])
+        assert code == 0
+        assert "# TYPE fleet_messages_total counter" in output
+        assert "# TYPE dbms_query_seconds histogram" in output
+        assert 'dbms_query_seconds_bucket{kind="range",le="+Inf"}' in output
+        assert "dbms_update_messages_total" in output
+        assert "fleet_avg_deviation_miles" in output
+
+    def test_jsonl_output_parses(self):
+        import json
+
+        code, output = run_cli(self.ARGS + ["--format", "jsonl"])
+        assert code == 0
+        lines = [l for l in output.splitlines() if not l.startswith("#")]
+        documents = [json.loads(line) for line in lines]
+        names = {d["name"] for d in documents}
+        assert "fleet_messages_total" in names
+        assert "dbms_query_seconds" in names
+
+    def test_snapshot_files_written(self, tmp_path):
+        prom = str(tmp_path / "metrics.prom")
+        jsonl = str(tmp_path / "metrics.jsonl")
+        trace = str(tmp_path / "trace.jsonl")
+        code, output = run_cli(
+            self.ARGS + ["--prom-out", prom, "--jsonl-out", jsonl,
+                         "--trace-out", trace]
+        )
+        assert code == 0
+        assert "# TYPE" in open(prom).read()
+        assert open(jsonl).read().strip()
+        assert "fleet_run" in open(trace).read()
+
+    def test_same_seed_same_snapshot(self):
+        """Counters/gauges of two same-seed stats runs are identical
+        (timing histograms are excluded — wall time is not seeded)."""
+        import json
+
+        def nontiming(output):
+            lines = [l for l in output.splitlines() if not l.startswith("#")]
+            return [
+                d for d in map(json.loads, lines)
+                if not d["name"].endswith("_seconds")
+            ]
+
+        _, first = run_cli(self.ARGS + ["--format", "jsonl"])
+        _, second = run_cli(self.ARGS + ["--format", "jsonl"])
+        assert nontiming(first) == nontiming(second)
+
+
+class TestSeedDeterminism:
+    def test_same_seed_identical_simulate_metrics(self):
+        """--seed fully determinizes a run, including the module-level
+        RNG: two same-seed invocations print identical metrics."""
+        args = ["simulate", "--curve", "city", "--duration", "20",
+                "--dt", "0.1", "--seed", "123"]
+        _, first = run_cli(args)
+        _, second = run_cli(args)
+        assert first == second
+        _, other = run_cli(args[:-1] + ["124"])
+        assert other != first
+
+    def test_seed_reseeds_global_rng(self):
+        """A polluted global RNG state must not leak into the run."""
+        import random
+
+        args = ["simulate", "--curve", "highway", "--duration", "15",
+                "--dt", "0.1", "--seed", "9"]
+        random.seed(1)
+        _, first = run_cli(args)
+        random.seed(2)
+        _, second = run_cli(args)
+        assert first == second
+
+
+class TestReportMetricsOut:
+    def test_fast_report_writes_snapshot(self, tmp_path):
+        import json
+
+        path = str(tmp_path / "report-metrics.jsonl")
+        code, output = run_cli(["report", "--fast", "--metrics-out", path])
+        assert code == 0
+        assert f"metrics snapshot written to {path}" in output
+        documents = [json.loads(l) for l in open(path)]
+        names = {d["name"] for d in documents}
+        assert "sim_runs_total" in names
+        assert "sim_updates_total" in names
