@@ -80,6 +80,7 @@ from repro.sim import (
     standard_curve_set,
 )
 from repro.analysis import OfflineSchedule, offline_optimal_schedule
+from repro.exec import GridTrip, SweepExecutor, TickGrid, TripTickCache
 from repro.workloads import (
     battlefield_scenario,
     taxi_fleet_scenario,
@@ -148,6 +149,11 @@ __all__ = [
     # analysis
     "OfflineSchedule",
     "offline_optimal_schedule",
+    # execution
+    "SweepExecutor",
+    "TripTickCache",
+    "TickGrid",
+    "GridTrip",
     # workloads
     "taxi_fleet_scenario",
     "trucking_scenario",

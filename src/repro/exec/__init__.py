@@ -1,0 +1,21 @@
+"""Parallel experiment execution: tick-grid caching + sweep executor.
+
+The execution subsystem behind ``--jobs``: it decomposes sweep grids
+into independent (policy, update-cost, trip) cells, shares each trip's
+precomputed tick-grid kinematics across all the cells that consume it,
+and fans cells out over worker processes with deterministic,
+order-independent reassembly — parallel results are byte-identical to
+serial ones.
+"""
+
+from repro.exec.cache import GridTrip, TickGrid, TripTickCache
+from repro.exec.executor import SweepCell, SweepExecutor, cell_seed
+
+__all__ = [
+    "GridTrip",
+    "TickGrid",
+    "TripTickCache",
+    "SweepCell",
+    "SweepExecutor",
+    "cell_seed",
+]

@@ -1,0 +1,172 @@
+"""Tick-grid caching of trip kinematics.
+
+Every simulation run of the §3.4 grid walks the same fixed-step clock
+over the same trip, so the trip-side quantities the engine consumes at
+each tick — cumulative travel (``trip.distance_travelled(i * dt)``) and
+instantaneous speed (``trip.speed(i * dt)``) — are identical across all
+(policy, update-cost) cells that share the trip.  A :class:`TickGrid`
+precomputes them once; a :class:`TripTickCache` shares grids across
+cells (and, in the parallel executor, ships them to worker processes so
+workers never rebuild trips).
+
+The grid stores *exactly* the floats the trip methods return at the
+clock's tick times, so a grid-backed run is byte-identical to a direct
+one — the equality the executor's determinism guarantee rests on.
+
+:class:`GridTrip` is a lightweight stand-in exposing the slice of the
+:class:`~repro.sim.trip.Trip` surface the policy engine touches
+(``duration``, ``max_speed``, ``speed(t)``, ``distance_travelled(t)``),
+answering only on-grid times by O(1) lookup.  It lets policies outside
+the engine's inlined fast path (the baselines) run through the generic
+:class:`~repro.sim.vehicle.OnboardComputer` loop against cached
+kinematics, and it is what worker processes simulate against.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.obs.registry import get_registry
+from repro.sim.clock import SimulationClock
+from repro.sim.trip import Trip
+
+
+class TickGrid:
+    """Per-tick trip kinematics on a ``(duration, dt)`` clock grid.
+
+    ``times[i]``, ``travel[i]`` and ``speeds[i]`` correspond to tick
+    ``i`` of :class:`~repro.sim.clock.SimulationClock` (index 0 is the
+    trip start), with ``times[i] == i * dt`` exactly — the same float
+    the clock hands the engine.
+    """
+
+    __slots__ = ("dt", "duration", "num_ticks", "max_speed",
+                 "times", "travel", "speeds")
+
+    def __init__(self, dt: float, duration: float, max_speed: float,
+                 times: tuple[float, ...], travel: tuple[float, ...],
+                 speeds: tuple[float, ...]) -> None:
+        if not len(times) == len(travel) == len(speeds):
+            raise SimulationError(
+                f"grid arrays disagree: {len(times)} times, "
+                f"{len(travel)} travel, {len(speeds)} speeds"
+            )
+        self.dt = dt
+        self.duration = duration
+        self.num_ticks = len(times) - 1
+        self.max_speed = max_speed
+        self.times = times
+        self.travel = travel
+        self.speeds = speeds
+
+    @classmethod
+    def build(cls, trip: Trip, dt: float) -> "TickGrid":
+        """Sample the trip's kinematics on the simulation clock grid."""
+        clock = SimulationClock(trip.duration, dt)
+        times = tuple(i * dt for i in range(clock.num_ticks + 1))
+        travel = tuple(trip.distance_travelled(t) for t in times)
+        speeds = tuple(trip.speed(t) for t in times)
+        return cls(dt=dt, duration=trip.duration, max_speed=trip.max_speed,
+                   times=times, travel=travel, speeds=speeds)
+
+    def index_of(self, t: float) -> int:
+        """The tick index whose time is exactly ``t`` (on-grid only)."""
+        i = int(round(t / self.dt))
+        if not 0 <= i <= self.num_ticks or self.times[i] != t:
+            raise SimulationError(
+                f"time {t} is not on the tick grid (dt={self.dt}, "
+                f"num_ticks={self.num_ticks})"
+            )
+        return i
+
+    def __repr__(self) -> str:
+        return (
+            f"TickGrid(duration={self.duration}, dt={self.dt}, "
+            f"num_ticks={self.num_ticks})"
+        )
+
+
+class GridTrip:
+    """A trip surface backed by a :class:`TickGrid` (on-grid times only).
+
+    Supports exactly the calls the policy engine makes — all of which
+    land on tick times — and raises for anything off-grid, so a cache
+    bug surfaces as a loud error rather than a silent drift.
+    """
+
+    __slots__ = ("grid",)
+
+    def __init__(self, grid: TickGrid) -> None:
+        self.grid = grid
+
+    @property
+    def duration(self) -> float:
+        return self.grid.duration
+
+    @property
+    def max_speed(self) -> float:
+        return self.grid.max_speed
+
+    def speed(self, t: float) -> float:
+        return self.grid.speeds[self.grid.index_of(t)]
+
+    def distance_travelled(self, t: float) -> float:
+        return self.grid.travel[self.grid.index_of(t)]
+
+    def __repr__(self) -> str:
+        return f"GridTrip({self.grid!r})"
+
+
+class TripTickCache:
+    """Shares :class:`TickGrid` objects across simulation cells.
+
+    Keyed by trip identity and ``dt``: the sweep grid reuses the same
+    trip objects across every (policy, update-cost) cell, so all but the
+    first lookup per trip hit.  The cache pins the trip objects it has
+    seen, keeping the identity keys valid for its lifetime.
+    """
+
+    def __init__(self) -> None:
+        self._grids: dict[tuple[int, float], tuple[Trip, TickGrid]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def grid_for(self, trip: Trip, dt: float) -> TickGrid:
+        """The (possibly cached) tick grid of ``trip`` at resolution ``dt``."""
+        key = (id(trip), dt)
+        entry = self._grids.get(key)
+        registry = get_registry()
+        if entry is not None:
+            self.hits += 1
+            if registry.enabled:
+                registry.counter(
+                    "exec_cache_hits_total",
+                    help="Tick-grid cache hits (grid reused across cells).",
+                ).inc()
+            return entry[1]
+        grid = TickGrid.build(trip, dt)
+        self._grids[key] = (trip, grid)
+        self.misses += 1
+        if registry.enabled:
+            registry.counter(
+                "exec_cache_misses_total",
+                help="Tick-grid cache misses (grid built from the trip).",
+            ).inc()
+        return grid
+
+    def __len__(self) -> int:
+        return len(self._grids)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Hit/miss accounting as a plain dict (for benchmark output)."""
+        return {
+            "entries": len(self._grids),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,284 @@
+"""Deterministic (parallel) execution of simulation sweeps.
+
+The §3.4 grid is embarrassingly parallel: every (policy, update-cost,
+trip) cell is an independent simulation run.  :class:`SweepExecutor`
+decomposes a :class:`~repro.experiments.sweep.SweepSpec` into those
+cells, runs them serially or fans them out over a
+``ProcessPoolExecutor``, and re-assembles the cells in canonical
+(policy, cost, trip) order before aggregating — so the resulting
+:class:`~repro.experiments.sweep.SweepResult` is float-for-float
+identical no matter the job count or the order in which workers finish.
+
+Determinism stack, bottom to top:
+
+* every cell simulation is a pure function of (trip kinematics, policy,
+  C, dt) — no RNG is drawn at run time (each cell still carries a
+  stable seed, derived from ``spec.seed`` and its grid coordinates, so
+  future stochastic components inherit schedule-independence for free);
+* trip kinematics reach workers as prebuilt :class:`TickGrid` arrays
+  (workers never rebuild trips, so there is no rebuild to diverge);
+* results are keyed by cell index and aggregated in spec order, never
+  in completion order.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+
+from repro.errors import ExperimentError
+from repro.exec.cache import GridTrip, TickGrid, TripTickCache
+from repro.experiments.sweep import (
+    SweepResult,
+    SweepSpec,
+    build_curves,
+)
+from repro.obs.registry import get_registry, span
+from repro.sim.engine import PolicySimulation
+from repro.sim.metrics import TripMetrics, aggregate_metrics
+from repro.sim.speed_curves import SpeedCurve
+from repro.sim.trip import Trip
+
+
+@dataclass(frozen=True, slots=True)
+class SweepCell:
+    """One independent unit of sweep work: (policy, cost, trip).
+
+    ``seed`` is a stable function of the spec seed and the cell's grid
+    coordinates — identical across serial/parallel execution and across
+    runs — reserved for stochastic simulation components (noise models)
+    so that adding randomness later cannot break order-independence.
+    """
+
+    policy_index: int
+    cost_index: int
+    trip_index: int
+    seed: int
+
+
+def cell_seed(spec_seed: int, policy_index: int, cost_index: int,
+              trip_index: int) -> int:
+    """A stable 31-bit per-cell seed from the spec seed and coordinates."""
+    mixed = (
+        spec_seed * 1_000_003
+        ^ policy_index * 8_191
+        ^ cost_index * 131_071
+        ^ trip_index * 524_287
+    )
+    return mixed & 0x7FFFFFFF
+
+
+def _decompose(spec: SweepSpec) -> list[SweepCell]:
+    """All cells of the spec grid in canonical (policy, cost, trip) order."""
+    return [
+        SweepCell(
+            policy_index=p,
+            cost_index=c,
+            trip_index=t,
+            seed=cell_seed(spec.seed, p, c, t),
+        )
+        for p in range(len(spec.policy_names))
+        for c in range(len(spec.update_costs))
+        for t in range(spec.num_curves)
+    ]
+
+
+def _simulate_cell(spec: SweepSpec, grid: TickGrid,
+                   cell: SweepCell) -> TripMetrics:
+    """Run one cell against its tick grid (pure; process-agnostic)."""
+    from repro.core.policies import make_policy
+
+    policy_name = spec.policy_names[cell.policy_index]
+    policy = make_policy(
+        policy_name,
+        spec.update_costs[cell.cost_index],
+        **spec.policy_kwargs.get(policy_name, {}),
+    )
+    simulation = PolicySimulation(
+        GridTrip(grid), policy, dt=spec.dt, grid=grid
+    )
+    return simulation.run().metrics
+
+
+# Worker-process state, installed once per worker by the pool
+# initializer so tasks only carry lightweight cell tuples.
+_WORKER_SPEC: SweepSpec | None = None
+_WORKER_GRIDS: list[TickGrid] | None = None
+
+
+def _init_worker(spec: SweepSpec, grids: list[TickGrid]) -> None:
+    global _WORKER_SPEC, _WORKER_GRIDS
+    _WORKER_SPEC = spec
+    _WORKER_GRIDS = grids
+
+
+def _run_chunk(
+    chunk: list[tuple[int, SweepCell]],
+) -> tuple[list[tuple[int, TripMetrics]], float]:
+    """Run a batch of cells in a worker; returns (indexed results, secs)."""
+    assert _WORKER_SPEC is not None and _WORKER_GRIDS is not None
+    start = perf_counter()
+    results = [
+        (position, _simulate_cell(
+            _WORKER_SPEC, _WORKER_GRIDS[cell.trip_index], cell
+        ))
+        for position, cell in chunk
+    ]
+    return results, perf_counter() - start
+
+
+def _pool_context():
+    """Fork where available (cheap on Linux), default context elsewhere."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class SweepExecutor:
+    """Runs sweep grids deterministically, serially or in parallel.
+
+    ``jobs=1`` executes in-process; ``jobs>1`` fans cells out over a
+    process pool.  Either way the same tick-grid cache backs every cell
+    and the output is byte-identical to the legacy serial loop (the
+    parallel-equivalence tests assert exact float equality).
+
+    The executor (and its :class:`TripTickCache`) may be reused across
+    ``run`` calls: passing the same trip objects again reuses their
+    grids, which is how the ablation tables share kinematics across
+    policies.
+    """
+
+    def __init__(self, jobs: int = 1,
+                 cache: TripTickCache | None = None) -> None:
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache if cache is not None else TripTickCache()
+
+    def run(self, spec: SweepSpec,
+            curves: list[SpeedCurve] | None = None,
+            trips: list[Trip] | None = None) -> SweepResult:
+        """Execute the full (policy x cost x trip) grid of ``spec``.
+
+        ``curves`` overrides the spec-seeded curve set; ``trips``
+        additionally overrides trip construction (callers that reuse
+        trip objects across several ``run`` calls get tick-grid cache
+        hits across them).
+        """
+        if trips is None:
+            if curves is None:
+                curves = build_curves(spec)
+            trips = [Trip.synthetic(curve, route_id=f"sweep-{i}")
+                     for i, curve in enumerate(curves)]
+        if len(trips) != spec.num_curves:
+            raise ExperimentError(
+                f"spec expects {spec.num_curves} trips, got {len(trips)}"
+            )
+        cells = _decompose(spec)
+
+        registry = get_registry()
+        observed = registry.enabled
+        start = perf_counter()
+        mode = "parallel" if self.jobs > 1 else "serial"
+        with span("sweep_execute", jobs=self.jobs, cells=len(cells),
+                  policies=len(spec.policy_names),
+                  costs=len(spec.update_costs), trips=spec.num_curves):
+            if self.jobs == 1:
+                # Each cell fetches its grid through the cache, so the
+                # cache's hit rate reflects the actual cross-cell
+                # sharing (all but the first lookup per trip hit).
+                cell_metrics = [
+                    _simulate_cell(
+                        spec,
+                        self.cache.grid_for(trips[cell.trip_index], spec.dt),
+                        cell,
+                    )
+                    for cell in cells
+                ]
+            else:
+                # Workers receive prebuilt grids (one cache lookup per
+                # trip here; the sharing happens inside each worker).
+                grids = [self.cache.grid_for(trip, spec.dt)
+                         for trip in trips]
+                cell_metrics = self._run_parallel(spec, grids, cells)
+        elapsed = perf_counter() - start
+
+        if observed:
+            registry.counter(
+                "exec_tasks_total",
+                help="Sweep executions dispatched through the executor.",
+                mode=mode,
+            ).inc()
+            registry.counter(
+                "exec_cells_total",
+                help="Simulation cells executed by the executor.",
+                mode=mode,
+            ).inc(len(cells))
+            registry.histogram(
+                "exec_pool_seconds",
+                help="Wall-clock seconds per sweep execution.",
+                mode=mode,
+            ).observe(elapsed)
+
+        return SweepResult(spec=spec, cells=self._aggregate(spec, cell_metrics))
+
+    def _run_parallel(self, spec: SweepSpec, grids: list[TickGrid],
+                      cells: list[SweepCell]) -> list[TripMetrics]:
+        """Fan cells out over a process pool; results in cell order."""
+        indexed = list(enumerate(cells))
+        # A handful of chunks per worker balances load (cells near the
+        # end of a trip list can be slower) against dispatch overhead.
+        chunk_size = max(1, math.ceil(len(indexed) / (self.jobs * 4)))
+        chunks = [indexed[i:i + chunk_size]
+                  for i in range(0, len(indexed), chunk_size)]
+
+        registry = get_registry()
+        observed = registry.enabled
+        results: list[TripMetrics | None] = [None] * len(cells)
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(chunks)),
+            mp_context=_pool_context(),
+            initializer=_init_worker,
+            initargs=(spec, grids),
+        ) as pool:
+            for future in [pool.submit(_run_chunk, chunk)
+                           for chunk in chunks]:
+                chunk_results, task_seconds = future.result()
+                if observed:
+                    registry.histogram(
+                        "exec_task_seconds",
+                        help="Wall-clock seconds per worker task (chunk).",
+                    ).observe(task_seconds)
+                for position, metrics in chunk_results:
+                    results[position] = metrics
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:  # pragma: no cover - worker protocol violation
+            raise ExperimentError(f"cells {missing} returned no result")
+        return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _aggregate(spec: SweepSpec, cell_metrics: list[TripMetrics]):
+        """Group per-cell metrics back into the spec-ordered result grid.
+
+        ``cell_metrics`` is indexed like :func:`_decompose`'s output, so
+        the per-(policy, cost) trip lists are rebuilt in trip order —
+        the same order (and therefore the same float summation) as the
+        legacy serial loop, regardless of completion order.
+        """
+        num_costs = len(spec.update_costs)
+        num_trips = spec.num_curves
+        cells: dict[str, dict[float, object]] = {}
+        for p, policy_name in enumerate(spec.policy_names):
+            by_cost = {}
+            for c, update_cost in enumerate(spec.update_costs):
+                base = (p * num_costs + c) * num_trips
+                by_cost[update_cost] = aggregate_metrics(
+                    cell_metrics[base:base + num_trips]
+                )
+            cells[policy_name] = by_cost
+        return cells

@@ -57,11 +57,15 @@ def fast_spec() -> SweepSpec:
     )
 
 
-def run_all(fast: bool = False, out: TextIO | None = None) -> None:
+def run_all(fast: bool = False, out: TextIO | None = None,
+            jobs: int = 1) -> None:
     """Execute E1–E19 and write the report to ``out`` (default stdout).
 
     ``out`` defaults to *the current* ``sys.stdout`` at call time, so
     stream redirection (e.g. under test capture) behaves as expected.
+    ``jobs`` fans the sweep-shaped experiments (E1–E3, E4, the ablation
+    tables) over worker processes; every number in the report is
+    invariant under the job count.
     """
     if out is None:
         out = sys.stdout
@@ -74,7 +78,7 @@ def run_all(fast: bool = False, out: TextIO | None = None) -> None:
     emit()
 
     spec = fast_spec() if fast else SweepSpec()
-    sweep = run_standard_sweep(spec)
+    sweep = run_standard_sweep(spec, jobs=jobs)
     for figure in (
         figure_messages(sweep),
         figure_total_cost(sweep),
@@ -85,7 +89,8 @@ def run_all(fast: bool = False, out: TextIO | None = None) -> None:
         emit()
 
     savings = table_update_savings(
-        num_curves=spec.num_curves, duration=spec.duration, dt=spec.dt
+        num_curves=spec.num_curves, duration=spec.duration, dt=spec.dt,
+        jobs=jobs,
     )
     emit(f"[{savings.experiment_id}]")
     emit(savings.render())
@@ -113,14 +118,16 @@ def run_all(fast: bool = False, out: TextIO | None = None) -> None:
     emit()
 
     predictor = table_predictor_ablation(
-        num_curves=4 if fast else 8, duration=spec.duration, dt=spec.dt
+        num_curves=4 if fast else 8, duration=spec.duration, dt=spec.dt,
+        jobs=jobs,
     )
     emit(f"[{predictor.experiment_id}]")
     emit(predictor.render())
     emit()
 
     delay = table_delay_ablation(
-        num_curves=4 if fast else 8, duration=spec.duration, dt=spec.dt
+        num_curves=4 if fast else 8, duration=spec.duration, dt=spec.dt,
+        jobs=jobs,
     )
     emit(f"[{delay.experiment_id}]")
     emit(delay.render())
@@ -199,15 +206,20 @@ def main(argv: list[str] | None = None) -> int:
         help="run under a live metrics registry and write its JSONL "
              "snapshot to this path (machine-readable run telemetry)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep-shaped experiments "
+             "(results are identical for any value)",
+    )
     args = parser.parse_args(argv)
     if args.metrics_out is not None:
         from repro.obs import use_registry, write_jsonl
 
         with use_registry() as registry:
-            run_all(fast=args.fast)
+            run_all(fast=args.fast, jobs=args.jobs)
         write_jsonl(registry, args.metrics_out)
     else:
-        run_all(fast=args.fast)
+        run_all(fast=args.fast, jobs=args.jobs)
     return 0
 
 

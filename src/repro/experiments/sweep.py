@@ -12,12 +12,9 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.core.policies import make_policy
 from repro.errors import ExperimentError
-from repro.sim.engine import simulate_trip
-from repro.sim.metrics import AggregateMetrics, aggregate_metrics
+from repro.sim.metrics import AggregateMetrics
 from repro.sim.speed_curves import SpeedCurve, standard_curve_set
-from repro.sim.trip import Trip
 from repro.units import DEFAULT_TICK_MINUTES
 
 
@@ -80,25 +77,18 @@ def build_curves(spec: SweepSpec) -> list[SpeedCurve]:
 
 
 def run_policy_sweep(spec: SweepSpec,
-                     curves: list[SpeedCurve] | None = None) -> SweepResult:
+                     curves: list[SpeedCurve] | None = None,
+                     jobs: int = 1) -> SweepResult:
     """Run the full (policy x update-cost) grid over the curve set.
 
     Each policy sees the *same* trips (same curves, same routes), so
     differences in the aggregates are attributable to the policy alone.
+
+    Execution is delegated to :class:`repro.exec.SweepExecutor`, which
+    shares each trip's precomputed tick grid across every (policy, cost)
+    cell and, for ``jobs > 1``, fans cells out over worker processes.
+    The result is byte-identical for any job count.
     """
-    curves = curves if curves is not None else build_curves(spec)
-    trips = [Trip.synthetic(curve, route_id=f"sweep-{i}")
-             for i, curve in enumerate(curves)]
-    cells: dict[str, dict[float, AggregateMetrics]] = {}
-    for policy_name in spec.policy_names:
-        kwargs = spec.policy_kwargs.get(policy_name, {})
-        by_cost: dict[float, AggregateMetrics] = {}
-        for update_cost in spec.update_costs:
-            metrics = []
-            for trip in trips:
-                policy = make_policy(policy_name, update_cost, **kwargs)
-                result = simulate_trip(trip, policy, dt=spec.dt)
-                metrics.append(result.metrics)
-            by_cost[update_cost] = aggregate_metrics(metrics)
-        cells[policy_name] = by_cost
-    return SweepResult(spec=spec, cells=cells)
+    from repro.exec import SweepExecutor
+
+    return SweepExecutor(jobs=jobs).run(spec, curves=curves)

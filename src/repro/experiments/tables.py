@@ -21,9 +21,9 @@ from repro.core.bounds import delayed_linear_bounds, immediate_linear_bounds
 from repro.core.policies import make_policy
 from repro.core.thresholds import optimal_update_threshold
 from repro.errors import ExperimentError
+from repro.experiments.sweep import SweepSpec
 from repro.reporting.table import render_table
 from repro.sim.engine import simulate_trip
-from repro.sim.metrics import aggregate_metrics
 from repro.sim.speed_curves import (
     CityCurve,
     HighwayCurve,
@@ -57,22 +57,47 @@ class TableResult:
         raise ExperimentError(f"no row keyed {key!r}")
 
 
+def _table_trips(curves: list[SpeedCurve], label: str) -> list[Trip]:
+    """Trips for a table's curve set (built once, shared across policies)."""
+    return [Trip.synthetic(curve, route_id=f"tbl-{label}-{i}")
+            for i, curve in enumerate(curves)]
+
+
 def _run_policy_over_curves(policy_name: str, update_cost: float,
                             curves: list[SpeedCurve], dt: float,
+                            executor=None, trips: list[Trip] | None = None,
                             **kwargs: object):
-    metrics = []
-    for i, curve in enumerate(curves):
-        trip = Trip.synthetic(curve, route_id=f"tbl-{policy_name}-{i}")
-        policy = make_policy(policy_name, update_cost, **kwargs)
-        metrics.append(simulate_trip(trip, policy, dt=dt).metrics)
-    return aggregate_metrics(metrics)
+    """One (policy, cost) cell row over a curve set, via the executor.
+
+    Passing the same ``executor`` and ``trips`` across calls shares the
+    trips' tick grids between policies (the ablation tables compare
+    several policies on one curve set, so all but the first call hit
+    the cache).
+    """
+    from repro.exec import SweepExecutor
+
+    if executor is None:
+        executor = SweepExecutor()
+    if trips is None:
+        trips = _table_trips(curves, policy_name)
+    spec = SweepSpec(
+        policy_names=(policy_name,),
+        update_costs=(update_cost,),
+        num_curves=len(curves),
+        duration=max(curve.duration for curve in curves),
+        dt=dt,
+        policy_kwargs={policy_name: dict(kwargs)} if kwargs else {},
+    )
+    result = executor.run(spec, trips=trips)
+    return result.cells[policy_name][update_cost]
 
 
 def table_update_savings(precision_miles: float = 1.0,
                          update_cost: float = 5.0,
                          num_curves: int = 20, duration: float = 60.0,
                          seed: int = 42,
-                         dt: float = DEFAULT_TICK_MINUTES) -> TableResult:
+                         dt: float = DEFAULT_TICK_MINUTES,
+                         jobs: int = 1) -> TableResult:
     """E4: message counts, temporal modeling vs. the traditional method.
 
     All policies run the same curve set.  The traditional baseline
@@ -86,11 +111,16 @@ def table_update_savings(precision_miles: float = 1.0,
         raise ExperimentError(
             f"precision must be positive, got {precision_miles}"
         )
+    from repro.exec import SweepExecutor
+
     rng = random.Random(seed)
     curves = standard_curve_set(rng, count=num_curves, duration=duration)
+    executor = SweepExecutor(jobs=jobs)
+    trips = _table_trips(curves, "savings")
     rows: list[list[object]] = []
     baseline = _run_policy_over_curves(
-        "traditional", update_cost, curves, dt, precision=precision_miles
+        "traditional", update_cost, curves, dt,
+        executor=executor, trips=trips, precision=precision_miles,
     )
     runs = [
         ("traditional", baseline),
@@ -98,12 +128,15 @@ def table_update_savings(precision_miles: float = 1.0,
             "fixed-threshold",
             _run_policy_over_curves(
                 "fixed-threshold", update_cost, curves, dt,
-                bound=precision_miles,
+                executor=executor, trips=trips, bound=precision_miles,
             ),
         ),
-        ("dl", _run_policy_over_curves("dl", update_cost, curves, dt)),
-        ("ail", _run_policy_over_curves("ail", update_cost, curves, dt)),
-        ("cil", _run_policy_over_curves("cil", update_cost, curves, dt)),
+        ("dl", _run_policy_over_curves("dl", update_cost, curves, dt,
+                                       executor=executor, trips=trips)),
+        ("ail", _run_policy_over_curves("ail", update_cost, curves, dt,
+                                        executor=executor, trips=trips)),
+        ("cil", _run_policy_over_curves("cil", update_cost, curves, dt,
+                                        executor=executor, trips=trips)),
     ]
     for name, aggregate in runs:
         rows.append(
@@ -204,7 +237,8 @@ def table_threshold_algebra(update_cost: float = 5.0) -> TableResult:
 
 def table_predictor_ablation(update_cost: float = 5.0, num_curves: int = 8,
                              duration: float = 60.0, seed: int = 17,
-                             dt: float = DEFAULT_TICK_MINUTES) -> TableResult:
+                             dt: float = DEFAULT_TICK_MINUTES,
+                             jobs: int = 1) -> TableResult:
     """E10: which predicted speed suits which driving regime (§3.1).
 
     The paper: current speed "may be appropriate for highway driving in
@@ -212,13 +246,19 @@ def table_predictor_ablation(update_cost: float = 5.0, num_curves: int = 8,
     fluctuates sharply".  We run cil (current) and ail (average) on
     pure-highway and pure-city curve sets and compare total cost.
     """
+    from repro.exec import SweepExecutor
+
     rng = random.Random(seed)
     highway = [HighwayCurve(duration, rng) for _ in range(num_curves)]
     city = [CityCurve(duration, rng) for _ in range(num_curves)]
+    executor = SweepExecutor(jobs=jobs)
     rows: list[list[object]] = []
     for regime, curves in (("highway", highway), ("city", city)):
-        current = _run_policy_over_curves("cil", update_cost, curves, dt)
-        average = _run_policy_over_curves("ail", update_cost, curves, dt)
+        trips = _table_trips(curves, regime)
+        current = _run_policy_over_curves("cil", update_cost, curves, dt,
+                                          executor=executor, trips=trips)
+        average = _run_policy_over_curves("ail", update_cost, curves, dt,
+                                          executor=executor, trips=trips)
         winner = "current" if current.total_cost < average.total_cost else "average"
         rows.append(
             [regime, current.total_cost, average.total_cost, winner]
@@ -234,7 +274,8 @@ def table_predictor_ablation(update_cost: float = 5.0, num_curves: int = 8,
 
 def table_delay_ablation(update_cost: float = 5.0, num_curves: int = 8,
                          duration: float = 60.0, seed: int = 29,
-                         dt: float = DEFAULT_TICK_MINUTES) -> TableResult:
+                         dt: float = DEFAULT_TICK_MINUTES,
+                         jobs: int = 1) -> TableResult:
     """E11: what the estimator's delay term buys (dl vs. cil).
 
     dl and cil differ only in the estimator delay (both declare the
@@ -242,15 +283,21 @@ def table_delay_ablation(update_cost: float = 5.0, num_curves: int = 8,
     (piecewise-constant city phases) the delay matters; on continuously
     drifting highway curves the two nearly coincide.
     """
+    from repro.exec import SweepExecutor
+
     rng = random.Random(seed)
     stable = [CityCurve(duration, rng) for _ in range(num_curves)]
     drifting = [HighwayCurve(duration, rng, wobble=0.15)
                 for _ in range(num_curves)]
+    executor = SweepExecutor(jobs=jobs)
     rows: list[list[object]] = []
     for regime, curves in (("piecewise-stable", stable),
                            ("continuous-drift", drifting)):
-        dl = _run_policy_over_curves("dl", update_cost, curves, dt)
-        cil = _run_policy_over_curves("cil", update_cost, curves, dt)
+        trips = _table_trips(curves, regime)
+        dl = _run_policy_over_curves("dl", update_cost, curves, dt,
+                                     executor=executor, trips=trips)
+        cil = _run_policy_over_curves("cil", update_cost, curves, dt,
+                                      executor=executor, trips=trips)
         rows.append(
             [
                 regime,

@@ -22,19 +22,53 @@ where the DBMS derives the bound from the policy, ``P.speed``, ``C``,
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from time import perf_counter
+from typing import TYPE_CHECKING
 
 from repro.core.bounds import DeviationBounds, bounds_for_policy
-from repro.core.policy import UpdatePolicy
+from repro.core.cost import UniformDeviationCost
+from repro.core.policies import (
+    AverageImmediateLinearPolicy,
+    CurrentImmediateLinearPolicy,
+    DelayedLinearPolicy,
+)
+from repro.core.policy import THRESHOLD_TOLERANCE, UpdatePolicy
 from repro.errors import SimulationError
 from repro.obs.metrics import MILE_BUCKETS
 from repro.obs.registry import get_registry, span
 from repro.sim.clock import SimulationClock
 from repro.sim.metrics import TripMetrics
 from repro.sim.trip import Trip
-from repro.sim.vehicle import OnboardComputer, UpdateEvent
+from repro.sim.vehicle import (
+    OnboardComputer,
+    UpdateEvent,
+    ZERO_DEVIATION_TOLERANCE,
+)
 from repro.units import DEFAULT_TICK_MINUTES
+
+if TYPE_CHECKING:  # pragma: no cover - exec imports engine at runtime
+    from repro.exec.cache import TickGrid
+
+#: Policies the inlined tick-grid fast path replicates exactly.  The
+#: inline loop hardcodes the dl/ail/cil decision algebra (simple
+#: fitting + Proposition 1) and the §3.3 bound formulas, so anything
+#: else — baselines, extensions, custom cost functions — takes the
+#: generic :class:`OnboardComputer` loop instead.
+_FAST_PATH_POLICIES = (
+    DelayedLinearPolicy,
+    AverageImmediateLinearPolicy,
+    CurrentImmediateLinearPolicy,
+)
+
+
+def supports_fast_path(policy: UpdatePolicy) -> bool:
+    """Whether the tick-grid fast path can run this policy exactly."""
+    return (
+        isinstance(policy, _FAST_PATH_POLICIES)
+        and type(policy.cost_function) is UniformDeviationCost
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -67,16 +101,42 @@ class PolicySimulation:
 
     def __init__(self, trip: Trip, policy: UpdatePolicy,
                  dt: float = DEFAULT_TICK_MINUTES,
-                 max_speed: float | None = None) -> None:
+                 max_speed: float | None = None,
+                 grid: "TickGrid | None" = None) -> None:
         self.trip = trip
         self.policy = policy
         self.clock = SimulationClock(trip.duration, dt)
         self.max_speed = max_speed if max_speed is not None else trip.max_speed
         if self.max_speed < 0:
             raise SimulationError(f"max speed must be nonnegative, got {self.max_speed}")
+        if grid is not None and (grid.dt != self.clock.dt
+                                 or grid.num_ticks != self.clock.num_ticks):
+            raise SimulationError(
+                f"tick grid (dt={grid.dt}, ticks={grid.num_ticks}) does not "
+                f"match the clock (dt={self.clock.dt}, "
+                f"ticks={self.clock.num_ticks})"
+            )
+        self.grid = grid
+        #: Memoized DBMS-side bounds by declared speed: updates that
+        #: re-declare an already-seen speed reuse the bound object
+        #: instead of rebuilding identical closures.
+        self._bounds_memo: dict[float, DeviationBounds] = {}
 
     def run(self, record_series: bool = False) -> TripResult:
-        """Execute the whole trip and return its result."""
+        """Execute the whole trip and return its result.
+
+        With a tick grid attached and a supported policy the inlined
+        fast path runs instead of the generic loop; its output is
+        float-for-float identical (asserted by the exec test suite).
+        Series recording always takes the generic loop, which knows how
+        to collect the per-tick traces.
+        """
+        if (self.grid is not None and not record_series
+                and supports_fast_path(self.policy)):
+            return self._run_fast()
+        return self._run_generic(record_series)
+
+    def _run_generic(self, record_series: bool = False) -> TripResult:
         computer = OnboardComputer(self.trip, self.policy)
         bounds = self._bounds_for(computer.declared_speed)
         dt = self.clock.dt
@@ -202,7 +262,212 @@ class PolicySimulation:
                           series=series)
 
     def _bounds_for(self, declared_speed: float) -> DeviationBounds:
-        return bounds_for_policy(self.policy, declared_speed, self.max_speed)
+        bounds = self._bounds_memo.get(declared_speed)
+        if bounds is None:
+            bounds = bounds_for_policy(self.policy, declared_speed,
+                                       self.max_speed)
+            self._bounds_memo[declared_speed] = bounds
+        return bounds
+
+    def _run_fast(self) -> TripResult:
+        """The tick-grid fast path for the dl/ail/cil family.
+
+        Replicates the generic loop's arithmetic operation-for-operation
+        — same expressions, same evaluation order — while skipping the
+        per-tick object traffic (OnboardState/UpdateDecision/estimator
+        construction) and replacing trip kinematics calls with grid
+        indexing.  Any semantic change to :meth:`_run_generic`, to the
+        policies' ``decide`` or to the §3.3 bound closures must be
+        mirrored here; ``tests/exec/test_fast_engine.py`` enforces the
+        equivalence with exact float comparisons.
+        """
+        grid = self.grid
+        policy = self.policy
+        dt = self.clock.dt
+        duration = self.clock.duration
+        num_ticks = self.clock.num_ticks
+        times = grid.times
+        travel = grid.travel
+        speeds = grid.speeds
+        max_speed = self.max_speed
+        update_cost = policy.update_cost
+        use_delay = isinstance(policy, DelayedLinearPolicy)
+        declare_average = isinstance(policy, AverageImmediateLinearPolicy)
+        sqrt = math.sqrt
+        send_slack = 1.0 - THRESHOLD_TOLERANCE
+
+        registry = get_registry()
+        observed = registry.enabled
+        if observed:
+            policy_name = policy.name
+            deviation_hist = registry.histogram(
+                "sim_tick_deviation_miles",
+                help="Per-tick onboard deviation samples.",
+                buckets=MILE_BUCKETS, policy=policy_name,
+            )
+            bound_hist = registry.histogram(
+                "sim_tick_bound_miles",
+                help="Per-tick DBMS-side uncertainty bound samples.",
+                buckets=MILE_BUCKETS, policy=policy_name,
+            )
+            update_counter = registry.counter(
+                "sim_updates_total",
+                help="Position-update messages decided by the engine.",
+                policy=policy_name,
+            )
+            wall_start = perf_counter()
+
+        declared_speed = speeds[0]
+        last_update_time = 0.0
+        last_update_travel = 0.0
+        last_zero_elapsed = 0.0
+        events: list[UpdateEvent] = []
+
+        # Bound constants for the current declared speed, hoisted out of
+        # the closures of repro.core.bounds (same formulas, precomputed):
+        # dl uses the Proposition 2/3 plateaus, ail/cil the 2C/t cap.
+        speed_gap = max_speed - declared_speed
+        if speed_gap < 0.0:
+            speed_gap = 0.0
+        if use_delay:
+            slow_plateau = sqrt(2.0 * declared_speed * update_cost)
+            fast_plateau = sqrt(2.0 * speed_gap * update_cost)
+
+        deviation_integral = 0.0
+        deviation_cost = 0.0
+        uncertainty_integral = 0.0
+        max_deviation = 0.0
+        max_uncertainty = 0.0
+
+        with span("simulate_trip", policy=policy.name,
+                  duration=duration, dt=dt):
+            for i in range(1, num_ticks + 1):
+                t = times[i]
+                elapsed = t - last_update_time
+                actual_travel = travel[i]
+                deviation = actual_travel - (
+                    last_update_travel + declared_speed * elapsed
+                )
+                if deviation < 0.0:
+                    deviation = -deviation
+                if deviation <= ZERO_DEVIATION_TOLERANCE:
+                    last_zero_elapsed = elapsed
+                    deviation = 0.0
+
+                if use_delay:
+                    slow = declared_speed * elapsed
+                    if slow_plateau < slow:
+                        slow = slow_plateau
+                    fast = speed_gap * elapsed
+                    if fast_plateau < fast:
+                        fast = fast_plateau
+                else:
+                    cap = (float("inf") if elapsed <= 0
+                           else 2.0 * update_cost / elapsed)
+                    slow = declared_speed * elapsed
+                    if cap < slow:
+                        slow = cap
+                    fast = speed_gap * elapsed
+                    if cap < fast:
+                        fast = cap
+                bound = slow if slow > fast else fast
+
+                deviation_integral += deviation * dt
+                deviation_cost += deviation * dt
+                uncertainty_integral += bound * dt
+                if deviation > max_deviation:
+                    max_deviation = deviation
+                if bound > max_uncertainty:
+                    max_uncertainty = bound
+
+                if observed:
+                    deviation_hist.observe(deviation)
+                    bound_hist.observe(bound)
+
+                if deviation > 0.0:
+                    # Inlined SimpleFitting.fit + Proposition 1.
+                    delay = last_zero_elapsed if use_delay else 0.0
+                    effective = elapsed - delay
+                    if effective <= 0:
+                        effective = 1e-9
+                    slope = deviation / effective
+                    ab = slope * delay
+                    threshold = sqrt(ab * ab + 2.0 * slope * update_cost) - ab
+                    if deviation >= threshold * send_slack:
+                        if declare_average:
+                            distance = actual_travel - last_update_travel
+                            if distance < 0.0:
+                                distance = 0.0
+                            new_speed = (distance / elapsed if elapsed > 0
+                                         else declared_speed)
+                            if new_speed < 0.0:
+                                new_speed = 0.0
+                        else:
+                            new_speed = speeds[i]
+                            if new_speed < 0.0:
+                                new_speed = 0.0
+                        events.append(UpdateEvent(
+                            time=t,
+                            travel=actual_travel,
+                            declared_speed=new_speed,
+                            threshold=threshold,
+                            deviation_at_update=deviation,
+                        ))
+                        last_update_time = t
+                        last_update_travel = actual_travel
+                        declared_speed = new_speed
+                        last_zero_elapsed = 0.0
+                        speed_gap = max_speed - declared_speed
+                        if speed_gap < 0.0:
+                            speed_gap = 0.0
+                        if use_delay:
+                            slow_plateau = sqrt(
+                                2.0 * declared_speed * update_cost
+                            )
+                            fast_plateau = sqrt(
+                                2.0 * speed_gap * update_cost
+                            )
+                        if observed:
+                            update_counter.inc()
+
+        num_updates = len(events)
+        metrics = TripMetrics(
+            policy=policy.name,
+            update_cost=update_cost,
+            duration=duration,
+            num_updates=num_updates,
+            deviation_integral=deviation_integral,
+            deviation_cost=deviation_cost,
+            total_cost=update_cost * num_updates + deviation_cost,
+            avg_deviation=deviation_integral / duration,
+            max_deviation=max_deviation,
+            avg_uncertainty=uncertainty_integral / duration,
+            max_uncertainty=max_uncertainty,
+        )
+        if observed:
+            registry.counter(
+                "sim_runs_total", help="Completed simulation runs.",
+                policy=policy_name,
+            ).inc()
+            registry.counter(
+                "sim_ticks_total", help="Engine ticks executed.",
+            ).inc(num_ticks)
+            registry.histogram(
+                "sim_run_seconds",
+                help="Wall-clock time per simulation run.",
+                policy=policy_name,
+            ).observe(perf_counter() - wall_start)
+            registry.gauge(
+                "sim_avg_deviation_miles",
+                help="Time-averaged deviation of the last run.",
+                policy=policy_name,
+            ).set(metrics.avg_deviation)
+            registry.gauge(
+                "sim_total_cost",
+                help="Total cost (eq. 2) of the last run.",
+                policy=policy_name,
+            ).set(metrics.total_cost)
+        return TripResult(metrics=metrics, updates=events, series=None)
 
 
 def simulate_trip(trip: Trip, policy: UpdatePolicy,

@@ -127,12 +127,26 @@ class FleetSimulation:
             deviation_sums: dict[str, float] = {}
             deviation_samples: dict[str, int] = {}
 
+        # Vehicles whose trips have ended go quiet permanently, so the
+        # tick loop keeps an *active* list and drops finished vehicles
+        # once instead of re-checking every vehicle every tick — a long
+        # tail of short trips then costs O(active), not O(fleet).
+        # Insertion order is preserved so per-policy deviation sums
+        # accumulate in the same order as the all-vehicles loop did.
+        active = list(self.vehicles.values())
+        next_finish = min(v.trip.duration for v in active)
+
         with span("fleet_run", vehicles=len(self.vehicles),
                   duration=duration, dt=self.dt):
             for _, t in clock.ticks():
-                for vehicle in self.vehicles.values():
-                    if t > vehicle.trip.duration + 1e-9:
-                        continue
+                if t > next_finish + 1e-9:
+                    active = [v for v in active
+                              if t <= v.trip.duration + 1e-9]
+                    next_finish = min(
+                        (v.trip.duration for v in active),
+                        default=float("inf"),
+                    )
+                for vehicle in active:
                     state = vehicle.computer.observe(t)
                     if observed:
                         name = vehicle.policy.name

@@ -1,0 +1,100 @@
+"""Unit tests for repro.exec.cache (tick grids and the trip cache)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.exec import GridTrip, TickGrid, TripTickCache
+from repro.sim.clock import SimulationClock
+from repro.sim.speed_curves import CityCurve, PiecewiseConstantCurve
+from repro.sim.trip import Trip
+
+import random
+
+DT = 1.0 / 30.0
+
+
+def city_trip(duration=10.0, seed=5):
+    return Trip.synthetic(CityCurve(duration, random.Random(seed)))
+
+
+class TestTickGrid:
+    def test_matches_clock_grid(self):
+        trip = city_trip()
+        grid = TickGrid.build(trip, DT)
+        clock = SimulationClock(trip.duration, DT)
+        assert grid.num_ticks == clock.num_ticks
+        for i, t in clock.ticks():
+            assert grid.times[i] == t
+
+    def test_exact_kinematics(self):
+        """Grid samples are the exact floats the trip would produce."""
+        trip = city_trip()
+        grid = TickGrid.build(trip, DT)
+        for i, t in enumerate(grid.times):
+            assert grid.travel[i] == trip.distance_travelled(t)
+            assert grid.speeds[i] == trip.speed(t)
+
+    def test_index_of_round_trip(self):
+        grid = TickGrid.build(city_trip(), DT)
+        for i, t in enumerate(grid.times):
+            assert grid.index_of(t) == i
+
+    def test_index_of_off_grid_rejected(self):
+        grid = TickGrid.build(city_trip(), DT)
+        with pytest.raises(SimulationError):
+            grid.index_of(grid.dt * 0.5)
+
+
+class TestGridTrip:
+    def test_duck_types_trip_surface(self):
+        trip = city_trip()
+        grid = TickGrid.build(trip, DT)
+        proxy = GridTrip(grid)
+        assert proxy.duration == trip.duration
+        assert proxy.max_speed == trip.max_speed
+        for t in grid.times:
+            assert proxy.speed(t) == trip.speed(t)
+            assert proxy.distance_travelled(t) == trip.distance_travelled(t)
+
+    def test_off_grid_query_rejected(self):
+        proxy = GridTrip(TickGrid.build(city_trip(), DT))
+        with pytest.raises(SimulationError):
+            proxy.speed(DT / 3.0)
+
+
+class TestTripTickCache:
+    def test_hit_on_same_trip_and_dt(self):
+        cache = TripTickCache()
+        trip = city_trip()
+        first = cache.grid_for(trip, DT)
+        second = cache.grid_for(trip, DT)
+        assert first is second
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_miss_on_different_dt(self):
+        cache = TripTickCache()
+        trip = city_trip()
+        a = cache.grid_for(trip, DT)
+        b = cache.grid_for(trip, DT * 2)
+        assert a is not b
+        assert cache.misses == 2
+
+    def test_miss_on_different_trip(self):
+        cache = TripTickCache()
+        cache.grid_for(city_trip(seed=1), DT)
+        cache.grid_for(city_trip(seed=2), DT)
+        assert cache.hits == 0
+        assert cache.misses == 2
+
+    def test_stats_shape(self):
+        cache = TripTickCache()
+        trip = Trip.synthetic(PiecewiseConstantCurve([(2.0, 1.0)]))
+        cache.grid_for(trip, DT)
+        cache.grid_for(trip, DT)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)

@@ -1,0 +1,144 @@
+"""Unit tests for repro.exec.executor (serial/parallel equivalence).
+
+The headline guarantees: a parallel run is float-for-float identical to
+a serial run of the same spec, and two parallel runs are identical to
+each other regardless of worker scheduling.
+"""
+
+import pytest
+
+from repro.core.policies import make_policy
+from repro.errors import ExperimentError
+from repro.exec import SweepCell, SweepExecutor, cell_seed
+from repro.exec.executor import _decompose
+from repro.experiments.sweep import SweepSpec, build_curves, run_policy_sweep
+from repro.sim.engine import simulate_trip
+from repro.sim.metrics import aggregate_metrics
+from repro.sim.trip import Trip
+
+
+def small_spec(**overrides) -> SweepSpec:
+    defaults = dict(
+        policy_names=("dl", "ail", "cil"),
+        update_costs=(1.0, 5.0, 20.0),
+        num_curves=4,
+        duration=15.0,
+        dt=1.0 / 30.0,
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+def reference_sweep(spec: SweepSpec):
+    """The legacy serial loop: no grids, no executor, spec order."""
+    curves = build_curves(spec)
+    trips = [Trip.synthetic(curve, route_id=f"sweep-{i}")
+             for i, curve in enumerate(curves)]
+    cells = {}
+    for policy_name in spec.policy_names:
+        by_cost = {}
+        for cost in spec.update_costs:
+            metrics = [
+                simulate_trip(
+                    trip,
+                    make_policy(policy_name, cost,
+                                **spec.policy_kwargs.get(policy_name, {})),
+                    dt=spec.dt,
+                ).metrics
+                for trip in trips
+            ]
+            by_cost[cost] = aggregate_metrics(metrics)
+        cells[policy_name] = by_cost
+    return cells
+
+
+class TestDecomposition:
+    def test_canonical_order_and_count(self):
+        spec = small_spec()
+        cells = _decompose(spec)
+        assert len(cells) == 3 * 3 * 4
+        assert cells[0] == SweepCell(0, 0, 0, cell_seed(spec.seed, 0, 0, 0))
+        # trip index varies fastest, policy slowest.
+        assert cells[1].trip_index == 1
+        assert cells[4].cost_index == 1
+        assert cells[-1] == SweepCell(2, 2, 3, cell_seed(spec.seed, 2, 2, 3))
+
+    def test_cell_seeds_stable_and_distinct(self):
+        seeds = [cell_seed(42, p, c, t)
+                 for p in range(3) for c in range(6) for t in range(20)]
+        assert len(set(seeds)) == len(seeds)
+        assert all(0 <= s <= 0x7FFFFFFF for s in seeds)
+        assert cell_seed(42, 1, 2, 3) == cell_seed(42, 1, 2, 3)
+        assert cell_seed(42, 1, 2, 3) != cell_seed(43, 1, 2, 3)
+
+
+class TestSerialEquivalence:
+    def test_serial_executor_matches_legacy_loop(self):
+        """Executor output (grid fast path) == plain simulate_trip loop,
+        with exact float equality on every aggregate."""
+        spec = small_spec()
+        expected = reference_sweep(spec)
+        result = SweepExecutor(jobs=1).run(spec)
+        assert result.spec == spec
+        assert result.cells == expected
+
+    def test_run_policy_sweep_delegates(self):
+        spec = small_spec(num_curves=2, duration=10.0)
+        assert run_policy_sweep(spec).cells == SweepExecutor().run(spec).cells
+
+
+class TestParallelEquivalence:
+    def test_parallel_matches_serial_exactly(self):
+        spec = small_spec()
+        serial = SweepExecutor(jobs=1).run(spec)
+        parallel = SweepExecutor(jobs=4).run(spec)
+        assert parallel.cells == serial.cells
+
+    def test_parallel_deterministic_across_runs(self):
+        spec = small_spec(num_curves=3)
+        first = SweepExecutor(jobs=4).run(spec)
+        second = SweepExecutor(jobs=4).run(spec)
+        assert first.cells == second.cells
+
+    def test_parallel_with_policy_kwargs(self):
+        spec = small_spec(
+            policy_names=("fixed-threshold",),
+            policy_kwargs={"fixed-threshold": {"bound": 0.5}},
+            num_curves=3,
+        )
+        serial = SweepExecutor(jobs=1).run(spec)
+        parallel = SweepExecutor(jobs=3).run(spec)
+        assert parallel.cells == serial.cells
+
+    def test_more_jobs_than_cells(self):
+        spec = small_spec(policy_names=("ail",), update_costs=(5.0,),
+                          num_curves=2, duration=5.0)
+        serial = SweepExecutor(jobs=1).run(spec)
+        parallel = SweepExecutor(jobs=8).run(spec)
+        assert parallel.cells == serial.cells
+
+
+class TestExecutorSurface:
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ExperimentError):
+            SweepExecutor(jobs=0)
+
+    def test_trip_count_must_match_spec(self):
+        spec = small_spec(num_curves=3)
+        trips = [Trip.synthetic(curve, route_id=f"t-{i}")
+                 for i, curve in enumerate(build_curves(spec))]
+        with pytest.raises(ExperimentError):
+            SweepExecutor().run(spec, trips=trips[:2])
+
+    def test_cache_shared_across_runs(self):
+        """Reusing the executor with the same trips reuses their grids."""
+        spec = small_spec(num_curves=2, duration=5.0,
+                          policy_names=("ail",), update_costs=(5.0,))
+        trips = [Trip.synthetic(curve, route_id=f"t-{i}")
+                 for i, curve in enumerate(build_curves(spec))]
+        executor = SweepExecutor()
+        executor.run(spec, trips=trips)
+        assert executor.cache.misses == 2
+        executor.run(spec, trips=trips)
+        assert executor.cache.misses == 2
+        assert executor.cache.hits == 2

@@ -1,0 +1,122 @@
+"""Byte-identical equivalence of the engine's cached-grid fast path.
+
+The determinism guarantee of the execution layer rests on the fast
+path reproducing the generic tick loop *exactly* — same floats, not
+approximately-equal floats.  These tests assert exact equality.
+"""
+
+import random
+
+import pytest
+
+from repro.core.cost import StepDeviationCost
+from repro.core.policies import (
+    AverageImmediateLinearPolicy,
+    CurrentImmediateLinearPolicy,
+    DelayedLinearPolicy,
+    make_policy,
+)
+from repro.errors import SimulationError
+from repro.exec import GridTrip, TickGrid
+from repro.sim.engine import PolicySimulation, simulate_trip, supports_fast_path
+from repro.sim.speed_curves import CityCurve, HighwayCurve, RushHourCurve
+from repro.sim.trip import Trip
+
+C = 5.0
+DT = 1.0 / 30.0
+
+CURVES = {
+    "city": CityCurve,
+    "highway": HighwayCurve,
+    "rush-hour": RushHourCurve,
+}
+
+
+def build_trip(kind="city", duration=20.0, seed=11):
+    return Trip.synthetic(CURVES[kind](duration, random.Random(seed)))
+
+
+@pytest.mark.parametrize("policy_name", ["dl", "ail", "cil"])
+@pytest.mark.parametrize("kind", sorted(CURVES))
+def test_fast_path_exactly_matches_generic(policy_name, kind):
+    trip = build_trip(kind)
+    generic = simulate_trip(trip, make_policy(policy_name, C), dt=DT)
+    grid = TickGrid.build(trip, DT)
+    fast = PolicySimulation(
+        trip, make_policy(policy_name, C), dt=DT, grid=grid
+    ).run()
+    # Frozen-dataclass equality is exact float equality, field by field.
+    assert fast.metrics == generic.metrics
+    assert fast.updates == generic.updates
+
+
+@pytest.mark.parametrize("policy_name", ["dl", "ail", "cil"])
+def test_fast_path_matches_across_costs(policy_name):
+    trip = build_trip()
+    grid = TickGrid.build(trip, DT)
+    for cost in (0.5, 2.0, 10.0, 40.0):
+        generic = simulate_trip(trip, make_policy(policy_name, cost), dt=DT)
+        fast = PolicySimulation(
+            trip, make_policy(policy_name, cost), dt=DT, grid=grid
+        ).run()
+        assert fast.metrics == generic.metrics
+        assert fast.updates == generic.updates
+
+
+def test_grid_trip_generic_path_matches_for_baselines():
+    """Baseline policies (no fast path) still run against the cached
+    grid via GridTrip, byte-identically."""
+    trip = build_trip()
+    grid = TickGrid.build(trip, DT)
+    for name, kwargs in (("traditional", {"precision": 0.4}),
+                         ("fixed-threshold", {"bound": 0.5})):
+        policy = make_policy(name, C, **kwargs)
+        assert not supports_fast_path(policy)
+        generic = simulate_trip(trip, policy, dt=DT)
+        cached = PolicySimulation(
+            GridTrip(grid), make_policy(name, C, **kwargs), dt=DT, grid=grid
+        ).run()
+        assert cached.metrics == generic.metrics
+        assert cached.updates == generic.updates
+
+
+def test_supports_fast_path_requires_uniform_cost():
+    assert supports_fast_path(DelayedLinearPolicy(C))
+    assert supports_fast_path(AverageImmediateLinearPolicy(C))
+    assert supports_fast_path(CurrentImmediateLinearPolicy(C))
+    stepped = DelayedLinearPolicy(C, cost_function=StepDeviationCost(0.3))
+    assert not supports_fast_path(stepped)
+
+
+def test_non_uniform_cost_falls_back_to_generic():
+    trip = build_trip()
+    grid = TickGrid.build(trip, DT)
+    policy = DelayedLinearPolicy(C, cost_function=StepDeviationCost(0.3))
+    generic = simulate_trip(trip, policy, dt=DT)
+    cached = PolicySimulation(
+        trip,
+        DelayedLinearPolicy(C, cost_function=StepDeviationCost(0.3)),
+        dt=DT, grid=grid,
+    ).run()
+    assert cached.metrics == generic.metrics
+
+
+def test_record_series_uses_generic_path():
+    trip = build_trip()
+    grid = TickGrid.build(trip, DT)
+    with_grid = PolicySimulation(
+        trip, make_policy("ail", C), dt=DT, grid=grid
+    ).run(record_series=True)
+    without = simulate_trip(trip, make_policy("ail", C), dt=DT,
+                            record_series=True)
+    assert with_grid.series is not None
+    assert with_grid.series.times == without.series.times
+    assert with_grid.series.deviations == without.series.deviations
+    assert with_grid.metrics == without.metrics
+
+
+def test_mismatched_grid_rejected():
+    trip = build_trip()
+    grid = TickGrid.build(trip, DT)
+    with pytest.raises(SimulationError):
+        PolicySimulation(trip, make_policy("ail", C), dt=DT / 2, grid=grid)

@@ -96,6 +96,49 @@ class TestRun:
         ]
         assert all(t <= short.duration + 1e-9 for t in last_short)
 
+    def test_finished_vehicles_dropped_from_tick_loop(self):
+        """Once a trip ends its vehicle leaves the active loop: its
+        onboard computer is never observed again."""
+        database, fleet = build_fleet()
+        short = Trip(straight_route(5.0, "h1"), ConstantCurve(1.0, 1.0))
+        long = Trip(straight_route(15.0, "h2"), ConstantCurve(4.0, 1.0))
+        v_short = fleet.add_vehicle(
+            "short", "vehicle", short, make_policy("ail", C)
+        )
+        fleet.add_vehicle("long", "vehicle", long, make_policy("ail", C))
+        observed_times = []
+        original_observe = v_short.computer.observe
+
+        def counting_observe(t):
+            observed_times.append(t)
+            return original_observe(t)
+
+        v_short.computer.observe = counting_observe
+        fleet.run()
+        assert observed_times, "short vehicle was never simulated"
+        assert all(t <= short.duration + 1e-9 for t in observed_times)
+
+    def test_mixed_durations_same_counts_as_uniform_loop(self):
+        """Dropping finished vehicles must not change message counts."""
+        database, fleet = build_fleet()
+        for i, minutes in enumerate((1.0, 2.5, 4.0)):
+            trip = Trip(straight_route(10.0, f"h{i}"),
+                        PiecewiseConstantCurve([(minutes / 2, 1.2),
+                                                (minutes / 2, 0.2)]))
+            fleet.add_vehicle(f"v{i}", "vehicle", trip,
+                              make_policy("cil", 0.5))
+        counts = fleet.run()
+        # Reference: a fresh fleet driven one vehicle at a time through
+        # the single-trip engine path has the same per-vehicle counts.
+        from repro.sim.engine import simulate_trip
+        for i, minutes in enumerate((1.0, 2.5, 4.0)):
+            trip = Trip(straight_route(10.0, f"r{i}"),
+                        PiecewiseConstantCurve([(minutes / 2, 1.2),
+                                                (minutes / 2, 0.2)]))
+            solo = simulate_trip(trip, make_policy("cil", 0.5),
+                                 dt=fleet.dt)
+            assert counts[f"v{i}"] == solo.metrics.num_updates
+
     def test_index_kept_in_sync(self):
         index = TimeSpaceIndex()
         database, fleet = build_fleet(index=index)
