@@ -28,7 +28,7 @@ def test_index_maintenance(benchmark):
     plane = built.database.oplane_of(object_id)
 
     def swap_once():
-        return index.replace(object_id, plane)
+        return index.replace(object_id, plane, force=True)
 
     stats = benchmark(swap_once)
     assert stats.boxes_inserted > 0

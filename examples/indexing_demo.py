@@ -60,7 +60,7 @@ def main() -> None:
     print()
 
     # --- The §4.2 swap on a position update --------------------------
-    swap = index.replace(object_id, plane)
+    swap = index.replace(object_id, plane, force=True)
     print(f"Position update for {object_id}: removed "
           f"{swap.boxes_removed} old slab boxes, inserted "
           f"{swap.boxes_inserted} new ones — no other object touched.")

@@ -48,10 +48,14 @@ from repro.core import (
     optimal_update_threshold,
 )
 from repro.dbms import (
+    BatchQueryEngine,
     MovingObjectDatabase,
     PositionAnswer,
+    PositionQuery,
     PositionUpdateMessage,
     RangeAnswer,
+    RangeQuery,
+    WithinDistanceQuery,
 )
 from repro.geometry import Point, Polygon, Polyline
 from repro.index import LinearScanIndex, OPlane, RTree, TimeSpaceIndex
@@ -116,6 +120,10 @@ __all__ = [
     "PositionUpdateMessage",
     "PositionAnswer",
     "RangeAnswer",
+    "BatchQueryEngine",
+    "PositionQuery",
+    "RangeQuery",
+    "WithinDistanceQuery",
     # geometry & routes
     "Point",
     "Polyline",

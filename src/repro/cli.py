@@ -188,25 +188,47 @@ def _cmd_stats(args: argparse.Namespace, out: TextIO) -> int:
         polygons = polygon_query_workload(
             scenario.network, random.Random(args.seed + 1), count=args.queries
         )
-        # Spread the query workload evenly over the run's ticks so the
-        # latency histograms sample a live, changing database.
-        num_ticks = max(int(args.duration / scenario.fleet.dt + 1e-9), 1)
-        stride = max(num_ticks // args.queries, 1)
-        progress = {"tick": 0, "query": 0}
+        engine = None
+        if args.batch:
+            # Batched serving mode: run the fleet, then answer the
+            # whole query workload in one BatchQueryEngine pass (shared
+            # R-tree traversal + uncertainty cache) against the final
+            # database state.
+            from repro.dbms.batch import BatchQueryEngine, RangeQuery
 
-        def on_tick(t: float) -> None:
-            progress["tick"] += 1
-            if (progress["tick"] % stride == 0
-                    and progress["query"] < len(polygons)):
-                scenario.database.range_query(polygons[progress["query"]], t)
-                progress["query"] += 1
+            counts = scenario.fleet.run()
+            engine = BatchQueryEngine(scenario.database)
+            t_end = scenario.database.clock_time
+            engine.run([RangeQuery(polygon, t_end) for polygon in polygons])
+            queries_issued = len(polygons)
+        else:
+            # Spread the query workload evenly over the run's ticks so
+            # the latency histograms sample a live, changing database.
+            num_ticks = max(int(args.duration / scenario.fleet.dt + 1e-9), 1)
+            stride = max(num_ticks // args.queries, 1)
+            progress = {"tick": 0, "query": 0}
 
-        counts = scenario.fleet.run(on_tick=on_tick)
+            def on_tick(t: float) -> None:
+                progress["tick"] += 1
+                if (progress["tick"] % stride == 0
+                        and progress["query"] < len(polygons)):
+                    scenario.database.range_query(
+                        polygons[progress["query"]], t
+                    )
+                    progress["query"] += 1
+
+            counts = scenario.fleet.run(on_tick=on_tick)
+            queries_issued = progress["query"]
 
     total = sum(counts.values())
     print(f"# scenario {scenario.name}: {len(scenario.database)} objects, "
           f"{args.duration} min, {total} update messages, "
-          f"{progress['query']} range queries", file=out)
+          f"{queries_issued} range queries"
+          + (" (batched)" if args.batch else ""), file=out)
+    if engine is not None:
+        print(f"# batch engine: uncertainty-cache hit rate "
+              f"{engine.hit_rate():.3f} over {queries_issued} queries",
+              file=out)
     if args.format in ("prom", "both"):
         print(prometheus_text(registry), file=out, end="")
     if args.format in ("jsonl", "both"):
@@ -305,6 +327,10 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--seed", type=int, default=7)
     stats.add_argument("--queries", type=int, default=20,
                        help="range queries issued against the live database")
+    stats.add_argument("--batch", action="store_true",
+                       help="answer the query workload through the batched "
+                            "query engine (shared index traversal + "
+                            "uncertainty cache) after the run")
     stats.add_argument("--format", default="prom",
                        choices=("prom", "jsonl", "both"),
                        help="snapshot format(s) printed to stdout")

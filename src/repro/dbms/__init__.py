@@ -13,9 +13,18 @@ temporally:
 * :mod:`repro.dbms.query` — point queries with error bounds, range
   queries with may/must semantics, within-distance queries,
 * :mod:`repro.dbms.database` — the :class:`MovingObjectDatabase`
-  facade tying everything together (and optionally a time-space index).
+  facade tying everything together (and optionally a time-space index),
+* :mod:`repro.dbms.batch` — the :class:`BatchQueryEngine` answering
+  query workloads with amortised work (multi-search + caching),
+  byte-identical to the one-at-a-time path.
 """
 
+from repro.dbms.batch import (
+    BatchQueryEngine,
+    PositionQuery,
+    RangeQuery,
+    WithinDistanceQuery,
+)
 from repro.dbms.database import MovingObjectDatabase
 from repro.dbms.mql import execute as execute_mql
 from repro.dbms.mql import parse as parse_mql
@@ -27,6 +36,10 @@ from repro.dbms.update_log import PositionUpdateMessage, UpdateLog
 
 __all__ = [
     "MovingObjectDatabase",
+    "BatchQueryEngine",
+    "PositionQuery",
+    "RangeQuery",
+    "WithinDistanceQuery",
     "execute_mql",
     "parse_mql",
     "MovingObjectRecord",

@@ -1,0 +1,509 @@
+"""Batched query processing — the read-path fast lane.
+
+The one-at-a-time query processor re-derives every candidate's
+uncertainty interval and re-walks the R-tree for each call.  A serving
+workload ("the free cabs near each of these 1 000 passengers, now")
+repeats almost all of that work: query boxes overlap the same index
+nodes and candidates recur across queries at the same instant.
+
+:class:`BatchQueryEngine` answers a workload of position / range /
+within-distance queries with amortised work:
+
+* **R-tree multi-search** — all query windows are answered by a single
+  shared tree traversal (:meth:`repro.index.rtree.RTree.search_many`
+  via :meth:`repro.index.timespace.TimeSpaceIndex.candidates_at_many`),
+* **generation-keyed uncertainty cache** — each candidate's interval,
+  materialised geometry, and geometry bbox are derived once per
+  ``(object, t)`` and reused until that object's record changes (the
+  record's update ``generation`` tags every cache entry, so a position
+  update invalidates exactly one object, never the whole cache),
+* **hoisted filter sets** — the stationary-object id set and each
+  distinct ``(where, class_name)`` eligibility set are computed once
+  per batch instead of once per query.
+
+Answers are **byte-identical** to issuing the same queries one at a
+time through :class:`~repro.dbms.database.MovingObjectDatabase`: every
+number flows through the same functions on the same inputs, and the
+only shortcuts taken (bbox pre-tests before exact classification) are
+sound — they decide an outcome only when the exact predicate is
+guaranteed to agree.  ``tests/dbms/test_batch.py`` and
+``benchmarks/bench_query_batch.py`` assert this equivalence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.core.bounds import bounds_for_policy
+from repro.core.uncertainty import uncertainty_interval
+from repro.dbms.database import MovingObjectDatabase, _classification_counters
+from repro.dbms.query import (
+    Containment,
+    PositionAnswer,
+    RangeAnswer,
+    classify_polyline_against_polygon,
+    classify_polyline_within_distance,
+)
+from repro.errors import QueryError
+from repro.geometry.bbox import Rect2D
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.index.rtree import SearchStats
+from repro.obs.instrument import time_section
+from repro.obs.registry import get_registry
+
+
+@dataclass(frozen=True, slots=True)
+class PositionQuery:
+    """"What is the current position of ``object_id``?" at ``time``."""
+
+    object_id: str
+    time: float
+
+
+@dataclass(frozen=True, slots=True)
+class RangeQuery:
+    """"Retrieve the objects currently in ``polygon``" at ``time``."""
+
+    polygon: Polygon
+    time: float
+    where: dict[str, Any] | None = None
+    class_name: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class WithinDistanceQuery:
+    """"Retrieve the objects within ``radius`` of ``center``" at ``time``."""
+
+    center: Point
+    radius: float
+    time: float
+    where: dict[str, Any] | None = None
+    class_name: str | None = None
+
+
+BatchQuery = Union[PositionQuery, RangeQuery, WithinDistanceQuery]
+BatchAnswer = Union[PositionAnswer, RangeAnswer]
+
+#: No-filter sentinel for the hoisted eligibility sets.
+_NO_FILTER = None
+
+
+def _exact_rect(polygon: Polygon) -> Rect2D | None:
+    """``polygon``'s region as a :class:`Rect2D`, if it is exactly one.
+
+    A simple 4-gon whose vertex set is the corner set of its bounding
+    rectangle *is* that rectangle (any simple ordering of four corner
+    points traces the same closed region).  Returns ``None`` for every
+    other shape, in which case no rectangle shortcut applies.
+    """
+    vertices = polygon.vertices
+    if len(vertices) != 4:
+        return None
+    rect = polygon.bounding_rect
+    corners = {
+        (rect.min_x, rect.min_y), (rect.max_x, rect.min_y),
+        (rect.max_x, rect.max_y), (rect.min_x, rect.max_y),
+    }
+    if {(v.x, v.y) for v in vertices} != corners:
+        return None
+    return rect
+
+
+def _rect_min_distance(center: Point, rect: Rect2D) -> float:
+    """Distance from ``center`` to the closest point of ``rect``."""
+    dx = max(rect.min_x - center.x, 0.0, center.x - rect.max_x)
+    dy = max(rect.min_y - center.y, 0.0, center.y - rect.max_y)
+    return math.hypot(dx, dy)
+
+
+def _rect_max_distance(center: Point, rect: Rect2D) -> float:
+    """Distance from ``center`` to the farthest point of ``rect``."""
+    dx = max(center.x - rect.min_x, rect.max_x - center.x)
+    dy = max(center.y - rect.min_y, rect.max_y - center.y)
+    return math.hypot(dx, dy)
+
+
+class BatchQueryEngine:
+    """Amortised query processing over a :class:`MovingObjectDatabase`.
+
+    The engine is a read-side companion to the database: it owns no
+    data, only caches of values derived from records.  Cache entries
+    are tagged with the source record's update generation, so they
+    survive across :meth:`run` calls and invalidate per object the
+    moment a position update lands — a stale interval can never be
+    served.
+
+    ``max_cache_entries`` bounds the derived-value cache; on overflow
+    the cache is cleared wholesale (correct, merely cold).
+    """
+
+    def __init__(self, database: MovingObjectDatabase,
+                 max_cache_entries: int = 1 << 18) -> None:
+        if max_cache_entries < 1:
+            raise QueryError(
+                f"max_cache_entries must be positive, got {max_cache_entries}"
+            )
+        self._db = database
+        self._max_cache_entries = max_cache_entries
+        #: ``(object_id, t) -> (generation, interval, geometry, bbox)``.
+        self._derived: dict[tuple[str, float], tuple] = {}
+        #: ``object_id -> (generation, DeviationBounds)``.
+        self._bounds: dict[str, tuple] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @property
+    def database(self) -> MovingObjectDatabase:
+        return self._db
+
+    def cache_size(self) -> int:
+        """Entries currently held by the derived-value cache."""
+        return len(self._derived)
+
+    def hit_rate(self) -> float:
+        """Lifetime uncertainty-cache hit rate (0.0 when never used)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Derived-value caches
+    # ------------------------------------------------------------------
+
+    def _bounds_for(self, record) -> Any:
+        """The record's deviation bounds, cached per update generation."""
+        entry = self._bounds.get(record.object_id)
+        if entry is not None and entry[0] == record.generation:
+            return entry[1]
+        bounds = bounds_for_policy(
+            record.policy, record.attribute.speed, record.max_speed
+        )
+        self._bounds[record.object_id] = (record.generation, bounds)
+        return bounds
+
+    def _derived_for(self, object_id: str, t: float) -> tuple:
+        """``(generation, interval, geometry, bbox)`` for one candidate.
+
+        Computed through the exact functions the sequential path uses
+        (:func:`uncertainty_interval`, ``interval.geometry``), so a hit
+        returns bit-for-bit the values a fresh computation would.
+        """
+        record = self._db._records[object_id]
+        key = (object_id, t)
+        entry = self._derived.get(key)
+        if entry is not None and entry[0] == record.generation:
+            self.cache_hits += 1
+            return entry
+        self.cache_misses += 1
+        route = self._db.routes.get(record.attribute.route_id)
+        interval = uncertainty_interval(
+            record.attribute, route, self._bounds_for(record), t
+        )
+        geometry = interval.geometry(route)
+        entry = (record.generation, interval, geometry,
+                 geometry.bounding_rect())
+        if len(self._derived) >= self._max_cache_entries:
+            self._derived.clear()
+        self._derived[key] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+
+    def run(self, queries: list[BatchQuery],
+            stats: SearchStats | None = None) -> list[BatchAnswer]:
+        """Answer ``queries`` in order, with work amortised across them.
+
+        Validation (query-time monotonicity, horizon coverage, radius
+        sign, known object ids) runs up front in query order and raises
+        the same :class:`QueryError` the sequential path would raise at
+        the first offending query; no answers are produced on error.
+        ``stats`` aggregates index work over the whole batch.
+        """
+        hits_before = self.cache_hits
+        misses_before = self.cache_misses
+        with time_section("dbms_batch_seconds",
+                          help="Wall-clock latency of one query batch."):
+            self._validate(queries)
+            candidates = self._gather_candidates(queries, stats)
+            eligible = _EligibilitySets(self._db)
+            answers: list[BatchAnswer] = []
+            for i, query in enumerate(queries):
+                if isinstance(query, PositionQuery):
+                    answers.append(self._answer_position(query))
+                elif isinstance(query, RangeQuery):
+                    answers.append(self._answer_range(
+                        query, candidates[i], eligible
+                    ))
+                else:
+                    answers.append(self._answer_within(
+                        query, candidates[i], eligible
+                    ))
+        self._publish(queries, hits_before, misses_before)
+        return answers
+
+    def _validate(self, queries: list[BatchQuery]) -> None:
+        db = self._db
+        for query in queries:
+            db._check_query_time(query.time)
+            if isinstance(query, PositionQuery):
+                db.record(query.object_id)
+                continue
+            db._check_index_coverage(query.time)
+            if isinstance(query, WithinDistanceQuery) and query.radius < 0:
+                raise QueryError(
+                    f"radius must be nonnegative, got {query.radius}"
+                )
+
+    def _gather_candidates(self, queries: list[BatchQuery],
+                           stats: SearchStats | None) -> list[set[str] | None]:
+        """Pre-refinement candidate sets, one slot per query.
+
+        Position queries get ``None``; range/within queries get the
+        same id set :meth:`MovingObjectDatabase._candidates` would
+        return, but retrieved through one shared traversal when the
+        index supports multi-search.
+        """
+        db = self._db
+        windows: list[tuple[Rect2D, float]] = []
+        slots: list[int] = []
+        for i, query in enumerate(queries):
+            if isinstance(query, RangeQuery):
+                windows.append((query.polygon.bounding_rect, query.time))
+            elif isinstance(query, WithinDistanceQuery):
+                center, radius = query.center, query.radius
+                windows.append((Rect2D(
+                    center.x - radius, center.y - radius,
+                    center.x + radius, center.y + radius,
+                ), query.time))
+            else:
+                continue
+            slots.append(i)
+        candidates: list[set[str] | None] = [None] * len(queries)
+        if not windows:
+            return candidates
+        index = db._index
+        if index is None:
+            for slot in slots:
+                if stats is not None:
+                    stats.nodes_visited += 1
+                    stats.entries_tested += len(db._records)
+                candidates[slot] = set(db._records)
+        elif hasattr(index, "candidates_at_many"):
+            found = index.candidates_at_many(windows, stats)
+            for slot, ids in zip(slots, found):
+                candidates[slot] = ids
+        else:
+            # Index without multi-search (e.g. the linear-scan
+            # baseline): fall back to one lookup per query.
+            for slot, (region, t) in zip(slots, windows):
+                candidates[slot] = index.candidates_at(region, t, stats)
+        return candidates
+
+    def _answer_position(self, query: PositionQuery) -> PositionAnswer:
+        db = self._db
+        record = db._records[query.object_id]
+        route = db.routes.get(record.attribute.route_id)
+        elapsed = record.attribute.elapsed(query.time)
+        bounds = self._bounds_for(record)
+        interval = self._derived_for(query.object_id, query.time)[1]
+        return PositionAnswer(
+            object_id=query.object_id,
+            time=query.time,
+            position=record.database_position(route, query.time),
+            slow_bound=bounds.slow(elapsed),
+            fast_bound=bounds.fast(elapsed),
+            error_bound=bounds.total(elapsed),
+            interval=interval,
+        )
+
+    def _answer_range(self, query: RangeQuery, candidates: set[str],
+                      eligible: "_EligibilitySets") -> RangeAnswer:
+        db = self._db
+        registry = get_registry()
+        counters = (_classification_counters(registry)
+                    if registry.enabled else None)
+        kept = eligible.filter_mobile(candidates, query.where,
+                                      query.class_name)
+        polygon = query.polygon
+        query_rect = polygon.bounding_rect
+        rect_region = _exact_rect(polygon)
+        t = query.time
+        may: set[str] = set()
+        must: set[str] = set()
+        for object_id in kept:
+            geometry, bbox = self._derived_for(object_id, t)[2:]
+            if not query_rect.intersects(bbox):
+                # Disjoint bboxes: the exact predicate cannot intersect
+                # either, so OUT is decided without materialising it.
+                outcome = Containment.OUT
+            elif rect_region is not None and rect_region.contains_rect(bbox):
+                # The polygon is exactly a closed rectangle holding the
+                # whole geometry bbox, so the exact predicate is MUST.
+                outcome = Containment.MUST
+            else:
+                outcome = classify_polyline_against_polygon(geometry, polygon)
+            if counters is not None:
+                db._count_outcome(counters, outcome)
+            if outcome == Containment.OUT:
+                continue
+            may.add(object_id)
+            if outcome == Containment.MUST:
+                must.add(object_id)
+        examined = len(kept)
+        for object_id in eligible.stationary(query.where, query.class_name):
+            examined += 1
+            if polygon.contains_point(db._stationary[object_id][1]):
+                may.add(object_id)
+                must.add(object_id)
+        return RangeAnswer(
+            time=t,
+            may=frozenset(may),
+            must=frozenset(must),
+            examined=examined,
+            candidates=frozenset(kept),
+        )
+
+    def _answer_within(self, query: WithinDistanceQuery,
+                       candidates: set[str],
+                       eligible: "_EligibilitySets") -> RangeAnswer:
+        db = self._db
+        registry = get_registry()
+        counters = (_classification_counters(registry)
+                    if registry.enabled else None)
+        kept = eligible.filter_mobile(candidates, query.where,
+                                      query.class_name)
+        center, radius, t = query.center, query.radius, query.time
+        may: set[str] = set()
+        must: set[str] = set()
+        for object_id in kept:
+            geometry, bbox = self._derived_for(object_id, t)[2:]
+            # Bbox distance bounds bracket the exact min/max distances
+            # (the geometry lies inside its bbox), so these shortcuts
+            # agree with the exact classification whenever they fire.
+            if _rect_min_distance(center, bbox) > radius:
+                outcome = Containment.OUT
+            elif _rect_max_distance(center, bbox) <= radius:
+                outcome = Containment.MUST
+            else:
+                outcome = classify_polyline_within_distance(
+                    center, radius, geometry
+                )
+            if counters is not None:
+                db._count_outcome(counters, outcome)
+            if outcome == Containment.OUT:
+                continue
+            may.add(object_id)
+            if outcome == Containment.MUST:
+                must.add(object_id)
+        examined = len(kept)
+        for object_id in eligible.stationary(query.where, query.class_name):
+            examined += 1
+            if db._stationary[object_id][1].distance_to(center) <= radius:
+                may.add(object_id)
+                must.add(object_id)
+        return RangeAnswer(
+            time=t,
+            may=frozenset(may),
+            must=frozenset(must),
+            examined=examined,
+            candidates=frozenset(kept),
+        )
+
+    def _publish(self, queries: list[BatchQuery], hits_before: int,
+                 misses_before: int) -> None:
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        kinds = {"position": 0, "range": 0, "within": 0}
+        for query in queries:
+            if isinstance(query, PositionQuery):
+                kinds["position"] += 1
+            elif isinstance(query, RangeQuery):
+                kinds["range"] += 1
+            else:
+                kinds["within"] += 1
+        help_text = "Queries answered by the batch engine, by kind."
+        for kind, count in kinds.items():
+            if count:
+                registry.counter(
+                    "dbms_batch_queries_total", help=help_text, kind=kind,
+                ).inc(count)
+        registry.counter(
+            "dbms_batch_cache_hits_total",
+            help="Uncertainty-cache hits in the batch engine.",
+        ).inc(self.cache_hits - hits_before)
+        registry.counter(
+            "dbms_batch_cache_misses_total",
+            help="Uncertainty-cache misses in the batch engine.",
+        ).inc(self.cache_misses - misses_before)
+        registry.gauge(
+            "dbms_batch_cache_hit_rate",
+            help="Lifetime hit rate of the batch uncertainty cache.",
+        ).set(self.hit_rate())
+
+
+class _EligibilitySets:
+    """Per-batch hoisting of filter work.
+
+    ``filter_mobile`` intersects a candidate set with the ids passing a
+    ``(where, class_name)`` filter — computed once per distinct filter
+    over all records, instead of per query over each candidate set.
+    ``stationary`` does the same for the stationary population.  Both
+    reproduce :meth:`MovingObjectDatabase._filter_candidates` membership
+    exactly (candidate sets only ever contain known ids).
+    """
+
+    def __init__(self, database: MovingObjectDatabase) -> None:
+        self._db = database
+        self._mobile: dict = {}
+        self._stationary: dict = {}
+
+    @staticmethod
+    def _key(where: dict[str, Any] | None, class_name: str | None):
+        if where is None and class_name is None:
+            return _NO_FILTER
+        items = None if where is None else tuple(sorted(where.items()))
+        return (class_name, items)
+
+    def filter_mobile(self, candidates: set[str],
+                      where: dict[str, Any] | None,
+                      class_name: str | None) -> set[str]:
+        try:
+            key = self._key(where, class_name)
+        except TypeError:
+            # Unhashable filter values: fall back to direct filtering.
+            return set(self._db._filter_candidates(
+                candidates, where, class_name
+            ))
+        if key is _NO_FILTER:
+            return candidates
+        passing = self._mobile.get(key)
+        if passing is None:
+            passing = frozenset(self._db._filter_candidates(
+                frozenset(self._db._records), where, class_name
+            ))
+            self._mobile[key] = passing
+        return candidates & passing
+
+    def stationary(self, where: dict[str, Any] | None,
+                   class_name: str | None):
+        db = self._db
+        try:
+            key = self._key(where, class_name)
+        except TypeError:
+            return db._filter_candidates(
+                db.stationary_id_set(), where, class_name
+            )
+        if key is _NO_FILTER:
+            return db.stationary_id_set()
+        passing = self._stationary.get(key)
+        if passing is None:
+            passing = frozenset(db._filter_candidates(
+                db.stationary_id_set(), where, class_name
+            ))
+            self._stationary[key] = passing
+        return passing

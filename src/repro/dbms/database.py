@@ -10,6 +10,7 @@ and a query processor answering position queries with error bounds
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import Any
 
@@ -79,6 +80,13 @@ class MovingObjectDatabase:
         self._records: dict[str, MovingObjectRecord] = {}
         #: Stationary point objects: id -> (class name, fixed position).
         self._stationary: dict[str, tuple[str, Point]] = {}
+        #: Cached id set of stationary objects, rebuilt only when the
+        #: stationary population changes (queries consume it per call).
+        self._stationary_ids: frozenset[str] | None = None
+        #: Min-heap of ``(starttime, object_id)`` with lazy deletion:
+        #: tracks the earliest o-plane start so the indexed-horizon
+        #: coverage check is O(1) amortised instead of a full scan.
+        self._horizon_heap: list[tuple[float, str]] = []
         #: Latest time the database has seen (inserts and updates).
         #: Queries must not precede it: position attributes are not
         #: multi-versioned (valid time = transaction time, §2), so only
@@ -142,6 +150,7 @@ class MovingObjectDatabase:
             max_speed=max_speed,
         )
         self._records[object_id] = record
+        heapq.heappush(self._horizon_heap, (t, object_id))
         self.table(class_name).insert(object_id, attributes)
         self._reindex(record)
         return record
@@ -167,6 +176,7 @@ class MovingObjectDatabase:
         if object_id in self._records or object_id in self._stationary:
             raise SchemaError(f"duplicate object id {object_id!r}")
         self._stationary[object_id] = (class_name, position)
+        self._stationary_ids = None
         self.table(class_name).insert(object_id, attributes)
 
     def stationary_position(self, object_id: str) -> Point:
@@ -182,6 +192,7 @@ class MovingObjectDatabase:
         """Drop an object (trip ended, or stationary object removed)."""
         if object_id in self._stationary:
             class_name, _ = self._stationary.pop(object_id)
+            self._stationary_ids = None
             self.table(class_name).delete(object_id)
             return
         record = self.record(object_id)
@@ -204,6 +215,20 @@ class MovingObjectDatabase:
     def stationary_ids(self) -> list[str]:
         """Ids of all stationary objects."""
         return list(self._stationary)
+
+    def stationary_id_set(self) -> frozenset[str]:
+        """Cached id set of stationary objects.
+
+        Rebuilt only when a stationary object is inserted or removed;
+        queries previously rebuilt this set on every call.
+        """
+        if self._stationary_ids is None:
+            self._stationary_ids = frozenset(self._stationary)
+        return self._stationary_ids
+
+    def generation_of(self, object_id: str) -> int:
+        """The update generation of a mobile object (cache keying)."""
+        return self.record(object_id).generation
 
     def __len__(self) -> int:
         return len(self._records) + len(self._stationary)
@@ -246,6 +271,9 @@ class MovingObjectDatabase:
             route_id=message.route_id,
             direction=message.direction,
             policy=new_policy_name,
+        )
+        heapq.heappush(
+            self._horizon_heap, (record.attribute.starttime, record.object_id)
         )
         self._reindex(record)
 
@@ -290,6 +318,24 @@ class MovingObjectDatabase:
                 f"{self.clock_time}); position attributes are not versioned"
             )
 
+    def _earliest_starttime(self) -> float | None:
+        """The minimum ``starttime`` over all records, in O(1) amortised.
+
+        The heap holds every starttime ever installed; entries whose
+        object is gone or has since been updated are stale and popped
+        lazily.  Each insert/update pushes one entry and each entry is
+        popped at most once, so the scan the old implementation did per
+        query is amortised away.
+        """
+        heap = self._horizon_heap
+        while heap:
+            start, object_id = heap[0]
+            record = self._records.get(object_id)
+            if record is not None and record.attribute.starttime == start:
+                return start
+            heapq.heappop(heap)
+        return None
+
     def _check_index_coverage(self, t: float) -> None:
         """Index-backed queries must stay inside every o-plane's span.
 
@@ -297,11 +343,12 @@ class MovingObjectDatabase:
         query beyond the earliest plane's end would silently miss
         objects, so it is rejected instead (the paper's cutoff ``Z``).
         """
-        if self._index is None or not self._records:
+        if self._index is None:
             return
-        earliest_end = min(
-            record.attribute.starttime for record in self._records.values()
-        ) + self.horizon
+        earliest_start = self._earliest_starttime()
+        if earliest_start is None:
+            return
+        earliest_end = earliest_start + self.horizon
         if t > earliest_end + 1e-9:
             raise QueryError(
                 f"query time {t} exceeds the indexed horizon "
@@ -367,7 +414,7 @@ class MovingObjectDatabase:
                 must.add(object_id)
         examined = len(candidates)
         for object_id in self._filter_candidates(
-            set(self._stationary), where, class_name
+            self.stationary_id_set(), where, class_name
         ):
             examined += 1
             if polygon.contains_point(self._stationary[object_id][1]):
@@ -428,7 +475,7 @@ class MovingObjectDatabase:
                 must.add(object_id)
         examined = len(candidates)
         for object_id in self._filter_candidates(
-            set(self._stationary), where, class_name
+            self.stationary_id_set(), where, class_name
         ):
             examined += 1
             if self._stationary[object_id][1].distance_to(center) <= radius:
@@ -487,7 +534,7 @@ class MovingObjectDatabase:
                 must.add(object_id)
         examined = len(candidates)
         for object_id in self._filter_candidates(
-            set(self._stationary), where, class_name
+            self.stationary_id_set(), where, class_name
         ):
             examined += 1
             point = self._stationary[object_id][1]
@@ -541,7 +588,7 @@ class MovingObjectDatabase:
                 NearestAnswer(object_id, minimum, maximum)
             )
         for object_id in self._filter_candidates(
-            set(self._stationary), where, class_name
+            self.stationary_id_set(), where, class_name
         ):
             distance = self._stationary[object_id][1].distance_to(center)
             entries.append(NearestAnswer(object_id, distance, distance))
@@ -563,10 +610,14 @@ class MovingObjectDatabase:
             )
         return results
 
-    def _filter_candidates(self, candidates: set[str],
+    def _filter_candidates(self, candidates: set[str] | frozenset[str],
                            where: dict[str, Any] | None,
-                           class_name: str | None) -> set[str]:
-        """Apply class and attribute-equality filters to candidate ids."""
+                           class_name: str | None) -> set[str] | frozenset[str]:
+        """Apply class and attribute-equality filters to candidate ids.
+
+        With no filters the input is returned as-is (callers only
+        iterate it); with filters a fresh filtered set is built.
+        """
         if where is None and class_name is None:
             return candidates
         kept: set[str] = set()

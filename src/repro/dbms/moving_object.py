@@ -29,6 +29,12 @@ class MovingObjectRecord:
     attribute: PositionAttribute
     policy: UpdatePolicy
     max_speed: float
+    #: Update generation: bumped on every installed position update, so
+    #: caches of derived values (uncertainty intervals, dead-reckoned
+    #: positions, o-plane geometry) can invalidate per object instead
+    #: of wholesale.  A cached value tagged with the generation it was
+    #: derived from is valid iff the tags still match.
+    generation: int = 0
 
     def __post_init__(self) -> None:
         if self.max_speed < 0:
@@ -59,3 +65,4 @@ class MovingObjectRecord:
             t, position, speed, route_id=route_id, direction=direction,
             policy=policy,
         )
+        self.generation += 1

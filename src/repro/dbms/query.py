@@ -84,6 +84,21 @@ class RangeAnswer:
         return self.may - self.must
 
 
+def classify_polyline_against_polygon(geometry: Polyline,
+                                      polygon: Polygon) -> str:
+    """Theorems 5–6 refinement for an interval's materialised geometry.
+
+    Split out from :func:`classify_against_polygon` so callers that
+    cache the geometry (the batch query engine) refine through the
+    exact same predicate as the one-at-a-time path.
+    """
+    if not polygon.intersects_polyline(geometry):
+        return Containment.OUT
+    if polygon.contains_polyline(geometry):
+        return Containment.MUST
+    return Containment.MAY
+
+
 def classify_against_polygon(interval: UncertaintyInterval, route: Route,
                              polygon: Polygon) -> str:
     """Theorems 5–6 refinement for one object.
@@ -92,23 +107,17 @@ def classify_against_polygon(interval: UncertaintyInterval, route: Route,
     * ``MAY`` — the interval intersects G but is not contained,
     * ``OUT`` — the interval misses G.
     """
-    geometry = interval.geometry(route)
-    if not polygon.intersects_polyline(geometry):
-        return Containment.OUT
-    if polygon.contains_polyline(geometry):
-        return Containment.MUST
-    return Containment.MAY
+    return classify_polyline_against_polygon(interval.geometry(route), polygon)
 
 
-def distance_range_to_interval(center: Point, interval: UncertaintyInterval,
-                               route: Route) -> tuple[float, float]:
-    """Min and max Euclidean distance from ``center`` to the interval.
+def distance_range_to_polyline(center: Point,
+                               geometry: Polyline) -> tuple[float, float]:
+    """Min and max Euclidean distance from ``center`` to a polyline.
 
     The minimum is attained on a segment interior or endpoint; the
     maximum of a convex function over a polyline is attained at a
     vertex, so checking vertices suffices.
     """
-    geometry: Polyline = interval.geometry(route)
     minimum = min(
         segment.distance_to_point(center) for segment in geometry.segments()
     )
@@ -116,6 +125,12 @@ def distance_range_to_interval(center: Point, interval: UncertaintyInterval,
         vertex.distance_to(center) for vertex in geometry.vertices
     )
     return minimum, maximum
+
+
+def distance_range_to_interval(center: Point, interval: UncertaintyInterval,
+                               route: Route) -> tuple[float, float]:
+    """Min and max Euclidean distance from ``center`` to the interval."""
+    return distance_range_to_polyline(center, interval.geometry(route))
 
 
 def distance_range_between_intervals(
@@ -161,15 +176,23 @@ class NearestAnswer:
     certain: bool = False
 
 
-def classify_within_distance(center: Point, radius: float,
-                             interval: UncertaintyInterval,
-                             route: Route) -> str:
-    """May/must classification against a disc of ``radius`` at ``center``."""
+def classify_polyline_within_distance(center: Point, radius: float,
+                                      geometry: Polyline) -> str:
+    """Disc classification for an interval's materialised geometry."""
     if radius < 0:
         raise QueryError(f"radius must be nonnegative, got {radius}")
-    minimum, maximum = distance_range_to_interval(center, interval, route)
+    minimum, maximum = distance_range_to_polyline(center, geometry)
     if minimum > radius:
         return Containment.OUT
     if maximum <= radius:
         return Containment.MUST
     return Containment.MAY
+
+
+def classify_within_distance(center: Point, radius: float,
+                             interval: UncertaintyInterval,
+                             route: Route) -> str:
+    """May/must classification against a disc of ``radius`` at ``center``."""
+    return classify_polyline_within_distance(
+        center, radius, interval.geometry(route)
+    )

@@ -64,7 +64,7 @@ def table_slab_tuning(slab_widths: tuple[float, ...] = (1.0, 2.5, 5.0, 10.0, 20.
             answers_total += len(answer.may)
         # Maintenance cost: boxes swapped per position update.
         sample_id = built.database.object_ids()[0]
-        swap = index.replace(sample_id, planes[sample_id])
+        swap = index.replace(sample_id, planes[sample_id], force=True)
         rows.append(
             [
                 slab_minutes,

@@ -176,7 +176,9 @@ def experiment_index_maintenance(num_objects: int = 200,
     # Replay one object's current plane to measure a single swap.
     object_id = built.database.object_ids()[0]
     plane = built.database.oplane_of(object_id)
-    swap = index.replace(object_id, plane)
+    # force=True: the plane is unchanged, so an unforced replace
+    # would short-circuit; the experiment measures a full swap.
+    swap = index.replace(object_id, plane, force=True)
     return TableResult(
         experiment_id="E12",
         title="Time-space index maintenance",

@@ -72,6 +72,15 @@ class Rect2D:
             and other.min_y <= self.max_y
         )
 
+    def contains_rect(self, other: "Rect2D") -> bool:
+        """True when ``other`` lies entirely inside this closed rectangle."""
+        return (
+            self.min_x <= other.min_x
+            and other.max_x <= self.max_x
+            and self.min_y <= other.min_y
+            and other.max_y <= self.max_y
+        )
+
     def union(self, other: "Rect2D") -> "Rect2D":
         """The tightest rectangle containing both rectangles."""
         return Rect2D(

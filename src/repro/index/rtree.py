@@ -418,6 +418,98 @@ class RTree:
             ).observe(len(results))
         return results
 
+    def search_many(self, boxes: list[Box3D],
+                    stats: SearchStats | None = None) -> list[list[Hashable]]:
+        """Answer many box searches in a single tree traversal.
+
+        Equivalent to ``[self.search(b) for b in boxes]`` up to result
+        order within each answer (callers collect into sets), but each
+        tree node is visited at most once: the traversal carries the
+        list of still-active queries per subtree, so node access and
+        per-entry loop overhead are amortised over the whole batch
+        instead of paid once per query.
+
+        ``stats`` aggregates work across the batch; ``results`` counts
+        the total matches over all queries.  When observability is
+        enabled, batch-level counters (`index_multi_*`) record the
+        traversal sharing so the amortisation is measurable.
+        """
+        results: list[list[Hashable]] = [[] for _ in boxes]
+        if not boxes:
+            return results
+        registry = get_registry()
+        observed = registry.enabled
+        if observed and stats is None:
+            stats = SearchStats()
+        base_nodes = stats.nodes_visited if stats is not None else 0
+        base_entries = stats.entries_tested if stats is not None else 0
+        shared_visits = 0
+        nodes_visited = 0
+        if self._size > 0:
+            # Sort queries spatially so active lists stay contiguous
+            # runs of similar boxes (cheap, and deterministic).
+            order = sorted(
+                range(len(boxes)),
+                key=lambda i: (boxes[i].min_t, boxes[i].min_x, boxes[i].min_y),
+            )
+            stack: list[tuple[_Node, list[int]]] = [(self._root, order)]
+            while stack:
+                node, active = stack.pop()
+                nodes_visited += 1
+                shared_visits += len(active)
+                if stats is not None:
+                    stats.nodes_visited += 1
+                is_leaf = node.is_leaf
+                for entry in node.entries:
+                    if stats is not None:
+                        stats.entries_tested += 1
+                    entry_box = entry.box
+                    matching = [
+                        i for i in active if entry_box.intersects(boxes[i])
+                    ]
+                    if not matching:
+                        continue
+                    if is_leaf:
+                        payload = entry.payload
+                        for i in matching:
+                            results[i].append(payload)
+                    else:
+                        assert entry.child is not None
+                        stack.append((entry.child, matching))
+        total_results = sum(len(found) for found in results)
+        if stats is not None:
+            stats.results += total_results
+        if observed:
+            registry.counter(
+                "index_multi_searches_total",
+                help="Batched R-tree traversals executed.",
+            ).inc()
+            registry.counter(
+                "index_multi_search_queries_total",
+                help="Query boxes answered by batched traversals.",
+            ).inc(len(boxes))
+            registry.counter(
+                "index_nodes_visited_total",
+                help="R-tree nodes visited across all searches.",
+            ).inc(stats.nodes_visited - base_nodes)
+            registry.counter(
+                "index_entries_tested_total",
+                help="R-tree entries intersection-tested across all searches.",
+            ).inc(stats.entries_tested - base_entries)
+            if nodes_visited:
+                registry.histogram(
+                    "index_multi_node_share",
+                    help="Queries sharing each node visit of a batched "
+                         "traversal (mean per batch).",
+                    buckets=COUNT_BUCKETS,
+                ).observe(shared_visits / nodes_visited)
+            registry.histogram(
+                "index_search_results",
+                help="Result-set size per R-tree search.",
+                buckets=COUNT_BUCKETS,
+            ).observe(total_results)
+        return results
+
     def search_at_time(self, min_x: float, min_y: float, max_x: float,
                        max_y: float, t: float,
                        stats: SearchStats | None = None) -> list[Hashable]:

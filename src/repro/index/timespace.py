@@ -92,26 +92,45 @@ class TimeSpaceIndex:
 
     def insert(self, object_id: str, plane: OPlane) -> int:
         """Index a new object's o-plane; returns the box count."""
-        if object_id in self._planes:
-            raise IndexError_(
-                f"object {object_id!r} already indexed; use replace()"
-            )
-        boxes = plane.boxes(self.slab_minutes)
-        for box in boxes:
-            self._tree.insert(box, object_id)
-        self._planes[object_id] = plane
-        self._boxes[object_id] = boxes
+        inserted = self._insert_boxes(object_id, plane)
         registry = get_registry()
         if registry.enabled:
             registry.counter(
                 "index_boxes_inserted_total",
                 help="Slab boxes inserted into the time-space index.",
-            ).inc(len(boxes))
+            ).inc(inserted)
             self._publish_size(registry)
+        return inserted
+
+    def _insert_boxes(self, object_id: str, plane: OPlane,
+                      boxes: list[Box3D] | None = None) -> int:
+        """Insert without publishing metrics (replace publishes once)."""
+        if object_id in self._planes:
+            raise IndexError_(
+                f"object {object_id!r} already indexed; use replace()"
+            )
+        if boxes is None:
+            boxes = plane.boxes(self.slab_minutes)
+        for box in boxes:
+            self._tree.insert(box, object_id)
+        self._planes[object_id] = plane
+        self._boxes[object_id] = boxes
         return len(boxes)
 
     def remove(self, object_id: str) -> int:
         """Drop an object from the index; returns removed box count."""
+        removed = self._remove_boxes(object_id)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "index_boxes_removed_total",
+                help="Slab boxes removed from the time-space index.",
+            ).inc(removed)
+            self._publish_size(registry)
+        return removed
+
+    def _remove_boxes(self, object_id: str) -> int:
+        """Remove without publishing metrics (replace publishes once)."""
         if object_id not in self._planes:
             raise IndexError_(f"object {object_id!r} is not indexed")
         boxes = self._boxes.pop(object_id)
@@ -125,13 +144,6 @@ class TimeSpaceIndex:
                 f"index corruption: expected to remove {len(boxes)} boxes "
                 f"for {object_id!r}, removed {removed}"
             )
-        registry = get_registry()
-        if registry.enabled:
-            registry.counter(
-                "index_boxes_removed_total",
-                help="Slab boxes removed from the time-space index.",
-            ).inc(removed)
-            self._publish_size(registry)
         return removed
 
     def _publish_size(self, registry) -> None:
@@ -142,10 +154,45 @@ class TimeSpaceIndex:
             "index_slab_boxes", help="Slab boxes currently stored.",
         ).set(len(self._tree))
 
-    def replace(self, object_id: str, plane: OPlane) -> IndexMaintenanceStats:
-        """The §4.2 update step: swap the old o-plane for the new one."""
-        removed = self.remove(object_id) if object_id in self._planes else 0
-        inserted = self.insert(object_id, plane)
+    def replace(self, object_id: str, plane: OPlane,
+                force: bool = False) -> IndexMaintenanceStats:
+        """The §4.2 update step: swap the old o-plane for the new one.
+
+        When the new plane decomposes into exactly the slab boxes
+        already stored (an update that did not move the indexed
+        envelope), the R-tree round-trip is skipped entirely: only the
+        plane record is refreshed and the stats report zero box work.
+        ``force`` disables the skip (maintenance experiments use it to
+        measure a full swap).  Either way the size gauges are published
+        once per replace, not once per remove plus once per insert.
+        """
+        if object_id not in self._planes:
+            inserted = self.insert(object_id, plane)
+            return IndexMaintenanceStats(
+                boxes_removed=0, boxes_inserted=inserted
+            )
+        new_boxes = plane.boxes(self.slab_minutes)
+        registry = get_registry()
+        if not force and new_boxes == self._boxes[object_id]:
+            self._planes[object_id] = plane
+            if registry.enabled:
+                registry.counter(
+                    "index_replace_skipped_total",
+                    help="Replaces skipped because slab boxes were unchanged.",
+                ).inc()
+            return IndexMaintenanceStats(boxes_removed=0, boxes_inserted=0)
+        removed = self._remove_boxes(object_id)
+        inserted = self._insert_boxes(object_id, plane, boxes=new_boxes)
+        if registry.enabled:
+            registry.counter(
+                "index_boxes_removed_total",
+                help="Slab boxes removed from the time-space index.",
+            ).inc(removed)
+            registry.counter(
+                "index_boxes_inserted_total",
+                help="Slab boxes inserted into the time-space index.",
+            ).inc(inserted)
+            self._publish_size(registry)
         return IndexMaintenanceStats(
             boxes_removed=removed, boxes_inserted=inserted
         )
@@ -164,6 +211,18 @@ class TimeSpaceIndex:
             Box3D.from_rect(region, t, t), stats
         )
         return set(payloads)  # type: ignore[arg-type]
+
+    def candidates_at_many(self, windows: list[tuple[Rect2D, float]],
+                           stats: SearchStats | None = None) -> list[set[str]]:
+        """Candidate sets for many ``(region, t)`` windows in one traversal.
+
+        Set-equal to ``[self.candidates_at(r, t) for r, t in windows]``
+        but answered by a single shared R-tree walk
+        (:meth:`RTree.search_many`).
+        """
+        boxes = [Box3D.from_rect(region, t, t) for region, t in windows]
+        found = self._tree.search_many(boxes, stats)
+        return [set(payloads) for payloads in found]  # type: ignore[arg-type]
 
     def object_ids(self) -> list[str]:
         """All indexed object ids."""

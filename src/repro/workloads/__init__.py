@@ -10,7 +10,10 @@
   ("retrieve the friendly helicopters that are currently in a given
   region"),
 * :func:`polygon_query_workload` — a randomized stream of range-query
-  polygons over a network's extent.
+  polygons over a network's extent,
+* :func:`mixed_query_workload` — a batched serving workload mixing
+  position, range, and within-distance queries for the
+  :class:`~repro.dbms.batch.BatchQueryEngine`.
 """
 
 from repro.workloads.scenarios import (
@@ -20,6 +23,7 @@ from repro.workloads.scenarios import (
     trucking_scenario,
 )
 from repro.workloads.query_workloads import (
+    mixed_query_workload,
     polygon_query_workload,
     within_distance_workload,
 )
@@ -31,4 +35,5 @@ __all__ = [
     "battlefield_scenario",
     "polygon_query_workload",
     "within_distance_workload",
+    "mixed_query_workload",
 ]

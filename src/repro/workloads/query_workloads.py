@@ -5,12 +5,24 @@ rectangular region queries ("the objects currently in polygon G") and
 within-distance queries ("the cabs within 1 mile of an address").  Both
 draw query centres uniformly over the network's bounding extent with
 seeded randomness, so benchmark runs are reproducible.
+
+:func:`mixed_query_workload` composes position, range, and
+within-distance queries into one batch-engine workload — the shape a
+serving tier sees — with query times drawn from a small set of
+instants so the uncertainty cache has sharing to exploit.
 """
 
 from __future__ import annotations
 
 import random
+from typing import Sequence
 
+from repro.dbms.batch import (
+    BatchQuery,
+    PositionQuery,
+    RangeQuery,
+    WithinDistanceQuery,
+)
 from repro.errors import ExperimentError
 from repro.geometry.point import Point
 from repro.geometry.polygon import Polygon
@@ -60,4 +72,64 @@ def within_distance_workload(network: RouteNetwork, rng: random.Random,
     for _ in range(count):
         center = Point(rng.uniform(min_x, max_x), rng.uniform(min_y, max_y))
         queries.append((center, rng.uniform(lo, hi)))
+    return queries
+
+
+def mixed_query_workload(network: RouteNetwork, rng: random.Random,
+                         count: int, object_ids: Sequence[str],
+                         times: Sequence[float],
+                         mix: tuple[float, float, float] = (0.2, 0.5, 0.3),
+                         side_miles: tuple[float, float] = (1.0, 4.0),
+                         radius_miles: tuple[float, float] = (0.5, 2.0)) -> list[BatchQuery]:
+    """``count`` mixed position/range/within-distance queries.
+
+    ``mix`` gives the relative weights of the three kinds (position,
+    range, within-distance); ``times`` is the set of query instants the
+    workload draws from (a serving workload clusters around "now", so a
+    small set is realistic and is what gives caching leverage).  The
+    result is consumable by
+    :class:`~repro.dbms.batch.BatchQueryEngine.run` or answerable
+    one-at-a-time for equivalence checks.
+    """
+    if count < 1:
+        raise ExperimentError(f"count must be positive, got {count}")
+    if not times:
+        raise ExperimentError("times must be non-empty")
+    if len(mix) != 3 or any(w < 0 for w in mix) or sum(mix) <= 0:
+        raise ExperimentError(f"invalid query mix {mix}")
+    if mix[0] > 0 and not object_ids:
+        raise ExperimentError(
+            "position queries requested but object_ids is empty"
+        )
+    side_lo, side_hi = side_miles
+    if not 0 < side_lo <= side_hi:
+        raise ExperimentError(f"invalid side range {side_miles}")
+    radius_lo, radius_hi = radius_miles
+    if not 0 < radius_lo <= radius_hi:
+        raise ExperimentError(f"invalid radius range {radius_miles}")
+    min_x, min_y, max_x, max_y = network.bounding_extent()
+    kinds = rng.choices(("position", "range", "within"),
+                        weights=mix, k=count)
+    queries: list[BatchQuery] = []
+    for kind in kinds:
+        t = rng.choice(times)
+        if kind == "position":
+            queries.append(PositionQuery(rng.choice(object_ids), t))
+            continue
+        cx = rng.uniform(min_x, max_x)
+        cy = rng.uniform(min_y, max_y)
+        if kind == "range":
+            width = rng.uniform(side_lo, side_hi)
+            height = rng.uniform(side_lo, side_hi)
+            queries.append(RangeQuery(
+                Polygon.rectangle(
+                    cx - width / 2.0, cy - height / 2.0,
+                    cx + width / 2.0, cy + height / 2.0,
+                ),
+                t,
+            ))
+        else:
+            queries.append(WithinDistanceQuery(
+                Point(cx, cy), rng.uniform(radius_lo, radius_hi), t,
+            ))
     return queries

@@ -1,0 +1,259 @@
+"""Unit tests for the batched query engine.
+
+The load-bearing claim is byte-identical equivalence: a
+:class:`BatchQueryEngine` must return exactly the answers the
+sequential :class:`MovingObjectDatabase` calls return, on any workload,
+with any index (time-space, linear scan, or none), with filters, and
+across position updates (the generation-keyed cache must invalidate
+per object, never serve stale intervals).
+"""
+
+import random
+
+import pytest
+
+from repro.core.policies import make_policy
+from repro.dbms.batch import (
+    BatchQueryEngine,
+    PositionQuery,
+    RangeQuery,
+    WithinDistanceQuery,
+)
+from repro.dbms.database import MovingObjectDatabase
+from repro.dbms.schema import AttributeDef, Mobility, ObjectClass, SpatialKind
+from repro.dbms.update_log import PositionUpdateMessage
+from repro.errors import QueryError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.index.scan import LinearScanIndex
+from repro.index.timespace import TimeSpaceIndex
+from repro.obs import MetricsRegistry, use_registry
+from repro.routes.generators import grid_city_network
+from repro.workloads.query_workloads import mixed_query_workload
+
+C = 5.0
+QUERY_TIMES = (8.0, 10.0, 12.0)
+
+
+def build_database(index, num_objects=12, seed=2):
+    rng = random.Random(seed)
+    network = grid_city_network(6, 6, 0.5)
+    database = MovingObjectDatabase(index=index, horizon=90.0)
+    database.schema.define_mobile_point_class(
+        "taxi", (AttributeDef("free", "bool"),)
+    )
+    database.schema.define(
+        ObjectClass("depot", SpatialKind.POINT, Mobility.STATIONARY)
+    )
+    object_ids = []
+    for i in range(num_objects):
+        route = network.random_route(rng, min_length=0.5)
+        database.register_route(route)
+        direction = rng.randrange(2)
+        object_id = f"taxi-{i}"
+        database.insert_moving_object(
+            object_id, "taxi", route.route_id, 0.0,
+            route.travel_point(0.0, direction), direction,
+            rng.uniform(0.1, 0.4), make_policy("ail", C),
+            max_speed=0.8, attributes={"free": i % 2 == 0},
+        )
+        object_ids.append(object_id)
+    min_x, min_y, max_x, max_y = network.bounding_extent()
+    for i in range(3):
+        database.insert_stationary_object(
+            f"depot-{i}", "depot",
+            Point(rng.uniform(min_x, max_x), rng.uniform(min_y, max_y)),
+        )
+    return database, network, object_ids
+
+
+def build_workload(network, object_ids, count=60, seed=9):
+    return mixed_query_workload(
+        network, random.Random(seed), count, object_ids, QUERY_TIMES,
+    )
+
+
+def sequential(database, queries):
+    answers = []
+    for query in queries:
+        if isinstance(query, PositionQuery):
+            answers.append(database.position_of(query.object_id, query.time))
+        elif isinstance(query, RangeQuery):
+            answers.append(database.range_query(
+                query.polygon, query.time,
+                where=query.where, class_name=query.class_name,
+            ))
+        else:
+            answers.append(database.within_distance(
+                query.center, query.radius, query.time,
+                where=query.where, class_name=query.class_name,
+            ))
+    return answers
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_random_workload_with_timespace_index(self, seed):
+        database, network, object_ids = build_database(
+            TimeSpaceIndex(slab_minutes=5.0), seed=seed
+        )
+        queries = build_workload(network, object_ids, seed=seed + 100)
+        expected = sequential(database, queries)
+        assert BatchQueryEngine(database).run(queries) == expected
+
+    def test_without_index(self):
+        database, network, object_ids = build_database(None)
+        queries = build_workload(network, object_ids)
+        expected = sequential(database, queries)
+        assert BatchQueryEngine(database).run(queries) == expected
+
+    def test_linear_scan_index_fallback(self):
+        database, network, object_ids = build_database(LinearScanIndex())
+        queries = build_workload(network, object_ids)
+        expected = sequential(database, queries)
+        # LinearScanIndex has no candidates_at_many: per-query fallback.
+        assert not hasattr(database._index, "candidates_at_many")
+        assert BatchQueryEngine(database).run(queries) == expected
+
+    def test_filtered_queries(self):
+        database, network, object_ids = build_database(
+            TimeSpaceIndex(slab_minutes=5.0)
+        )
+        extent = network.bounding_extent()
+        everywhere = Polygon.rectangle(
+            extent[0] - 1.0, extent[1] - 1.0, extent[2] + 1.0, extent[3] + 1.0
+        )
+        center = Point((extent[0] + extent[2]) / 2.0,
+                       (extent[1] + extent[3]) / 2.0)
+        queries = [
+            RangeQuery(everywhere, 10.0, where={"free": True}),
+            RangeQuery(everywhere, 10.0, class_name="taxi"),
+            RangeQuery(everywhere, 10.0, class_name="depot"),
+            WithinDistanceQuery(center, 2.0, 10.0, where={"free": False},
+                                class_name="taxi"),
+            WithinDistanceQuery(center, 2.0, 10.0, class_name="depot"),
+        ]
+        expected = sequential(database, queries)
+        assert BatchQueryEngine(database).run(queries) == expected
+        # The free-cab filter actually bit: not every taxi is free.
+        assert expected[0].may < expected[1].may
+
+    def test_non_rectangular_polygon(self):
+        database, network, object_ids = build_database(
+            TimeSpaceIndex(slab_minutes=5.0)
+        )
+        triangle = Polygon.from_coordinates(
+            [(-1.0, -1.0), (4.0, -1.0), (-1.0, 4.0)]
+        )
+        queries = [RangeQuery(triangle, t) for t in QUERY_TIMES]
+        assert (BatchQueryEngine(database).run(queries)
+                == sequential(database, queries))
+
+
+class TestCacheBehaviour:
+    def test_repeat_run_hits_cache(self):
+        database, network, object_ids = build_database(
+            TimeSpaceIndex(slab_minutes=5.0)
+        )
+        queries = build_workload(network, object_ids, count=30)
+        engine = BatchQueryEngine(database)
+        first = engine.run(queries)
+        misses_after_first = engine.cache_misses
+        second = engine.run(queries)
+        assert second == first
+        # Nothing changed, so the second run recomputes nothing.
+        assert engine.cache_misses == misses_after_first
+        assert engine.cache_hits > 0
+        assert 0.0 < engine.hit_rate() <= 1.0
+
+    def test_update_invalidates_only_moved_object(self):
+        database, network, object_ids = build_database(
+            TimeSpaceIndex(slab_minutes=5.0)
+        )
+        engine = BatchQueryEngine(database)
+        moved, other = object_ids[0], object_ids[1]
+        queries = [PositionQuery(moved, 10.0), PositionQuery(other, 10.0)]
+        stale = engine.run(queries)
+
+        record = database.record(moved)
+        route = database.routes.get(record.attribute.route_id)
+        position = record.database_position(route, 4.0)
+        database.process_update(PositionUpdateMessage(
+            moved, 4.0, position.x, position.y, speed=0.7,
+        ))
+
+        fresh = engine.run(queries)
+        assert fresh == sequential(database, queries)
+        # The moved object was recomputed, not served stale...
+        assert fresh[0].error_bound != stale[0].error_bound
+        # ...while the untouched object's entry survived as a hit.
+        assert fresh[1] == stale[1]
+
+    def test_update_invalidates_range_answers(self):
+        database, network, object_ids = build_database(
+            TimeSpaceIndex(slab_minutes=5.0)
+        )
+        engine = BatchQueryEngine(database)
+        extent = network.bounding_extent()
+        everywhere = Polygon.rectangle(
+            extent[0] - 1.0, extent[1] - 1.0, extent[2] + 1.0, extent[3] + 1.0
+        )
+        queries = [RangeQuery(everywhere, 10.0)]
+        engine.run(queries)
+        for object_id in object_ids:
+            record = database.record(object_id)
+            route = database.routes.get(record.attribute.route_id)
+            position = record.database_position(route, 5.0)
+            database.process_update(PositionUpdateMessage(
+                object_id, 5.0, position.x, position.y, speed=0.2,
+            ))
+        assert engine.run(queries) == sequential(database, queries)
+
+    def test_tiny_cache_still_correct(self):
+        database, network, object_ids = build_database(
+            TimeSpaceIndex(slab_minutes=5.0)
+        )
+        queries = build_workload(network, object_ids, count=40)
+        expected = sequential(database, queries)
+        engine = BatchQueryEngine(database, max_cache_entries=2)
+        assert engine.run(queries) == expected
+        assert engine.cache_size() <= 2
+
+    def test_invalid_cache_capacity_rejected(self):
+        database, _, _ = build_database(None, num_objects=1)
+        with pytest.raises(QueryError):
+            BatchQueryEngine(database, max_cache_entries=0)
+
+
+class TestValidationAndMetrics:
+    def test_unknown_object_raises(self):
+        database, _, _ = build_database(None, num_objects=2)
+        engine = BatchQueryEngine(database)
+        with pytest.raises(QueryError):
+            engine.run([PositionQuery("ghost", 5.0)])
+
+    def test_negative_radius_raises(self):
+        database, _, _ = build_database(None, num_objects=2)
+        engine = BatchQueryEngine(database)
+        with pytest.raises(QueryError):
+            engine.run([WithinDistanceQuery(Point(0.0, 0.0), -1.0, 5.0)])
+
+    def test_metrics_exported(self):
+        database, network, object_ids = build_database(
+            TimeSpaceIndex(slab_minutes=5.0)
+        )
+        queries = build_workload(network, object_ids, count=30)
+        engine = BatchQueryEngine(database)
+        with use_registry(MetricsRegistry()) as registry:
+            engine.run(queries)
+            total = sum(
+                registry.value("dbms_batch_queries_total", kind=kind)
+                for kind in ("position", "range", "within")
+            )
+            assert total == len(queries)
+            hits = registry.value("dbms_batch_cache_hits_total")
+            misses = registry.value("dbms_batch_cache_misses_total")
+            assert hits == engine.cache_hits
+            assert misses == engine.cache_misses
+            assert (registry.value("dbms_batch_cache_hit_rate")
+                    == pytest.approx(engine.hit_rate()))

@@ -8,7 +8,7 @@ from repro.errors import IndexError_
 from repro.geometry.bbox import Rect2D
 from repro.index.oplane import OPlane
 from repro.index.rtree import SearchStats
-from repro.index.timespace import TimeSpaceIndex
+from repro.index.timespace import IndexMaintenanceStats, TimeSpaceIndex
 from repro.routes.generators import straight_route
 
 C = 5.0
@@ -85,6 +85,24 @@ class TestReplace:
         stats = index.replace("new", plane_for(route))
         assert stats.boxes_removed == 0
         assert stats.boxes_inserted > 0
+
+    def test_identical_plane_skips_tree_work(self, route):
+        index = TimeSpaceIndex(slab_minutes=5.0)
+        index.insert("o1", plane_for(route))
+        replacement = plane_for(route)
+        stats = index.replace("o1", replacement)
+        assert stats == IndexMaintenanceStats(0, 0)
+        # The plane record is still refreshed to the new object.
+        assert index.plane_of("o1") is replacement
+        window = Rect2D(0.0, -1.0, 5.0, 1.0)
+        assert index.candidates_at(window, 2.0) == {"o1"}
+
+    def test_force_overrides_skip(self, route):
+        index = TimeSpaceIndex(slab_minutes=5.0)
+        index.insert("o1", plane_for(route))
+        stats = index.replace("o1", plane_for(route), force=True)
+        assert stats.boxes_removed == 4
+        assert stats.boxes_inserted == 4
 
 
 class TestCandidates:
