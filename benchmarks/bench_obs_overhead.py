@@ -22,6 +22,7 @@ import time
 
 import pytest
 
+from repro.bench import benchmark as register_benchmark
 from repro.core.policies import make_policy
 from repro.obs import use_registry
 from repro.obs.registry import get_registry
@@ -82,6 +83,39 @@ def _min_time(fn, repeats=9):
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def _harness_trip():
+    return Trip.synthetic(CityCurve(60.0, random.Random(7)))
+
+
+@register_benchmark("obs.seed_replica", group="obs")
+def harness_seed_replica():
+    """The frozen pre-instrumentation engine loop (overhead baseline)."""
+    trip = _harness_trip()
+    policy = make_policy("ail", 5.0)
+    return lambda: _seed_engine_loop(trip, policy)
+
+
+@register_benchmark("obs.noop_registry", group="obs")
+def harness_noop_registry():
+    """Instrumented engine under the default NullRegistry."""
+    trip = _harness_trip()
+    policy = make_policy("ail", 5.0)
+    return lambda: simulate_trip(trip, policy, dt=DT)
+
+
+@register_benchmark("obs.live_registry", group="obs")
+def harness_live_registry():
+    """Instrumented engine under a live MetricsRegistry."""
+    trip = _harness_trip()
+    policy = make_policy("ail", 5.0)
+
+    def kernel():
+        with use_registry():
+            return simulate_trip(trip, policy, dt=DT)
+
+    return kernel
 
 
 def test_noop_registry_overhead_below_5pct(overhead_trip):

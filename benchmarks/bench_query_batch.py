@@ -53,6 +53,8 @@ from repro.obs import MetricsRegistry, use_registry
 from repro.routes.generators import grid_city_network
 from repro.workloads.query_workloads import mixed_query_workload
 
+from repro.bench import benchmark as register_benchmark
+
 MIN_SPEEDUP_FULL = 3.0
 MIN_SPEEDUP_FAST = 2.0
 
@@ -115,6 +117,26 @@ def build_workload(num_queries: int, object_ids: list[str], seed: int):
     return mixed_query_workload(
         network, rng, num_queries, object_ids, QUERY_TIMES,
     )
+
+
+def _harness_workload():
+    database, object_ids = build_database(60, 4, seed=1998)
+    queries = build_workload(150, object_ids, seed=1998)
+    return database, queries
+
+
+@register_benchmark("query_batch.sequential", group="query_batch")
+def harness_sequential_queries():
+    """One database call per query (the pre-batch read path)."""
+    database, queries = _harness_workload()
+    return lambda: run_sequential(database, queries)
+
+
+@register_benchmark("query_batch.batched", group="query_batch")
+def harness_batched_queries():
+    """One BatchQueryEngine.run over the same mixed workload."""
+    database, queries = _harness_workload()
+    return lambda: BatchQueryEngine(database).run(queries)
 
 
 def run_sequential(database: MovingObjectDatabase, queries) -> list:

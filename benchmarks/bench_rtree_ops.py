@@ -8,6 +8,7 @@ import random
 
 import pytest
 
+from repro.bench import benchmark as register_benchmark
 from repro.geometry.bbox import Box3D
 from repro.index.rtree import RTree
 
@@ -24,12 +25,38 @@ def _random_boxes(count, seed):
     return boxes
 
 
-@pytest.fixture(scope="module")
-def loaded_tree():
+def _load_tree(count=2000, seed=1):
     tree = RTree()
-    for i, box in enumerate(_random_boxes(2000, seed=1)):
+    for i, box in enumerate(_random_boxes(count, seed=seed)):
         tree.insert(box, i)
     return tree
+
+
+@pytest.fixture(scope="module")
+def loaded_tree():
+    return _load_tree()
+
+
+@register_benchmark("rtree.insert_500", group="rtree")
+def harness_rtree_insert():
+    """Build a 500-entry R-tree one insert at a time."""
+    boxes = _random_boxes(500, seed=2)
+
+    def build():
+        tree = RTree()
+        for i, box in enumerate(boxes):
+            tree.insert(box, i)
+        return tree
+
+    return build
+
+
+@register_benchmark("rtree.search_100_windows", group="rtree")
+def harness_rtree_search():
+    """100 window queries against a loaded 2000-entry tree."""
+    tree = _load_tree()
+    windows = _random_boxes(100, seed=3)
+    return lambda: sum(len(tree.search(w)) for w in windows)
 
 
 def test_bench_insert(benchmark):

@@ -1,0 +1,296 @@
+"""The benchmark registry and timing harness.
+
+Every ``benchmarks/bench_*.py`` script registers its measured section
+here with the :func:`benchmark` decorator.  A registered case is a
+**factory**: called once per run, it performs its own setup (building
+trips, databases, indexes) and returns the zero-argument kernel the
+harness times — so cases are self-contained and need no pytest
+fixtures.  The harness then runs warmup iterations (untimed) followed
+by repeat iterations, and reports min / median / mean / stddev
+wall-clock seconds per case.
+
+Results are emitted as a versioned JSON document
+(:data:`SCHEMA_VERSION`, validated by :func:`validate_results`) that
+carries an environment fingerprint — python version, CPU count,
+platform, git SHA — so a sequence of result files forms a perf
+*trajectory* and cross-machine comparisons are explicitly visible as
+such.  Baseline comparison and regression gating live in
+:mod:`repro.bench.baseline`.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import math
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from statistics import mean, median, stdev
+from typing import Callable, Iterable
+
+from repro.errors import ReproError
+
+#: Version of the result-document schema.  Bump on breaking changes;
+#: consumers (baseline gate, CI artifact tooling) check it first.
+SCHEMA_VERSION = 1
+
+#: ``schema`` field value: a name + version pair in one string.
+SCHEMA_NAME = f"repro-bench/{SCHEMA_VERSION}"
+
+#: Default timing discipline (overridable per case and per run).
+DEFAULT_WARMUP = 2
+DEFAULT_REPEAT = 5
+FAST_WARMUP = 1
+FAST_REPEAT = 3
+
+
+class BenchmarkError(ReproError):
+    """A benchmark case or result document is malformed."""
+
+
+@dataclass(slots=True)
+class BenchmarkCase:
+    """One registered benchmark: a named, grouped kernel factory."""
+
+    name: str
+    group: str
+    factory: Callable[[], Callable[[], object]]
+    warmup: int | None = None
+    repeat: int | None = None
+    description: str = ""
+
+
+_REGISTRY: dict[str, BenchmarkCase] = {}
+
+
+def benchmark(name: str, group: str = "misc",
+              warmup: int | None = None, repeat: int | None = None):
+    """Register the decorated factory as benchmark ``name``.
+
+    The factory is called once per run with no arguments; whatever
+    setup it performs is *not* timed.  It must return a zero-argument
+    callable — the kernel the harness times.  ``group`` buckets cases
+    into families (``engine``, ``sweep``, ``query_batch``, ...); the
+    per-group ``BENCH_<group>.json`` trajectory artifacts and the
+    smoke tests key off it.
+    """
+
+    def register(factory):
+        if name in _REGISTRY:
+            raise BenchmarkError(f"benchmark {name!r} registered twice")
+        _REGISTRY[name] = BenchmarkCase(
+            name=name, group=group, factory=factory,
+            warmup=warmup, repeat=repeat,
+            description=(factory.__doc__ or "").strip().split("\n")[0],
+        )
+        return factory
+
+    return register
+
+
+def registered_cases() -> list[BenchmarkCase]:
+    """All registered cases, sorted by (group, name)."""
+    return sorted(_REGISTRY.values(), key=lambda c: (c.group, c.name))
+
+
+def get_case(name: str) -> BenchmarkCase:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise BenchmarkError(f"no benchmark named {name!r}") from None
+
+
+def clear_registry() -> None:
+    """Forget every registered case (test isolation)."""
+    _REGISTRY.clear()
+
+
+def load_directory(path: str | Path) -> int:
+    """Import every ``bench_*.py`` under ``path``; returns module count.
+
+    Importing a script executes its module-level :func:`benchmark`
+    registrations.  Scripts already imported (by a previous call or by
+    pytest) are skipped, so re-registration cannot collide.
+    """
+    directory = Path(path)
+    if not directory.is_dir():
+        raise BenchmarkError(f"benchmark directory not found: {directory}")
+    loaded = 0
+    for script in sorted(directory.glob("bench_*.py")):
+        module_name = f"repro_bench_scripts.{script.stem}"
+        if module_name in sys.modules:
+            continue
+        spec = importlib.util.spec_from_file_location(module_name, script)
+        if spec is None or spec.loader is None:  # pragma: no cover
+            raise BenchmarkError(f"cannot load benchmark script {script}")
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[module_name] = module
+        try:
+            spec.loader.exec_module(module)
+        except BaseException:
+            del sys.modules[module_name]
+            raise
+        loaded += 1
+    return loaded
+
+
+def environment_fingerprint() -> dict:
+    """Where this run happened: enough to judge comparability.
+
+    Two fingerprints agreeing on ``platform`` + ``cpu_count`` +
+    ``python`` are same-machine-comparable; anything else is an
+    advisory cross-machine comparison (see EXPERIMENTS.md).
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": _git_sha(),
+    }
+
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except OSError:  # pragma: no cover - git missing entirely
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+@dataclass(slots=True)
+class CaseResult:
+    """Timing stats for one executed case."""
+
+    name: str
+    group: str
+    warmup: int
+    repeat: int
+    times_s: list[float] = field(default_factory=list)
+
+    @property
+    def min_s(self) -> float:
+        return min(self.times_s)
+
+    @property
+    def median_s(self) -> float:
+        return median(self.times_s)
+
+    @property
+    def mean_s(self) -> float:
+        return mean(self.times_s)
+
+    @property
+    def stddev_s(self) -> float:
+        return stdev(self.times_s) if len(self.times_s) > 1 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "group": self.group,
+            "warmup": self.warmup,
+            "repeat": self.repeat,
+            "min_s": self.min_s,
+            "median_s": self.median_s,
+            "mean_s": self.mean_s,
+            "stddev_s": self.stddev_s,
+            "times_s": list(self.times_s),
+        }
+
+
+def run_case(case: BenchmarkCase, fast: bool = False,
+             clock=time.perf_counter) -> CaseResult:
+    """Set up and time one case under the run's discipline."""
+    warmup = case.warmup if case.warmup is not None else (
+        FAST_WARMUP if fast else DEFAULT_WARMUP)
+    repeat = case.repeat if case.repeat is not None else (
+        FAST_REPEAT if fast else DEFAULT_REPEAT)
+    if repeat < 1:
+        raise BenchmarkError(
+            f"benchmark {case.name!r} needs repeat >= 1, got {repeat}"
+        )
+    kernel = case.factory()
+    if not callable(kernel):
+        raise BenchmarkError(
+            f"benchmark {case.name!r} factory must return a callable "
+            f"kernel, got {type(kernel).__name__}"
+        )
+    for _ in range(warmup):
+        kernel()
+    result = CaseResult(name=case.name, group=case.group,
+                        warmup=warmup, repeat=repeat)
+    for _ in range(repeat):
+        start = clock()
+        kernel()
+        result.times_s.append(clock() - start)
+    return result
+
+
+def run_benchmarks(cases: Iterable[BenchmarkCase], fast: bool = False,
+                   progress: Callable[[str], None] | None = None) -> dict:
+    """Run ``cases`` and assemble the versioned result document."""
+    results = []
+    for case in cases:
+        if progress is not None:
+            progress(case.name)
+        results.append(run_case(case, fast=fast).to_dict())
+    return {
+        "schema": SCHEMA_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "fast": fast,
+        "environment": environment_fingerprint(),
+        "results": results,
+    }
+
+
+_RESULT_KEYS = {"name", "group", "warmup", "repeat",
+                "min_s", "median_s", "mean_s", "stddev_s", "times_s"}
+_ENV_KEYS = {"python", "implementation", "platform", "machine",
+             "cpu_count", "git_sha"}
+
+
+def validate_results(document: dict) -> None:
+    """Raise :class:`BenchmarkError` unless ``document`` fits the schema."""
+
+    def fail(why: str):
+        raise BenchmarkError(f"invalid benchmark results: {why}")
+
+    if not isinstance(document, dict):
+        fail("not a JSON object")
+    if document.get("schema_version") != SCHEMA_VERSION:
+        fail(f"schema_version {document.get('schema_version')!r} != "
+             f"{SCHEMA_VERSION}")
+    if document.get("schema") != SCHEMA_NAME:
+        fail(f"schema {document.get('schema')!r} != {SCHEMA_NAME!r}")
+    environment = document.get("environment")
+    if not isinstance(environment, dict) or not _ENV_KEYS <= set(environment):
+        fail(f"environment must carry keys {sorted(_ENV_KEYS)}")
+    results = document.get("results")
+    if not isinstance(results, list):
+        fail("results must be a list")
+    seen: set[str] = set()
+    for entry in results:
+        if not isinstance(entry, dict) or not _RESULT_KEYS <= set(entry):
+            fail(f"result entry must carry keys {sorted(_RESULT_KEYS)}")
+        if entry["name"] in seen:
+            fail(f"duplicate result name {entry['name']!r}")
+        seen.add(entry["name"])
+        times = entry["times_s"]
+        if (not isinstance(times, list) or len(times) != entry["repeat"]
+                or not all(isinstance(t, (int, float)) and t >= 0
+                           and math.isfinite(t) for t in times)):
+            fail(f"times_s malformed for {entry['name']!r}")
+        if abs(entry["min_s"] - min(times)) > 1e-12:
+            fail(f"min_s inconsistent for {entry['name']!r}")

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the library's day-one workflows:
+Six commands cover the library's day-one workflows:
 
 * ``report [--fast]`` — regenerate the full reproduction report
   (every paper table/figure plus the extension experiments); with
@@ -13,7 +13,15 @@ Five commands cover the library's day-one workflows:
   the metric snapshot (Prometheus text and/or JSONL, plus an optional
   span trace),
 * ``query`` — execute an MQL statement against a JSON database
-  snapshot (see :mod:`repro.dbms.persistence`).
+  snapshot (see :mod:`repro.dbms.persistence`),
+* ``bench`` — the unified benchmark harness (:mod:`repro.bench`):
+  ``list`` the registered cases, ``run`` them with baseline regression
+  gating and ``BENCH_<group>.json`` trajectory artifacts.
+
+``report``, ``scenario``, and ``stats`` accept ``--profile``, which
+records the run's spans and prints a flame summary (per-span-name
+self/total time) whose self-time column partitions the root span's
+wall clock.
 """
 
 from __future__ import annotations
@@ -21,7 +29,8 @@ from __future__ import annotations
 import argparse
 import random
 import sys
-from typing import TextIO
+from contextlib import contextmanager, nullcontext
+from typing import Iterator, TextIO
 
 from repro.core.policies import make_policy, policy_names
 from repro.dbms.mql import execute as execute_mql
@@ -60,18 +69,40 @@ def _build_curve(kind: str, duration: float, seed: int,
     return constructor(duration, random.Random(seed))
 
 
+@contextmanager
+def _profiled(enabled: bool, root_name: str, out: TextIO) -> Iterator[None]:
+    """Record spans under a root span and print the flame summary.
+
+    A no-op when ``enabled`` is false.  The root span wraps the whole
+    block, so every library span nests under it and the summary's
+    self times partition the root's wall clock.
+    """
+    if not enabled:
+        yield
+        return
+    from repro.obs import Tracer, print_flame_summary, use_tracer
+
+    tracer = Tracer(max_spans=1_000_000)
+    with use_tracer(tracer):
+        with tracer.span(root_name):
+            yield
+    print_flame_summary(tracer, out)
+
+
 def _cmd_report(args: argparse.Namespace, out: TextIO) -> int:
     from repro.experiments.runner import run_all
 
-    if args.metrics_out is not None:
-        from repro.obs import use_registry, write_jsonl
+    with _profiled(args.profile, "report", out):
+        if args.metrics_out is not None:
+            from repro.obs import use_registry, write_jsonl
 
-        with use_registry() as registry:
+            with use_registry() as registry:
+                run_all(fast=args.fast, out=out, jobs=args.jobs)
+            write_jsonl(registry, args.metrics_out)
+            print(f"metrics snapshot written to {args.metrics_out}",
+                  file=out)
+        else:
             run_all(fast=args.fast, out=out, jobs=args.jobs)
-        write_jsonl(registry, args.metrics_out)
-        print(f"metrics snapshot written to {args.metrics_out}", file=out)
-    else:
-        run_all(fast=args.fast, out=out, jobs=args.jobs)
     return 0
 
 
@@ -148,21 +179,24 @@ def _build_scenario(name: str, size: int, duration: float, seed: int):
 
 
 def _cmd_scenario(args: argparse.Namespace, out: TextIO) -> int:
-    scenario = _build_scenario(args.name, args.size, args.duration, args.seed)
-    counts = scenario.fleet.run()
-    total = sum(counts.values())
-    print(f"scenario      : {scenario.name}", file=out)
-    print(f"objects       : {len(scenario.database)}", file=out)
-    print(f"duration      : {args.duration} min", file=out)
-    print(f"messages      : {total} "
-          f"({total / len(counts):.2f} per object)", file=out)
-    print(f"comm. cost    : {scenario.database.communication_cost():.1f}",
-          file=out)
-    if args.snapshot is not None:
-        from repro.dbms.persistence import save_database
+    with _profiled(args.profile, "scenario", out):
+        scenario = _build_scenario(
+            args.name, args.size, args.duration, args.seed
+        )
+        counts = scenario.fleet.run()
+        total = sum(counts.values())
+        print(f"scenario      : {scenario.name}", file=out)
+        print(f"objects       : {len(scenario.database)}", file=out)
+        print(f"duration      : {args.duration} min", file=out)
+        print(f"messages      : {total} "
+              f"({total / len(counts):.2f} per object)", file=out)
+        print(f"comm. cost    : "
+              f"{scenario.database.communication_cost():.1f}", file=out)
+        if args.snapshot is not None:
+            from repro.dbms.persistence import save_database
 
-        save_database(scenario.database, args.snapshot)
-        print(f"snapshot written to {args.snapshot}", file=out)
+            save_database(scenario.database, args.snapshot)
+            print(f"snapshot written to {args.snapshot}", file=out)
     return 0
 
 
@@ -180,8 +214,9 @@ def _cmd_stats(args: argparse.Namespace, out: TextIO) -> int:
     from repro.workloads.query_workloads import polygon_query_workload
 
     random.seed(args.seed)
-    tracer = Tracer()
-    with use_registry() as registry, use_tracer(tracer):
+    tracer = Tracer(max_spans=1_000_000 if args.profile else 100_000)
+    root_span = tracer.span("stats") if args.profile else nullcontext()
+    with use_registry() as registry, use_tracer(tracer), root_span:
         scenario = _build_scenario(
             args.name, args.size, args.duration, args.seed
         )
@@ -242,6 +277,115 @@ def _cmd_stats(args: argparse.Namespace, out: TextIO) -> int:
     if args.trace_out is not None:
         exported = tracer.export_jsonl(args.trace_out)
         print(f"# {exported} spans written to {args.trace_out}", file=out)
+    if args.profile:
+        from repro.obs import print_flame_summary
+
+        print_flame_summary(tracer, out)
+    return 0
+
+
+def _bench_cases(args: argparse.Namespace):
+    from repro.bench import load_directory, registered_cases
+
+    load_directory(args.dir)
+    cases = registered_cases()
+    if args.filter:
+        cases = [c for c in cases
+                 if args.filter in c.name or args.filter in c.group]
+    return cases
+
+
+def _cmd_bench_list(args: argparse.Namespace, out: TextIO) -> int:
+    cases = _bench_cases(args)
+    if not cases:
+        print("no registered benchmarks matched", file=out)
+        return 1
+    width = max(len(c.name) for c in cases)
+    for case in cases:
+        print(f"{case.name:<{width}}  [{case.group}]  {case.description}",
+              file=out)
+    print(f"{len(cases)} benchmark(s) registered", file=out)
+    return 0
+
+
+def _cmd_bench_run(args: argparse.Namespace, out: TextIO) -> int:
+    from pathlib import Path
+
+    from repro.bench import (
+        compare,
+        default_baseline_path,
+        load_baseline,
+        regressions,
+        run_benchmarks,
+        same_machine,
+        write_results,
+    )
+
+    cases = _bench_cases(args)
+    if not cases:
+        print("error: no registered benchmarks matched", file=sys.stderr)
+        return 1
+
+    document = run_benchmarks(
+        cases, fast=args.fast,
+        progress=lambda name: print(f"running {name} ...", file=out),
+    )
+    width = max(len(r["name"]) for r in document["results"])
+    print(f"\n{'benchmark':<{width}}  {'min_s':>10}  {'median_s':>10}  "
+          f"{'stddev_s':>10}", file=out)
+    for result in document["results"]:
+        print(f"{result['name']:<{width}}  {result['min_s']:>10.6f}  "
+              f"{result['median_s']:>10.6f}  {result['stddev_s']:>10.6f}",
+              file=out)
+
+    if args.json_out is not None:
+        write_results(document, args.json_out)
+        print(f"results written to {args.json_out}", file=out)
+
+    if args.artifacts_dir is not None:
+        groups = sorted({r["group"] for r in document["results"]})
+        for group in groups:
+            artifact = {
+                **document,
+                "results": [r for r in document["results"]
+                            if r["group"] == group],
+            }
+            path = Path(args.artifacts_dir) / f"BENCH_{group}.json"
+            write_results(artifact, path)
+        print(f"{len(groups)} BENCH_<group>.json trajectory artifact(s) "
+              f"written to {args.artifacts_dir}", file=out)
+
+    if args.update_baseline:
+        baseline_path = (Path(args.baseline) if args.baseline is not None
+                         else default_baseline_path(args.dir, args.fast))
+        write_results(document, baseline_path)
+        print(f"baseline updated: {baseline_path}", file=out)
+        return 0
+
+    baseline_path = (Path(args.baseline) if args.baseline is not None
+                     else default_baseline_path(args.dir, args.fast))
+    if not baseline_path.is_file():
+        print(f"no baseline at {baseline_path}; comparison skipped "
+              f"(run with --update-baseline to create one)", file=out)
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    if not same_machine(document["environment"], baseline["environment"]):
+        print("note: baseline was recorded on a different environment; "
+              "cross-machine comparison is advisory — use a generous "
+              "--tolerance or --advisory", file=out)
+    comparisons = compare(document, baseline, tolerance=args.tolerance)
+    for comparison in comparisons:
+        if comparison.status != "ok":
+            print(comparison.describe(), file=out)
+    failures = regressions(comparisons)
+    if failures and not args.advisory:
+        print(f"FAIL: {len(failures)} benchmark(s) regressed beyond "
+              f"{args.tolerance}x of {baseline_path}", file=sys.stderr)
+        return 1
+    label = "advisory: " if args.advisory and failures else ""
+    print(f"{label}baseline check passed for {len(comparisons)} case(s) "
+          f"(tolerance {args.tolerance}x)", file=out)
     return 0
 
 
@@ -286,6 +430,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for the sweep-shaped "
                              "experiments (numbers are identical for "
                              "any value)")
+    report.add_argument("--profile", action="store_true",
+                        help="record spans and print a flame summary "
+                             "after the run")
     report.set_defaults(func=_cmd_report)
 
     simulate = sub.add_parser("simulate", help="simulate one trip")
@@ -315,6 +462,9 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--seed", type=int, default=7)
     scenario.add_argument("--snapshot", default=None,
                           help="save the final database as JSON")
+    scenario.add_argument("--profile", action="store_true",
+                          help="record spans and print a flame summary "
+                               "after the run")
     scenario.set_defaults(func=_cmd_scenario)
 
     stats = sub.add_parser(
@@ -340,12 +490,60 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the JSONL snapshot to this path")
     stats.add_argument("--trace-out", default=None,
                        help="write the span trace (JSONL) to this path")
+    stats.add_argument("--profile", action="store_true",
+                       help="record spans under a root span and print a "
+                            "flame summary after the snapshot")
     stats.set_defaults(func=_cmd_stats)
 
     query = sub.add_parser("query", help="run MQL against a snapshot")
     query.add_argument("snapshot", help="JSON snapshot path")
     query.add_argument("statement", help="MQL statement")
     query.set_defaults(func=_cmd_query)
+
+    bench = sub.add_parser(
+        "bench", help="run the unified benchmark harness"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    def common_bench_args(p):
+        p.add_argument("--dir", default="benchmarks",
+                       help="directory of bench_*.py scripts to load")
+        p.add_argument("--filter", default=None,
+                       help="only cases whose name or group contains this "
+                            "substring")
+
+    bench_list = bench_sub.add_parser(
+        "list", help="list the registered benchmark cases"
+    )
+    common_bench_args(bench_list)
+    bench_list.set_defaults(func=_cmd_bench_list)
+
+    bench_run = bench_sub.add_parser(
+        "run", help="time the registered cases and gate against baselines"
+    )
+    common_bench_args(bench_run)
+    bench_run.add_argument("--fast", action="store_true",
+                           help="reduced warmup/repeat discipline (CI smoke; "
+                                "compared against the fast baseline)")
+    bench_run.add_argument("--json-out", default=None,
+                           help="write the full schema-versioned result "
+                                "document to this path")
+    bench_run.add_argument("--artifacts-dir", default=".",
+                           help="write per-group BENCH_<group>.json "
+                                "trajectory artifacts here")
+    bench_run.add_argument("--baseline", default=None,
+                           help="baseline JSON to gate against (default: "
+                                "<dir>/baselines/bench-<mode>.json)")
+    bench_run.add_argument("--tolerance", type=float, default=1.5,
+                           help="regression gate: current min may be up to "
+                                "this multiple of the baseline min")
+    bench_run.add_argument("--advisory", action="store_true",
+                           help="report regressions but exit 0 (for "
+                                "cross-machine comparisons)")
+    bench_run.add_argument("--update-baseline", action="store_true",
+                           help="write this run as the new baseline instead "
+                                "of gating")
+    bench_run.set_defaults(func=_cmd_bench_run)
     return parser
 
 

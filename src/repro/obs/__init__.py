@@ -31,6 +31,13 @@ from repro.obs.exporters import (
     write_prometheus,
 )
 from repro.obs.instrument import time_section, timed
+from repro.obs.perf import (
+    SpanStats,
+    flame_summary,
+    print_flame_summary,
+    render_flame_summary,
+    root_time,
+)
 from repro.obs.metrics import (
     COUNT_BUCKETS,
     LATENCY_BUCKETS_S,
@@ -77,6 +84,11 @@ __all__ = [
     "use_tracer",
     "timed",
     "time_section",
+    "SpanStats",
+    "flame_summary",
+    "render_flame_summary",
+    "print_flame_summary",
+    "root_time",
     "prometheus_text",
     "jsonl_lines",
     "jsonl_snapshot",

@@ -47,6 +47,34 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+#: Quantiles exported for every histogram (Prometheus summary style).
+EXPORTED_QUANTILES: tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+def quantile_from_buckets(buckets: list[dict], q: float) -> float:
+    """``Histogram.quantile`` computed from snapshot cumulative buckets.
+
+    ``buckets`` are ``{"le", "count"}`` pairs with cumulative counts,
+    ending with the ``+Inf`` bucket — exactly what
+    :meth:`MetricsRegistry.snapshot` emits.  Matches
+    :meth:`repro.obs.metrics.Histogram.quantile`: the first finite
+    bucket edge at or past ``q * count``, clamped to the last finite
+    edge for overflow observations.
+    """
+    total = buckets[-1]["count"] if buckets else 0
+    if total == 0:
+        return 0.0
+    target = q * total
+    last_finite = 0.0
+    for bucket in buckets:
+        if bucket["le"] == math.inf:
+            continue
+        last_finite = bucket["le"]
+        if bucket["count"] >= target:
+            return bucket["le"]
+    return last_finite
+
+
 def prometheus_text(registry: MetricsRegistry) -> str:
     """The registry's current state in Prometheus exposition format."""
     snapshot = registry.snapshot()
@@ -84,6 +112,12 @@ def prometheus_text(registry: MetricsRegistry) -> str:
         labels = _format_labels(sample["labels"])
         lines.append(f"{name}_sum{labels} {_format_value(sample['sum'])}")
         lines.append(f"{name}_count{labels} {sample['count']}")
+        for q in EXPORTED_QUANTILES:
+            value = quantile_from_buckets(sample["buckets"], q)
+            q_labels = _format_labels(
+                sample["labels"], extra=(("quantile", _format_value(q)),)
+            )
+            lines.append(f"{name}{q_labels} {_format_value(value)}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

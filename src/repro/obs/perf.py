@@ -1,0 +1,134 @@
+"""Span-profile aggregation: fold a trace buffer into a flame summary.
+
+A :class:`~repro.obs.tracing.Tracer` buffer is a list of finished
+spans with parent links — structurally a call tree with wall-clock
+durations.  :func:`flame_summary` folds that tree into one row per
+span *name*: call count, total time (sum of durations), and **self
+time** (duration minus the time spent in recorded child spans).  Self
+times partition the root span's wall clock, so the summary's total row
+equals the root duration — the invariant ``repro report --profile``
+is checked against.
+
+Children dropped by the tracer's ``max_spans`` bound simply stay
+inside their parent's self time, so the partition property survives a
+saturated buffer (attribution just gets coarser).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, TextIO
+
+from repro.obs.tracing import SpanRecord, Tracer
+
+
+@dataclass(slots=True)
+class SpanStats:
+    """Aggregated timing for every span sharing one name."""
+
+    name: str
+    calls: int
+    total_s: float
+    self_s: float
+    min_s: float
+    max_s: float
+
+    @property
+    def avg_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+
+def flame_summary(
+    source: Tracer | Iterable[SpanRecord],
+) -> list[SpanStats]:
+    """Per-name call/total/self-time rows, sorted by self time (desc).
+
+    ``source`` is a tracer or any iterable of finished
+    :class:`SpanRecord` entries.  Still-open spans (``end is None``)
+    are skipped — their time is not yet attributable.
+    """
+    records = source.spans if isinstance(source, Tracer) else list(source)
+    finished = [r for r in records if r.end is not None]
+
+    child_time: dict[int, float] = {}
+    for record in finished:
+        if record.parent_id is not None:
+            child_time[record.parent_id] = (
+                child_time.get(record.parent_id, 0.0) + record.duration
+            )
+
+    stats: dict[str, SpanStats] = {}
+    for record in finished:
+        duration = record.duration
+        self_s = duration - child_time.get(record.span_id, 0.0)
+        entry = stats.get(record.name)
+        if entry is None:
+            stats[record.name] = SpanStats(
+                name=record.name, calls=1, total_s=duration,
+                self_s=self_s, min_s=duration, max_s=duration,
+            )
+        else:
+            entry.calls += 1
+            entry.total_s += duration
+            entry.self_s += self_s
+            entry.min_s = min(entry.min_s, duration)
+            entry.max_s = max(entry.max_s, duration)
+    return sorted(
+        stats.values(), key=lambda s: (-s.self_s, s.name)
+    )
+
+
+def root_time(source: Tracer | Iterable[SpanRecord]) -> float:
+    """Summed duration of the finished root spans (``parent_id is None``)."""
+    records = source.spans if isinstance(source, Tracer) else list(source)
+    return sum(r.duration for r in records
+               if r.parent_id is None and r.end is not None)
+
+
+def render_flame_summary(
+    rows: list[SpanStats],
+    out: TextIO,
+    top: int | None = None,
+    root_s: float | None = None,
+) -> None:
+    """Print ``rows`` as a fixed-width flame-summary table.
+
+    ``root_s`` (typically :func:`root_time` of the same buffer) scales
+    the ``self%`` column and is echoed on the TOTAL line, so the
+    partition invariant — self times summing to the root wall clock —
+    is visible in the output itself.
+    """
+    total_self = sum(r.self_s for r in rows)
+    if root_s is None:
+        root_s = total_self
+    shown = rows if top is None else rows[:top]
+    name_width = max([len(r.name) for r in shown] + [len("TOTAL (self)")])
+
+    print(f"{'span':<{name_width}}  {'calls':>7}  {'total_s':>9}  "
+          f"{'self_s':>9}  {'self%':>6}  {'avg_ms':>8}", file=out)
+    for row in shown:
+        share = 100.0 * row.self_s / root_s if root_s else 0.0
+        print(f"{row.name:<{name_width}}  {row.calls:>7}  "
+              f"{row.total_s:>9.4f}  {row.self_s:>9.4f}  {share:>6.1f}  "
+              f"{row.avg_s * 1e3:>8.3f}", file=out)
+    if top is not None and len(rows) > top:
+        print(f"... {len(rows) - top} more span name(s) elided", file=out)
+    share = 100.0 * total_self / root_s if root_s else 100.0
+    print(f"{'TOTAL (self)':<{name_width}}  {'':>7}  {'':>9}  "
+          f"{total_self:>9.4f}  {share:>6.1f}  {'':>8}", file=out)
+    print(f"root span wall clock: {root_s:.4f} s", file=out)
+
+
+def print_flame_summary(
+    tracer: Tracer, out: TextIO, top: int | None = 20
+) -> None:
+    """The ``--profile`` epilogue: summary header plus rendered table."""
+    rows = flame_summary(tracer)
+    root_s = root_time(tracer)
+    note = ""
+    if tracer.dropped:
+        note = f", {tracer.dropped} spans dropped (attribution coarsened)"
+    if tracer.mismatched:
+        note += f", {tracer.mismatched} mismatched span exits"
+    print(f"\n# span flame summary: {len(tracer)} spans{note}", file=out)
+    render_flame_summary(rows, out, top=top, root_s=root_s)

@@ -69,13 +69,33 @@ class _ActiveSpan:
         return self.record
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        self.record.end = self._tracer._clock()
+        tracer = self._tracer
+        record = self.record
+        stack = tracer._stack
+        if record.end is not None and record not in stack:
+            # Double exit of an already-finished span: count it, but do
+            # not re-finish (the buffer must hold each span once).
+            tracer.mismatched += 1
+            return False
+        record.end = tracer._clock()
         if exc_type is not None:
-            self.record.attrs.setdefault("error", exc_type.__name__)
-        stack = self._tracer._stack
-        if stack and stack[-1] is self.record:
+            record.attrs.setdefault("error", exc_type.__name__)
+        if stack and stack[-1] is record:
             stack.pop()
-        self._tracer._finish(self.record)
+        elif record in stack:
+            # Out-of-order exit: this span closed while children it
+            # opened are still nominally live.  Unwind to the matching
+            # record so later spans get correct parents; the popped
+            # children stay open and finish (counted again) whenever
+            # their own __exit__ fires.
+            tracer.mismatched += 1
+            while stack[-1] is not record:
+                stack.pop()
+            stack.pop()
+        else:
+            # Already unwound by an ancestor's out-of-order exit.
+            tracer.mismatched += 1
+        tracer._finish(record)
         return False
 
 
@@ -91,6 +111,7 @@ class Tracer:
             )
         self.max_spans = max_spans
         self.dropped = 0
+        self.mismatched = 0
         self.spans: list[SpanRecord] = []
         self._stack: list[SpanRecord] = []
         self._clock = clock
@@ -122,6 +143,7 @@ class Tracer:
         """Drop all finished spans (open spans keep nesting correctly)."""
         self.spans.clear()
         self.dropped = 0
+        self.mismatched = 0
 
     def spans_named(self, name: str) -> list[SpanRecord]:
         """All finished spans called ``name``, in completion order."""
@@ -131,15 +153,28 @@ class Tracer:
         """Summed duration of all finished spans called ``name``."""
         return sum(s.duration for s in self.spans if s.name == name)
 
-    def to_dicts(self) -> list[dict[str, Any]]:
-        return [s.to_dict() for s in self.spans]
+    def open_spans(self) -> list[SpanRecord]:
+        """Spans entered but not yet exited, outermost first."""
+        return list(self._stack)
+
+    def to_dicts(self, include_open: bool = False) -> list[dict[str, Any]]:
+        dicts = [s.to_dict() for s in self.spans]
+        if include_open:
+            for record in self._stack:
+                dicts.append({**record.to_dict(), "open": True})
+        return dicts
 
     def export_jsonl(self, target: str | TextIO) -> int:
-        """Write one JSON object per finished span; returns span count.
+        """Write one JSON object per span; returns the span count.
 
+        Finished spans come first (completion order); spans still open
+        at export time follow, outermost first, with ``"end": null``
+        and an ``"open": true`` marker so a partial trace (crash, or an
+        export taken mid-run) is distinguishable from a clean one.
         ``target`` is a path or an open text stream.
         """
-        lines = [json.dumps(d, sort_keys=True) for d in self.to_dicts()]
+        lines = [json.dumps(d, sort_keys=True)
+                 for d in self.to_dicts(include_open=True)]
         payload = "\n".join(lines) + ("\n" if lines else "")
         if isinstance(target, str):
             with open(target, "w", encoding="utf-8") as handle:

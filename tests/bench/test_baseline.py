@@ -1,0 +1,123 @@
+"""Unit tests for repro.bench.baseline — comparison and gating."""
+
+import json
+
+import pytest
+
+from repro.bench.baseline import (
+    compare,
+    default_baseline_path,
+    load_baseline,
+    regressions,
+    same_machine,
+    write_results,
+)
+from repro.bench.harness import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    BenchmarkError,
+    environment_fingerprint,
+)
+
+
+def make_document(**min_by_name):
+    results = []
+    for name, min_s in min_by_name.items():
+        times = [min_s, min_s * 1.1, min_s * 1.2]
+        results.append({
+            "name": name, "group": name.split(".")[0],
+            "warmup": 1, "repeat": 3,
+            "min_s": min_s, "median_s": times[1],
+            "mean_s": sum(times) / 3, "stddev_s": 0.0,
+            "times_s": times,
+        })
+    return {
+        "schema": SCHEMA_NAME, "schema_version": SCHEMA_VERSION,
+        "created_unix": 0.0, "fast": True,
+        "environment": environment_fingerprint(),
+        "results": results,
+    }
+
+
+class TestCompare:
+    def test_within_tolerance_is_ok(self):
+        current = make_document(**{"a.x": 1.1})
+        baseline = make_document(**{"a.x": 1.0})
+        (comparison,) = compare(current, baseline, tolerance=1.5)
+        assert comparison.status == "ok"
+        assert comparison.ratio == pytest.approx(1.1)
+
+    def test_regression_beyond_tolerance(self):
+        current = make_document(**{"a.x": 2.0})
+        baseline = make_document(**{"a.x": 1.0})
+        comparisons = compare(current, baseline, tolerance=1.5)
+        assert regressions(comparisons) == comparisons
+        assert "regression" in comparisons[0].describe()
+
+    def test_improvement_flagged_not_gated(self):
+        current = make_document(**{"a.x": 0.5})
+        baseline = make_document(**{"a.x": 1.0})
+        (comparison,) = compare(current, baseline, tolerance=1.5)
+        assert comparison.status == "improvement"
+        assert regressions([comparison]) == []
+
+    def test_new_and_missing_cases(self):
+        current = make_document(**{"a.new": 1.0})
+        baseline = make_document(**{"a.old": 1.0})
+        by_status = {c.status: c for c in compare(current, baseline)}
+        assert by_status["new"].name == "a.new"
+        assert by_status["missing"].name == "a.old"
+        assert regressions(list(by_status.values())) == []
+
+    def test_zero_baseline_min_is_infinite_ratio(self):
+        current = make_document(**{"a.x": 1.0})
+        baseline = make_document(**{"a.x": 0.0})
+        (comparison,) = compare(current, baseline)
+        assert comparison.status == "regression"
+
+    def test_bad_tolerance(self):
+        document = make_document(**{"a.x": 1.0})
+        with pytest.raises(BenchmarkError, match="tolerance"):
+            compare(document, document, tolerance=0.0)
+
+
+class TestBaselineIO:
+    def test_write_validates_and_round_trips(self, tmp_path):
+        document = make_document(**{"a.x": 1.0})
+        path = tmp_path / "baselines" / "bench-fast.json"
+        write_results(document, path)
+        assert load_baseline(path) == json.loads(path.read_text())
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(BenchmarkError, match="not found"):
+            load_baseline(tmp_path / "nope.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchmarkError, match="not valid JSON"):
+            load_baseline(path)
+
+    def test_default_path_by_mode(self):
+        assert default_baseline_path("benchmarks", fast=True).name == (
+            "bench-fast.json"
+        )
+        assert default_baseline_path("benchmarks", fast=False).name == (
+            "bench-full.json"
+        )
+
+
+class TestSameMachine:
+    def test_identical_fingerprints_match(self):
+        env = environment_fingerprint()
+        assert same_machine(env, dict(env))
+
+    def test_git_sha_is_ignored(self):
+        env = environment_fingerprint()
+        other = {**env, "git_sha": "0" * 40}
+        assert same_machine(env, other)
+
+    def test_cpu_count_difference_is_cross_machine(self):
+        env = environment_fingerprint()
+        other = {**env, "cpu_count": (env["cpu_count"] or 0) + 1}
+        assert not same_machine(env, other)

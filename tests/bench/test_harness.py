@@ -1,0 +1,174 @@
+"""Unit tests for repro.bench.harness — registry, timing, schema."""
+
+import pytest
+
+from repro.bench import harness as harness_module
+from repro.bench.harness import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    BenchmarkError,
+    benchmark,
+    clear_registry,
+    environment_fingerprint,
+    get_case,
+    load_directory,
+    registered_cases,
+    run_benchmarks,
+    run_case,
+    validate_results,
+)
+
+
+@pytest.fixture
+def clean_registry():
+    """Snapshot-and-restore the process-global case registry."""
+    saved = dict(harness_module._REGISTRY)
+    clear_registry()
+    try:
+        yield
+    finally:
+        clear_registry()
+        harness_module._REGISTRY.update(saved)
+
+
+class TestRegistry:
+    def test_register_and_lookup(self, clean_registry):
+        @benchmark("t.case", group="t")
+        def factory():
+            """A docstring headline."""
+            return lambda: None
+
+        case = get_case("t.case")
+        assert case.group == "t"
+        assert case.description == "A docstring headline."
+        assert [c.name for c in registered_cases()] == ["t.case"]
+
+    def test_duplicate_name_rejected(self, clean_registry):
+        @benchmark("t.dup")
+        def first():
+            return lambda: None
+
+        with pytest.raises(BenchmarkError, match="registered twice"):
+            @benchmark("t.dup")
+            def second():
+                return lambda: None
+
+    def test_unknown_name(self, clean_registry):
+        with pytest.raises(BenchmarkError, match="no benchmark"):
+            get_case("t.missing")
+
+    def test_cases_sorted_by_group_then_name(self, clean_registry):
+        for name, group in (("z.a", "z"), ("a.b", "a"), ("a.a", "a")):
+            benchmark(name, group=group)(lambda: (lambda: None))
+        assert [c.name for c in registered_cases()] == [
+            "a.a", "a.b", "z.a"
+        ]
+
+    def test_load_directory_missing(self):
+        with pytest.raises(BenchmarkError, match="not found"):
+            load_directory("/nonexistent/bench/dir")
+
+
+class TestRunCase:
+    def test_warmup_and_repeat_counts(self, clean_registry):
+        calls = {"setup": 0, "kernel": 0}
+
+        @benchmark("t.counted", warmup=2, repeat=3)
+        def factory():
+            calls["setup"] += 1
+
+            def kernel():
+                calls["kernel"] += 1
+
+            return kernel
+
+        result = run_case(get_case("t.counted"))
+        assert calls == {"setup": 1, "kernel": 5}
+        assert result.warmup == 2 and result.repeat == 3
+        assert len(result.times_s) == 3
+
+    def test_fast_mode_discipline(self, clean_registry):
+        @benchmark("t.fastmode")
+        def factory():
+            return lambda: None
+
+        result = run_case(get_case("t.fastmode"), fast=True)
+        assert result.warmup == harness_module.FAST_WARMUP
+        assert result.repeat == harness_module.FAST_REPEAT
+
+    def test_stats_from_fake_clock(self, clean_registry):
+        @benchmark("t.stats", warmup=0, repeat=3)
+        def factory():
+            return lambda: None
+
+        # Each repeat consumes two ticks: start, end.
+        ticks = iter([0.0, 1.0, 10.0, 12.0, 20.0, 23.0])
+        result = run_case(get_case("t.stats"), clock=lambda: next(ticks))
+        assert result.times_s == [1.0, 2.0, 3.0]
+        assert result.min_s == 1.0
+        assert result.median_s == 2.0
+        assert result.mean_s == pytest.approx(2.0)
+        assert result.stddev_s == pytest.approx(1.0)
+
+    def test_non_callable_kernel_rejected(self, clean_registry):
+        @benchmark("t.broken")
+        def factory():
+            return 42
+
+        with pytest.raises(BenchmarkError, match="must return a callable"):
+            run_case(get_case("t.broken"))
+
+
+class TestResultsDocument:
+    def test_document_shape_and_validation(self, clean_registry):
+        @benchmark("t.one", group="g1", warmup=0, repeat=2)
+        def one():
+            return lambda: None
+
+        @benchmark("t.two", group="g2", warmup=0, repeat=2)
+        def two():
+            return lambda: None
+
+        seen = []
+        document = run_benchmarks(registered_cases(), fast=True,
+                                  progress=seen.append)
+        assert seen == ["t.one", "t.two"]
+        assert document["schema"] == SCHEMA_NAME
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["fast"] is True
+        validate_results(document)  # must not raise
+
+    def test_fingerprint_fields(self):
+        fingerprint = environment_fingerprint()
+        assert fingerprint["python"].count(".") == 2
+        assert fingerprint["cpu_count"] >= 1
+        assert fingerprint["platform"]
+        # In this repo's checkout, the SHA must resolve.
+        assert isinstance(fingerprint["git_sha"], str)
+        assert len(fingerprint["git_sha"]) == 40
+
+    def test_validate_rejects_bad_documents(self, clean_registry):
+        @benchmark("t.v", warmup=0, repeat=1)
+        def v():
+            return lambda: None
+
+        good = run_benchmarks(registered_cases())
+        for mutate, match in [
+            (lambda d: d.update(schema_version=99), "schema_version"),
+            (lambda d: d.update(schema="x/1"), "schema"),
+            (lambda d: d.pop("environment"), "environment"),
+            (lambda d: d["environment"].pop("cpu_count"), "environment"),
+            (lambda d: d.update(results={}), "must be a list"),
+            (lambda d: d["results"][0].pop("min_s"), "keys"),
+            (lambda d: d["results"][0].update(times_s=[-1.0]), "times_s"),
+            (lambda d: d["results"].append(dict(d["results"][0])),
+             "duplicate"),
+            (lambda d: d["results"][0].update(min_s=123.0),
+             "inconsistent"),
+        ]:
+            import copy
+
+            document = copy.deepcopy(good)
+            mutate(document)
+            with pytest.raises(BenchmarkError, match=match):
+                validate_results(document)

@@ -1,0 +1,60 @@
+"""Smoke tests for the converted benchmark scripts' registrations.
+
+Loads the real ``benchmarks/`` directory through the harness discovery
+path and runs one registered case per converted script family under a
+minimal (warmup=0, repeat=1) discipline, asserting the result document
+is schema-valid — the same contract ``repro bench run --json-out``
+promises.
+"""
+
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    load_directory,
+    registered_cases,
+    run_benchmarks,
+    validate_results,
+)
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+#: One representative registered case per converted script family.
+FAMILY_CASES = {
+    "sweep": "sweep.executor_serial",
+    "query_batch": "query_batch.batched",
+    "index": "index.may_must_classify",
+    "obs": "obs.noop_registry",
+}
+
+
+@pytest.fixture(scope="module")
+def discovered():
+    load_directory(BENCH_DIR)
+    return {c.name: c for c in registered_cases()}
+
+
+def test_discovery_registers_at_least_ten(discovered):
+    assert len(discovered) >= 10
+    groups = {c.group for c in discovered.values()}
+    assert set(FAMILY_CASES) <= groups
+
+
+def test_discovery_is_idempotent(discovered):
+    before = len(discovered)
+    load_directory(BENCH_DIR)
+    assert len(registered_cases()) == before
+
+
+@pytest.mark.parametrize("family,case_name", sorted(FAMILY_CASES.items()))
+def test_family_smoke_run_emits_valid_schema(discovered, family, case_name):
+    case = replace(discovered[case_name], warmup=0, repeat=1)
+    document = run_benchmarks([case], fast=True)
+    validate_results(document)
+    (result,) = document["results"]
+    assert result["name"] == case_name
+    assert result["group"] == family
+    assert result["min_s"] > 0.0
+    assert document["environment"]["git_sha"] is not None

@@ -5,13 +5,15 @@ import json
 import pytest
 
 from repro.obs.exporters import (
+    EXPORTED_QUANTILES,
     jsonl_lines,
     jsonl_snapshot,
     prometheus_text,
+    quantile_from_buckets,
     write_jsonl,
     write_prometheus,
 )
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry
 
 
 @pytest.fixture
@@ -50,6 +52,35 @@ class TestPrometheusText:
         assert 'query_seconds_bucket{kind="range",le="+Inf"} 3\n' in text
         assert 'query_seconds_sum{kind="range"} 9.55\n' in text
         assert 'query_seconds_count{kind="range"} 3\n' in text
+
+    def test_histogram_quantile_lines(self, populated):
+        text = prometheus_text(populated)
+        # Three observations in buckets (0.1, 1.0, +Inf): p50 -> second
+        # bucket edge, p95/p99 -> clamped to the last finite edge.
+        assert 'query_seconds{kind="range",quantile="0.5"} 1\n' in text
+        assert 'query_seconds{kind="range",quantile="0.95"} 1\n' in text
+        assert 'query_seconds{kind="range",quantile="0.99"} 1\n' in text
+
+    def test_quantiles_match_histogram_quantile(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "lat_seconds", buckets=LATENCY_BUCKETS_S
+        )
+        for value in (1e-5, 3e-4, 3e-4, 0.002, 0.02, 0.3, 4.0, 9.0):
+            hist.observe(value)
+        (sample,) = registry.snapshot()["histograms"]
+        for q in EXPORTED_QUANTILES:
+            assert quantile_from_buckets(sample["buckets"], q) == (
+                hist.quantile(q)
+            )
+
+    def test_quantile_of_empty_histogram_is_zero(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty_seconds", buckets=(0.1, 1.0))
+        (sample,) = registry.snapshot()["histograms"]
+        assert quantile_from_buckets(sample["buckets"], 0.99) == 0.0
+        text = prometheus_text(registry)
+        assert 'empty_seconds{quantile="0.99"} 0\n' in text
 
     def test_label_values_escaped(self):
         registry = MetricsRegistry()

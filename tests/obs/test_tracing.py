@@ -94,6 +94,126 @@ class TestTracer:
         assert tracer.export_jsonl(buffer) == 0
         assert buffer.getvalue() == ""
 
+    def test_export_jsonl_includes_open_spans(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        outer.__enter__()
+        with tracer.span("done"):
+            pass
+        inner = tracer.span("still_going")
+        inner.__enter__()
+
+        buffer = io.StringIO()
+        assert tracer.export_jsonl(buffer) == 3
+        lines = [json.loads(l) for l in buffer.getvalue().splitlines()]
+        # Finished first (completion order), then open, outermost first.
+        assert [l["name"] for l in lines] == [
+            "done", "outer", "still_going"
+        ]
+        assert "open" not in lines[0]
+        for line in lines[1:]:
+            assert line["open"] is True
+            assert line["end"] is None
+            assert line["duration"] == 0.0
+        # Round-trip: parentage survives through the JSON.
+        assert lines[0]["parent_id"] == lines[1]["span_id"]
+        assert lines[2]["parent_id"] == lines[1]["span_id"]
+
+        inner.__exit__(None, None, None)
+        outer.__exit__(None, None, None)
+        buffer = io.StringIO()
+        assert tracer.export_jsonl(buffer) == 3
+        closed = [json.loads(l) for l in buffer.getvalue().splitlines()]
+        assert all("open" not in l and l["end"] is not None
+                   for l in closed)
+
+
+class TestMismatchedExits:
+    def test_clean_nesting_counts_nothing(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert tracer.mismatched == 0
+
+    def test_out_of_order_exit_unwinds_to_match(self):
+        tracer = Tracer()
+        a = tracer.span("a")
+        a.__enter__()
+        b = tracer.span("b")
+        b.__enter__()
+        # Close the OUTER span while the inner is still open.
+        a.__exit__(None, None, None)
+        assert tracer.mismatched == 1
+        # The stack was unwound: a new root span gets no stale parent.
+        with tracer.span("after") as after:
+            pass
+        assert after.parent_id is None
+        # The orphaned inner span can still close; counted again.
+        b.__exit__(None, None, None)
+        assert tracer.mismatched == 2
+        # Every span is in the buffer exactly once.
+        assert sorted(s.name for s in tracer.spans) == ["a", "after", "b"]
+
+    def test_double_exit_is_counted_not_duplicated(self):
+        tracer = Tracer()
+        a = tracer.span("a")
+        a.__enter__()
+        a.__exit__(None, None, None)
+        first_end = a.record.end
+        a.__exit__(None, None, None)
+        assert tracer.mismatched == 1
+        assert a.record.end == first_end
+        assert len(tracer.spans) == 1
+
+    def test_exception_unwind_keeps_nesting_clean(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("middle"):
+                    with tracer.span("inner"):
+                        raise ValueError("boom")
+        assert tracer.mismatched == 0
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["inner"].parent_id == by_name["middle"].span_id
+        assert by_name["middle"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+        for name in ("inner", "middle", "outer"):
+            assert by_name[name].attrs["error"] == "ValueError"
+
+    def test_mismatch_with_full_buffer_still_drops(self):
+        tracer = Tracer(max_spans=1)
+        a = tracer.span("a")
+        a.__enter__()
+        b = tracer.span("b")
+        b.__enter__()
+        a.__exit__(None, None, None)  # fills the buffer, mismatched
+        b.__exit__(None, None, None)  # dropped, mismatched again
+        assert tracer.mismatched == 2
+        assert tracer.dropped == 1
+        assert [s.name for s in tracer.spans] == ["a"]
+
+    def test_clear_resets_mismatched(self):
+        tracer = Tracer()
+        a = tracer.span("a")
+        a.__enter__()
+        a.__exit__(None, None, None)
+        a.__exit__(None, None, None)
+        assert tracer.mismatched == 1
+        tracer.clear()
+        assert tracer.mismatched == 0
+
+    def test_open_spans_accessor(self):
+        tracer = Tracer()
+        a = tracer.span("a")
+        a.__enter__()
+        b = tracer.span("b")
+        b.__enter__()
+        assert [s.name for s in tracer.open_spans()] == ["a", "b"]
+        b.__exit__(None, None, None)
+        a.__exit__(None, None, None)
+        assert tracer.open_spans() == []
+
 
 class TestProcessDefaults:
     def test_defaults_are_null(self):
