@@ -2,13 +2,29 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-harness report report-fast examples clean
+.PHONY: install test lint bench bench-harness report report-fast examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# `repro lint` is stdlib-only and always runs; ruff/mypy run when
+# installed (skipped with a notice otherwise), but their findings still
+# fail the target when they are present.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint src tests --baseline
+	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
+		$(PYTHON) -m ruff check src tests benchmarks; \
+	else \
+		echo "lint: ruff not installed, skipping"; \
+	fi
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy src/repro; \
+	else \
+		echo "lint: mypy not installed, skipping"; \
+	fi
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only

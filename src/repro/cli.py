@@ -215,7 +215,10 @@ def _cmd_stats(args: argparse.Namespace, out: TextIO) -> int:
 
     random.seed(args.seed)
     tracer = Tracer(max_spans=1_000_000 if args.profile else 100_000)
-    root_span = tracer.span("stats") if args.profile else nullcontext()
+    root_span = (
+        tracer.span("stats")  # repro: noqa[RPR501] entered by the `with` below; the nullcontext arm keeps one code path
+        if args.profile else nullcontext()
+    )
     with use_registry() as registry, use_tracer(tracer), root_span:
         scenario = _build_scenario(
             args.name, args.size, args.duration, args.seed
@@ -389,6 +392,49 @@ def _cmd_bench_run(args: argparse.Namespace, out: TextIO) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace, out: TextIO) -> int:
+    from pathlib import Path
+
+    from repro.lint import (
+        Config,
+        DEFAULT_BASELINE_NAME,
+        all_rules,
+        apply_baseline,
+        format_json,
+        format_text,
+        lint_paths,
+        load_baseline,
+        write_baseline,
+        write_json,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name:<30} [{rule.severity:>7}] "
+                  f"({rule.scope}) {rule.description}", file=out)
+        return 0
+    select = (frozenset(code.strip() for code in args.select.split(","))
+              if args.select else None)
+    config = Config(select=select)
+    report = lint_paths(args.paths, config)
+    baseline_path = Path(args.baseline_path if args.baseline_path is not None
+                         else DEFAULT_BASELINE_NAME)
+    if args.update_baseline:
+        count = write_baseline(report, baseline_path)
+        print(f"baseline updated: {baseline_path} "
+              f"({count} finding(s) recorded)", file=out)
+        return 0
+    if args.baseline:
+        report = apply_baseline(report, load_baseline(baseline_path))
+    if args.format == "json":
+        format_json(report, out)
+    else:
+        format_text(report, out)
+    if args.output is not None:
+        write_json(report, args.output)
+    return 0 if report.ok else 1
+
+
 def _cmd_query(args: argparse.Namespace, out: TextIO) -> int:
     database = load_database(args.snapshot)
     answer = execute_mql(database, args.statement)
@@ -495,6 +541,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "flame summary after the snapshot")
     stats.set_defaults(func=_cmd_stats)
 
+    lint = sub.add_parser(
+        "lint", help="paper-invariant static analysis (repro.lint)"
+    )
+    lint.add_argument("paths", nargs="*", default=["src", "tests"],
+                      help="files/directories to lint (default: src tests)")
+    lint.add_argument("--format", default="text", choices=("text", "json"),
+                      help="stdout rendering")
+    lint.add_argument("--baseline", action="store_true",
+                      help="subtract the committed baseline: grandfathered "
+                           "findings pass, new findings fail")
+    lint.add_argument("--baseline-path", default=None,
+                      help="baseline JSON path (default: lint-baseline.json)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="record this run's findings as the new baseline "
+                           "and exit 0")
+    lint.add_argument("--select", default=None,
+                      help="comma-separated rule codes to run (default: all)")
+    lint.add_argument("--output", default=None,
+                      help="also write the JSON report (repro-lint/1) here")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the registered rules and exit")
+    lint.set_defaults(func=_cmd_lint)
+
     query = sub.add_parser("query", help="run MQL against a snapshot")
     query.add_argument("snapshot", help="JSON snapshot path")
     query.add_argument("statement", help="MQL statement")
@@ -561,3 +630,9 @@ def main(argv: list[str] | None = None, out: TextIO | None = None) -> int:
 
 if __name__ == "__main__":
     raise SystemExit(main())
+
+
+__all__ = [
+    "build_parser",
+    "main",
+]

@@ -122,3 +122,8 @@ class AdaptivePolicy(UpdatePolicy):
         description["window_minutes"] = self.window_minutes
         description["active_delegate"] = self.active_delegate.name
         return description
+
+
+__all__ = [
+    "AdaptivePolicy",
+]

@@ -145,3 +145,10 @@ class PeriodicPolicy(UpdatePolicy):
         description["period"] = self.period
         description["predicted_speed"] = self.speed_predictor.name
         return description
+
+
+__all__ = [
+    "FixedThresholdPolicy",
+    "PeriodicPolicy",
+    "TraditionalPointPolicy",
+]

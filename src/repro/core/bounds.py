@@ -287,3 +287,17 @@ def immediate_bound_peak(declared_speed: float, max_speed: float,
         return 0.0, 0.0
     t_star = math.sqrt(2.0 * update_cost / dominant)
     return t_star, math.sqrt(2.0 * update_cost * dominant)
+
+
+__all__ = [
+    "BoundFunction",
+    "DeviationBounds",
+    "bounds_for_policy",
+    "delayed_linear_bounds",
+    "fixed_threshold_bounds",
+    "horizon_cost_bounds",
+    "immediate_bound_peak",
+    "immediate_linear_bounds",
+    "periodic_bounds",
+    "traditional_bounds",
+]

@@ -102,3 +102,11 @@ def total_cost(update_cost: float, num_updates: int,
             f"deviation cost must be nonnegative, got {deviation_cost}"
         )
     return update_cost * num_updates + deviation_cost
+
+
+__all__ = [
+    "DeviationCostFunction",
+    "StepDeviationCost",
+    "UniformDeviationCost",
+    "total_cost",
+]

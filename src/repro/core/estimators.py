@@ -66,3 +66,10 @@ class ImmediateLinearEstimator(DelayedLinearEstimator):
 
     def __repr__(self) -> str:
         return f"ImmediateLinearEstimator(slope={self.slope})"
+
+
+__all__ = [
+    "DelayedLinearEstimator",
+    "Estimator",
+    "ImmediateLinearEstimator",
+]

@@ -63,3 +63,9 @@ class SimpleFitting(FittingMethod):
 
     def __repr__(self) -> str:
         return f"SimpleFitting(use_delay={self.use_delay})"
+
+
+__all__ = [
+    "FittingMethod",
+    "SimpleFitting",
+]

@@ -111,3 +111,8 @@ class HorizonCostPolicy(UpdatePolicy):
         )
         description["predicted_speed"] = self.speed_predictor.name
         return description
+
+
+__all__ = [
+    "HorizonCostPolicy",
+]

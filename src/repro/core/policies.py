@@ -176,3 +176,13 @@ def make_policy(name: str, update_cost: float, **kwargs: object) -> UpdatePolicy
             f"unknown policy {name!r}; known: {policy_names()}"
         ) from None
     return policy_class(update_cost, **kwargs)  # type: ignore[arg-type]
+
+
+__all__ = [
+    "AverageImmediateLinearPolicy",
+    "CurrentImmediateLinearPolicy",
+    "DelayedLinearPolicy",
+    "make_policy",
+    "policy_names",
+    "register_policy",
+]

@@ -135,3 +135,11 @@ class UpdatePolicy(ABC):
             fitted_slope=slope,
             fitted_delay=delay,
         )
+
+
+__all__ = [
+    "OnboardState",
+    "THRESHOLD_TOLERANCE",
+    "UpdateDecision",
+    "UpdatePolicy",
+]

@@ -113,3 +113,8 @@ class PositionAttribute:
                 f"position attribute references route {self.route_id!r} "
                 f"but was given route {route.route_id!r}"
             )
+
+
+__all__ = [
+    "PositionAttribute",
+]

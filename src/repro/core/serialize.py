@@ -104,3 +104,11 @@ def policy_from_spec(spec: dict[str, Any]) -> UpdatePolicy:
     if constructor is None:
         raise PolicyError(f"unknown policy spec name {name!r}")
     return constructor(update_cost, cost_function=cost_function, **spec)
+
+
+__all__ = [
+    "cost_function_from_spec",
+    "cost_function_to_spec",
+    "policy_from_spec",
+    "policy_to_spec",
+]

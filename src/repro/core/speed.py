@@ -87,3 +87,12 @@ class BlendedSpeed(SpeedPredictor):
 
     def __repr__(self) -> str:
         return f"BlendedSpeed(weight={self.weight})"
+
+
+__all__ = [
+    "AverageSpeedSinceUpdate",
+    "BlendedSpeed",
+    "CurrentSpeed",
+    "SpeedPredictor",
+    "TripAverageSpeed",
+]

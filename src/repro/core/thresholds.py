@@ -104,3 +104,12 @@ def cost_per_time_unit(threshold: float, slope: float, delay: float,
     if period <= 0:
         raise PolicyError("cycle period must be positive")
     return (update_cost + cycle_deviation_cost(threshold, slope)) / period
+
+
+__all__ = [
+    "cost_per_time_unit",
+    "cycle_deviation_cost",
+    "cycle_period",
+    "immediate_threshold_from_elapsed",
+    "optimal_update_threshold",
+]

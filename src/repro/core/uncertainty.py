@@ -113,3 +113,9 @@ def uncertainty_interval(attribute: PositionAttribute, route: Route,
         lower=lower,
         upper=upper,
     )
+
+
+__all__ = [
+    "UncertaintyInterval",
+    "uncertainty_interval",
+]

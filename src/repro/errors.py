@@ -63,3 +63,18 @@ class ExperimentError(ReproError):
 
 class ObservabilityError(ReproError):
     """A metrics/tracing misuse (kind conflict, bad buckets, bad name)."""
+
+
+__all__ = [
+    "ExperimentError",
+    "GeometryError",
+    "IndexError_",
+    "ObservabilityError",
+    "PolicyError",
+    "QueryError",
+    "ReproError",
+    "RouteError",
+    "SchemaError",
+    "SimulationError",
+    "SpatialIndexError",
+]

@@ -201,3 +201,9 @@ class Box3D:
             and self.min_y <= y <= self.max_y
             and self.min_t <= t <= self.max_t
         )
+
+
+__all__ = [
+    "Box3D",
+    "Rect2D",
+]

@@ -73,3 +73,9 @@ class Point:
     def as_tuple(self) -> tuple[float, float]:
         """The point as a plain ``(x, y)`` tuple."""
         return (self.x, self.y)
+
+
+__all__ = [
+    "EPSILON",
+    "Point",
+]

@@ -167,3 +167,8 @@ class Polygon:
 
     def __repr__(self) -> str:
         return f"Polygon({len(self._vertices)} vertices, area={self.area():.3f})"
+
+
+__all__ = [
+    "Polygon",
+]

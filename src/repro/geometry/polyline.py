@@ -218,3 +218,9 @@ class Polyline:
 def polyline_through(points: Sequence[tuple[float, float]]) -> Polyline:
     """Convenience constructor used pervasively in tests and examples."""
     return Polyline.from_coordinates(points)
+
+
+__all__ = [
+    "Polyline",
+    "polyline_through",
+]

@@ -138,3 +138,8 @@ class Segment:
             return 0.0
         d = self.end - self.start
         return math.atan2(d.y, d.x)
+
+
+__all__ = [
+    "Segment",
+]

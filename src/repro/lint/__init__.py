@@ -1,0 +1,88 @@
+"""Paper-invariant static analysis (``repro lint``).
+
+The reproduction's headline guarantees — dead-reckoning math matching
+Propositions 1–4, and parallel/batched output byte-identical to serial
+— rest on invariants that normal tests cannot watch at every commit:
+determinism of the sim/exec/batch paths, fork/pickle safety in the
+executor, numeric hygiene in the cost algebra, a stable public API
+surface, and the observability discipline from PR 1.  This package
+machine-checks them at rest:
+
+* :mod:`repro.lint.rules` — rule registry + tag-based path scoping,
+* :mod:`repro.lint.checks` — the rule pack (``RPR1xx``–``RPR5xx``),
+* :mod:`repro.lint.engine` — file collection, dispatch, and the
+  ``# repro: noqa[CODE] reason`` suppression protocol,
+* :mod:`repro.lint.baseline` — committed-baseline mode
+  (``lint-baseline.json``: old findings pass, new findings fail),
+* :mod:`repro.lint.output` — text and ``repro-lint/1`` JSON renderings.
+
+Entry points: ``repro lint [paths]`` (CLI), ``make lint``, and the CI
+``lint`` job.  See README "Static analysis" for the workflow, including
+how to add a rule and when to baseline versus suppress.
+"""
+
+from repro.lint.baseline import (
+    BASELINE_SCHEMA,
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    baseline_entries,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import (
+    Config,
+    LintReport,
+    ModuleReport,
+    collect_files,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.findings import SEVERITY_ERROR, SEVERITY_WARNING, Finding
+from repro.lint.output import (
+    REPORT_SCHEMA,
+    format_json,
+    format_text,
+    report_document,
+    write_json,
+)
+from repro.lint.rules import (
+    LintError,
+    ModuleContext,
+    Rule,
+    all_rules,
+    classify_path,
+    get_rule,
+    known_codes,
+    register_rule,
+)
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "Config",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LintError",
+    "LintReport",
+    "ModuleContext",
+    "ModuleReport",
+    "REPORT_SCHEMA",
+    "Rule",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "all_rules",
+    "apply_baseline",
+    "baseline_entries",
+    "classify_path",
+    "collect_files",
+    "format_json",
+    "format_text",
+    "get_rule",
+    "known_codes",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "register_rule",
+    "report_document",
+    "write_baseline",
+    "write_json",
+]

@@ -1,0 +1,108 @@
+"""Committed-baseline mode: pre-existing findings don't fail, new ones do.
+
+A baseline is a JSON document (``repro-lint-baseline/1``) mapping each
+finding's line-number-free key — ``path::code::message`` (see
+:meth:`repro.lint.findings.Finding.key`) — to how many such findings
+existed when the baseline was recorded.  Applying a baseline removes up
+to that many matching findings from a report; anything beyond the
+recorded count (a *new* finding, even of a grandfathered kind) still
+fails.  Keys are line-free so ordinary edits that shift code around do
+not invalidate the baseline; fixing a baselined finding simply leaves
+its entry unused until the next ``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.engine import LintReport
+from repro.lint.findings import Finding
+from repro.lint.rules import LintError
+
+#: Schema tag written to (and required of) every baseline document.
+BASELINE_SCHEMA = "repro-lint-baseline/1"
+
+#: Where the committed baseline lives, relative to the repo root.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+def baseline_entries(findings: list[Finding]) -> dict[str, int]:
+    """Count findings by baseline key."""
+    entries: dict[str, int] = {}
+    for finding in findings:
+        key = finding.key()
+        entries[key] = entries.get(key, 0) + 1
+    return entries
+
+
+def write_baseline(report: LintReport, path: str | Path) -> int:
+    """Record ``report``'s findings as the new baseline; returns count."""
+    entries = baseline_entries(report.findings)
+    document = {
+        "schema": BASELINE_SCHEMA,
+        "entries": {key: entries[key] for key in sorted(entries)},
+    }
+    target = Path(path)
+    target.write_text(json.dumps(document, indent=2) + "\n",
+                      encoding="utf-8")
+    return sum(entries.values())
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """Read and validate a baseline document's entries."""
+    source = Path(path)
+    if not source.is_file():
+        raise LintError(f"baseline not found: {source} "
+                        f"(create one with --update-baseline)")
+    try:
+        document = json.loads(source.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise LintError(f"baseline {source} is not valid JSON: {exc}"
+                        ) from None
+    if (not isinstance(document, dict)
+            or document.get("schema") != BASELINE_SCHEMA
+            or not isinstance(document.get("entries"), dict)):
+        raise LintError(
+            f"baseline {source} does not match schema {BASELINE_SCHEMA!r}"
+        )
+    entries: dict[str, int] = {}
+    for key, count in document["entries"].items():
+        if not isinstance(key, str) or not isinstance(count, int) or count < 1:
+            raise LintError(
+                f"baseline {source}: entry {key!r} -> {count!r} is "
+                f"malformed (want string key -> positive count)"
+            )
+        entries[key] = count
+    return entries
+
+
+def apply_baseline(report: LintReport,
+                   entries: dict[str, int]) -> LintReport:
+    """Drop up to the baselined count of each matching finding."""
+    budget = dict(entries)
+    kept: list[Finding] = []
+    baselined = 0
+    for finding in report.findings:
+        key = finding.key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            baselined += 1
+        else:
+            kept.append(finding)
+    return LintReport(
+        findings=kept,
+        files=report.files,
+        suppressed=report.suppressed,
+        baselined=report.baselined + baselined,
+    )
+
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "DEFAULT_BASELINE_NAME",
+    "apply_baseline",
+    "baseline_entries",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,493 @@
+"""The initial rule pack: this repo's real failure modes, as AST checks.
+
+Code families (see :mod:`repro.lint.rules` for scoping):
+
+* ``RPR1xx`` **determinism** — the parallel sweep (PR 2) and batched
+  query engine (PR 3) promise byte-identical output; unseeded RNG,
+  wall-clock reads, and set-iteration order inside ``sim/``, ``exec/``
+  or ``dbms/batch.py`` silently break that promise.
+* ``RPR2xx`` **exec safety** — fork/pickle hazards around the
+  ``ProcessPoolExecutor`` sweep path.
+* ``RPR3xx`` **numeric hygiene** — float ``==`` and mutable defaults
+  corrupt the §3 cost algebra in ways tests rarely catch.
+* ``RPR4xx`` **API consistency** — ``__all__`` drift.
+* ``RPR5xx`` **observability discipline** — span pairing and registry
+  construction rules from PR 1.
+* ``RPR9xx`` **suppression hygiene** — enforced by the engine itself
+  (registered here with ``check=None`` so they are documented and
+  selectable like any other rule).
+
+Checkers are pure functions from a :class:`ModuleContext` to an
+iterator of findings; they never read the filesystem.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import SEVERITY_ERROR, SEVERITY_WARNING, Finding
+from repro.lint.rules import (
+    ModuleContext,
+    Rule,
+    register,
+    register_rule,
+)
+
+#: Module-level ``random`` functions that draw from (or reseed) the
+#: shared global generator.
+_RANDOM_FNS = frozenset({
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "normalvariate", "expovariate",
+    "betavariate", "triangular", "getrandbits", "seed",
+    "lognormvariate", "paretovariate", "vonmisesvariate",
+    "weibullvariate",
+})
+
+#: Wall-clock and entropy reads banned from deterministic paths
+#: (``time.perf_counter`` stays legal: it feeds metrics, not results).
+_WALL_CLOCK = (
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+)
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _import_map(tree: ast.Module) -> dict[str, str]:
+    """Local name -> canonical dotted origin, from the module's imports."""
+    mapping: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    mapping[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    mapping[head] = head
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                mapping[local] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+def _resolve(dotted: str, imports: dict[str, str]) -> str:
+    """Rewrite ``dotted``'s head through the module's import aliases."""
+    head, _, rest = dotted.partition(".")
+    if head in imports:
+        origin = imports[head]
+        return f"{origin}.{rest}" if rest else origin
+    return dotted
+
+
+def _matches(resolved: str, banned: str) -> bool:
+    return resolved == banned or resolved.endswith("." + banned)
+
+
+def _calls(ctx: ModuleContext) -> Iterator[tuple[ast.Call, str]]:
+    """Every call in the module with its import-resolved dotted name."""
+    imports = _import_map(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted is not None:
+                yield node, _resolve(dotted, imports)
+
+
+@register(
+    "RPR101", "unseeded-rng", SEVERITY_ERROR, "deterministic",
+    "no module-level random.* calls or unseeded random.Random() in "
+    "deterministic paths (sim/, exec/, dbms/batch.py)",
+)
+def check_unseeded_rng(ctx: ModuleContext) -> Iterator[Finding]:
+    for call, resolved in _calls(ctx):
+        if resolved == "random.Random":
+            if not call.args:
+                yield ctx.finding(
+                    call, "RPR101",
+                    "unseeded random.Random(); pass an explicit seed so "
+                    "runs are reproducible",
+                )
+            continue
+        head, _, tail = resolved.partition(".")
+        if head == "random" and tail in _RANDOM_FNS:
+            yield ctx.finding(
+                call, "RPR101",
+                f"call to shared-state random.{tail}() in a deterministic "
+                f"path; draw from a seeded random.Random instance instead",
+            )
+
+
+@register(
+    "RPR102", "wall-clock-read", SEVERITY_ERROR, "deterministic",
+    "no time.time()/datetime.now()/os.urandom()/uuid4() in "
+    "deterministic paths (perf_counter for metrics is fine)",
+)
+def check_wall_clock(ctx: ModuleContext) -> Iterator[Finding]:
+    for call, resolved in _calls(ctx):
+        for banned in _WALL_CLOCK:
+            if _matches(resolved, banned):
+                yield ctx.finding(
+                    call, "RPR102",
+                    f"wall-clock/entropy read {banned}() in a deterministic "
+                    f"path; results must be a pure function of the inputs",
+                )
+                break
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = _dotted(node.func)
+        return dotted in ("set", "frozenset")
+    return False
+
+
+@register(
+    "RPR103", "unordered-set-iteration", SEVERITY_ERROR, "deterministic",
+    "no iterating a set expression into ordered output in deterministic "
+    "paths; wrap in sorted()",
+)
+def check_set_iteration(ctx: ModuleContext) -> Iterator[Finding]:
+    message = ("iteration order of a set is not deterministic across "
+               "runs; wrap the set in sorted() before building ordered "
+               "output")
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.For) and _is_set_expr(node.iter):
+            yield ctx.finding(node.iter, "RPR103", message)
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter):
+                    yield ctx.finding(gen.iter, "RPR103", message)
+        elif (isinstance(node, ast.Call)
+                and _dotted(node.func) in ("list", "tuple")
+                and node.args and _is_set_expr(node.args[0])):
+            yield ctx.finding(node, "RPR103", message)
+
+
+def _closure_names(tree: ast.Module) -> frozenset[str]:
+    """Names of functions defined inside other functions (unpicklable)."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in ast.walk(node):
+                if inner is not node and isinstance(
+                        inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    names.add(inner.name)
+    return frozenset(names)
+
+
+@register(
+    "RPR201", "pool-unpicklable-task", SEVERITY_ERROR, "everywhere",
+    "no lambdas or closure-local functions submitted to a process "
+    "pool/executor (they do not pickle)",
+)
+def check_pool_tasks(ctx: ModuleContext) -> Iterator[Finding]:
+    closures = _closure_names(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("submit", "map")):
+            continue
+        receiver = (_dotted(node.func.value) or "").lower()
+        if "pool" not in receiver and "executor" not in receiver:
+            continue
+        for arg in node.args:
+            if isinstance(arg, ast.Lambda):
+                yield ctx.finding(
+                    arg, "RPR201",
+                    f"lambda passed to .{node.func.attr}() on a process "
+                    f"pool; lambdas do not pickle — use a module-level "
+                    f"function",
+                )
+            elif isinstance(arg, ast.Name) and arg.id in closures:
+                yield ctx.finding(
+                    arg, "RPR201",
+                    f"closure-local function {arg.id!r} passed to "
+                    f".{node.func.attr}() on a process pool; nested "
+                    f"functions do not pickle — hoist it to module level",
+                )
+
+
+@register(
+    "RPR202", "worker-global-mutation", SEVERITY_ERROR, "exec",
+    "inside exec/, only pool-initializer functions (_init*) may rebind "
+    "module globals; worker tasks must not",
+)
+def check_worker_globals(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name.startswith(("_init", "init")):
+            continue
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.Global):
+                yield ctx.finding(
+                    stmt, "RPR202",
+                    f"function {node.name!r} rebinds module globals "
+                    f"({', '.join(stmt.names)}); under fork, worker-side "
+                    f"mutation diverges from the parent — only pool "
+                    f"initializers (_init*) may do this",
+                )
+
+
+def _is_float_operand(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_operand(node.operand)
+    return isinstance(node, ast.Call) and _dotted(node.func) == "float"
+
+
+@register(
+    "RPR301", "float-equality", SEVERITY_ERROR, "library",
+    "no bare ==/!= against float literals or float() casts outside "
+    "byte-identical assertion helpers",
+)
+def check_float_equality(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if (_is_float_operand(operands[i])
+                    or _is_float_operand(operands[i + 1])):
+                yield ctx.finding(
+                    node, "RPR301",
+                    "bare float equality; use math.isclose / an explicit "
+                    "tolerance, or suppress with a reason if the "
+                    "comparison is genuinely byte-identical",
+                )
+                break
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (isinstance(node, ast.Call)
+            and _dotted(node.func) in ("list", "dict", "set"))
+
+
+@register(
+    "RPR302", "mutable-default-arg", SEVERITY_ERROR, "everywhere",
+    "no mutable default arguments ([]/{}/set()/list()/dict())",
+)
+def check_mutable_defaults(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            continue
+        defaults = list(node.args.defaults)
+        defaults += [d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            if _is_mutable_default(default):
+                name = getattr(node, "name", "<lambda>")
+                yield ctx.finding(
+                    default, "RPR302",
+                    f"mutable default argument in {name!r}; defaults are "
+                    f"evaluated once and shared across calls — default to "
+                    f"None and construct inside",
+                )
+
+
+def _module_all(tree: ast.Module) -> tuple[ast.AST, list[str]] | None:
+    """The module-level ``__all__`` list, if statically resolvable."""
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if not any(isinstance(t, ast.Name) and t.id == "__all__"
+                   for t in targets):
+            continue
+        if isinstance(value, (ast.List, ast.Tuple)) and all(
+                isinstance(e, ast.Constant) and isinstance(e.value, str)
+                for e in value.elts):
+            return stmt, [e.value for e in value.elts
+                          if isinstance(e, ast.Constant)]
+        return stmt, []  # present but dynamic: declared, not checkable
+    return None
+
+
+def _bindings(body: list[ast.stmt], into: set[str]) -> bool:
+    """Collect statically visible module-level names; False on ``*``."""
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            into.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name):
+                        into.add(node.id)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(stmt.target, ast.Name):
+                into.add(stmt.target.id)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                into.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name == "*":
+                    return False
+                into.add(alias.asname or alias.name)
+        elif isinstance(stmt, ast.If):
+            if not _bindings(stmt.body, into):
+                return False
+            if not _bindings(stmt.orelse, into):
+                return False
+        elif isinstance(stmt, ast.Try):
+            for block in (stmt.body, stmt.orelse, stmt.finalbody,
+                          *[h.body for h in stmt.handlers]):
+                if not _bindings(block, into):
+                    return False
+        elif isinstance(stmt, (ast.For, ast.While, ast.With)):
+            if not _bindings(stmt.body, into):
+                return False
+    return True
+
+
+@register(
+    "RPR401", "all-does-not-resolve", SEVERITY_ERROR, "everywhere",
+    "every name listed in __all__ must resolve to a module-level "
+    "binding",
+)
+def check_all_resolves(ctx: ModuleContext) -> Iterator[Finding]:
+    declared = _module_all(ctx.tree)
+    if declared is None:
+        return
+    stmt, names = declared
+    bound: set[str] = set()
+    if not _bindings(ctx.tree.body, bound):
+        return  # star import: resolution is not statically decidable
+    for name in names:
+        if name not in bound:
+            yield ctx.finding(
+                stmt, "RPR401",
+                f"__all__ lists {name!r} but the module defines no such "
+                f"name",
+            )
+
+
+@register(
+    "RPR402", "missing-all", SEVERITY_WARNING, "library",
+    "public library modules must declare __all__ (their import surface)",
+)
+def check_missing_all(ctx: ModuleContext) -> Iterator[Finding]:
+    stem = ctx.relpath.rsplit("/", 1)[-1].removesuffix(".py")
+    if stem.startswith("_") and stem != "__init__":
+        return
+    if _module_all(ctx.tree) is None:
+        yield ctx.finding(
+            ctx.tree, "RPR402",
+            "public module defines no __all__; declare its import "
+            "surface explicitly",
+        )
+
+
+@register(
+    "RPR501", "span-not-context-managed", SEVERITY_ERROR,
+    "library-not-obs",
+    "span(...) results must be entered via `with` at the call site so "
+    "enter/exit always pair (obs/ itself implements the machinery)",
+)
+def check_span_pairing(ctx: ModuleContext) -> Iterator[Finding]:
+    managed: set[int] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                managed.add(id(item.context_expr))
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        if dotted != "span" and not dotted.endswith(".span"):
+            continue
+        if id(node) not in managed:
+            yield ctx.finding(
+                node, "RPR501",
+                "span() call is not the context expression of a `with`; "
+                "detached spans can exit out of order (or never)",
+            )
+
+
+@register(
+    "RPR502", "direct-registry-construction", SEVERITY_ERROR,
+    "library-not-obs",
+    "no direct MetricsRegistry() construction outside obs/ (use "
+    "use_registry()/enable_metrics())",
+)
+def check_registry_construction(ctx: ModuleContext) -> Iterator[Finding]:
+    for call, resolved in _calls(ctx):
+        if resolved.rsplit(".", 1)[-1] == "MetricsRegistry":
+            yield ctx.finding(
+                call, "RPR502",
+                "MetricsRegistry constructed directly; outside obs/ go "
+                "through use_registry()/enable_metrics() so the active "
+                "registry stays process-coherent",
+            )
+
+
+register_rule(Rule(
+    code="RPR000", name="syntax-error", severity=SEVERITY_ERROR,
+    scope="everywhere", check=None,
+    description="the module must parse; a file that does not parse "
+                "cannot be checked at all",
+))
+
+# Suppression hygiene is enforced by the engine while it matches
+# "repro: noqa" directives; the rules are registered here so they
+# appear in --list-rules output, docs, and selection.
+register_rule(Rule(
+    code="RPR901", name="unknown-noqa-code", severity=SEVERITY_ERROR,
+    scope="everywhere", check=None,
+    description="# repro: noqa[CODE] must reference registered rule "
+                "codes",
+))
+register_rule(Rule(
+    code="RPR902", name="noqa-without-reason", severity=SEVERITY_ERROR,
+    scope="everywhere", check=None,
+    description="# repro: noqa[CODE] must carry a reason string",
+))
+
+
+__all__ = [
+    "check_all_resolves",
+    "check_float_equality",
+    "check_missing_all",
+    "check_mutable_defaults",
+    "check_pool_tasks",
+    "check_registry_construction",
+    "check_set_iteration",
+    "check_span_pairing",
+    "check_unseeded_rng",
+    "check_wall_clock",
+    "check_worker_globals",
+]

@@ -1,0 +1,250 @@
+"""The lint engine: file collection, rule dispatch, and suppression.
+
+Run :func:`lint_paths` over files and directories; it parses each
+module once, dispatches the rules whose scope covers the module's path
+tags (see :mod:`repro.lint.rules`), applies inline suppressions, and
+returns a :class:`LintReport`.
+
+Inline suppression matches ruff/flake8 ergonomics but is deliberately
+narrower — a code is always required, and a **reason** is required
+too::
+
+    t = wall_clock()  # repro: noqa[RPR102] trace timestamps are data here
+
+A ``# repro: noqa[...]`` naming an unregistered code raises finding
+``RPR901``; one without a reason string raises ``RPR902``.  Suppression
+is per-line and per-code: it never hides findings of other codes on the
+same line.
+
+Directory walks skip ``tests/lint/fixtures/`` (deliberately-bad rule
+fixtures) and the usual cache directories, but a path passed
+*explicitly* is always linted — ``repro lint
+tests/lint/fixtures/sim/bad_rng.py`` works as expected.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.rules import (
+    LintError,
+    ModuleContext,
+    checkers_for,
+    classify_path,
+    known_codes,
+)
+
+#: Directory-name fragments skipped during directory walks.  Explicit
+#: file arguments bypass this list.
+DEFAULT_EXCLUDES = (
+    "tests/lint/fixtures",
+    "__pycache__",
+    ".git",
+    ".venv",
+    "build",
+    ".egg-info",
+)
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<codes>[^\]]*)\]\s*(?P<reason>.*?)\s*$"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Config:
+    """Engine configuration (all fields have working defaults)."""
+
+    root: Path = field(default_factory=Path.cwd)
+    select: frozenset[str] | None = None
+    exclude: tuple[str, ...] = DEFAULT_EXCLUDES
+
+
+@dataclass(slots=True)
+class LintReport:
+    """Everything one engine run produced."""
+
+    findings: list[Finding]
+    files: int
+    suppressed: int
+    baselined: int = 0
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Unsuppressed finding count per rule code."""
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return counts
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def collect_files(paths: Sequence[str | Path],
+                  config: Config) -> list[Path]:
+    """Expand ``paths`` into the sorted, deduplicated file list.
+
+    Files are taken as given (even when an exclude fragment matches);
+    directories are walked recursively with excludes applied.
+    """
+    seen: set[Path] = set()
+    ordered: list[Path] = []
+
+    def add(path: Path) -> None:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            ordered.append(path)
+
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            add(path)
+        elif path.is_dir():
+            for found in sorted(path.rglob("*.py")):
+                posix = found.as_posix()
+                if any(fragment in posix for fragment in config.exclude):
+                    continue
+                add(found)
+        else:
+            raise LintError(f"no such file or directory: {path}")
+    return ordered
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _noqa_directives(source: str) -> dict[int, tuple[set[str], str]]:
+    """Line number -> (codes, reason) for every suppression comment.
+
+    Tokenizes rather than regex-scanning raw lines so that string
+    literals and docstrings *mentioning* ``# repro: noqa[...]`` (for
+    example, this engine's own documentation) are not treated as
+    directives.
+    """
+    directives: dict[int, tuple[set[str], str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if match is None:
+                continue
+            codes = {code.strip()
+                     for code in match.group("codes").split(",")
+                     if code.strip()}
+            directives[token.start[0]] = (codes, match.group("reason"))
+    except tokenize.TokenizeError:  # pragma: no cover - parse caught it
+        pass
+    return directives
+
+
+@dataclass(slots=True)
+class ModuleReport:
+    """Findings (and suppression count) for one linted module."""
+
+    findings: list[Finding]
+    suppressed: int
+
+
+def lint_source(source: str, relpath: str,
+                config: Config | None = None) -> ModuleReport:
+    """Lint one module from source text (the in-memory entry point)."""
+    config = config if config is not None else Config()
+    lines = tuple(source.splitlines())
+    tags = classify_path(relpath)
+    findings: list[Finding] = []
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        return ModuleReport(findings=[Finding(
+            path=relpath, line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+            code="RPR000", severity="error",
+            message=f"syntax error: {exc.msg}",
+        )], suppressed=0)
+    ctx = ModuleContext(relpath=relpath, tree=tree, lines=lines, tags=tags)
+    for rule in checkers_for(tags, select=config.select):
+        assert rule.check is not None
+        findings.extend(rule.check(ctx))
+
+    directives = _noqa_directives(source)
+    kept: list[Finding] = []
+    used: dict[int, set[str]] = {}
+    for finding in findings:
+        directive = directives.get(finding.line)
+        if directive is not None and finding.code in directive[0]:
+            used.setdefault(finding.line, set()).add(finding.code)
+        else:
+            kept.append(finding)
+    suppressed = len(findings) - len(kept)
+
+    registered = known_codes()
+    for number, (codes, reason) in sorted(directives.items()):
+        if _selected("RPR901", config):
+            for code in sorted(codes - registered):
+                kept.append(Finding(
+                    path=relpath, line=number, col=1, code="RPR901",
+                    severity="error",
+                    message=f"noqa references unknown rule code {code!r}",
+                ))
+        if _selected("RPR902", config) and not reason:
+            kept.append(Finding(
+                path=relpath, line=number, col=1, code="RPR902",
+                severity="error",
+                message="noqa carries no reason; say why the finding is "
+                        "intentional",
+            ))
+    kept.sort()
+    return ModuleReport(findings=kept, suppressed=suppressed)
+
+
+def _selected(code: str, config: Config) -> bool:
+    return config.select is None or code in config.select
+
+
+def lint_paths(paths: Sequence[str | Path],
+               config: Config | None = None) -> LintReport:
+    """Lint files/directories and return the aggregate report."""
+    config = config if config is not None else Config()
+    files = collect_files(paths, config)
+    findings: list[Finding] = []
+    suppressed = 0
+    for path in files:
+        relpath = _relpath(path, config.root)
+        source = path.read_text(encoding="utf-8")
+        module = lint_source(source, relpath, config)
+        findings.extend(module.findings)
+        suppressed += module.suppressed
+    findings.sort()
+    return LintReport(findings=findings, files=len(files),
+                      suppressed=suppressed)
+
+
+def iter_rule_codes(findings: Iterable[Finding]) -> list[str]:
+    """Sorted unique codes present in ``findings`` (test helper)."""
+    return sorted({finding.code for finding in findings})
+
+
+__all__ = [
+    "Config",
+    "DEFAULT_EXCLUDES",
+    "LintReport",
+    "ModuleReport",
+    "collect_files",
+    "iter_rule_codes",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,67 @@
+"""Text and JSON renderings of a lint report.
+
+The JSON document (schema ``repro-lint/1``) is what the CI job uploads
+as ``lint-report.json``; its shape is pinned by
+``tests/lint/test_output.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TextIO
+
+from repro.lint.engine import LintReport
+
+#: Schema tag of the JSON report document.
+REPORT_SCHEMA = "repro-lint/1"
+
+
+def format_text(report: LintReport, out: TextIO) -> None:
+    """Render findings one per line, plus a summary trailer."""
+    for finding in report.findings:
+        print(finding.format_text(), file=out)
+    counts = report.counts
+    breakdown = ", ".join(f"{code} x{counts[code]}"
+                          for code in sorted(counts))
+    status = "clean" if report.ok else f"{len(report.findings)} finding(s)"
+    trailer = (f"lint: {status} in {report.files} file(s)"
+               f" ({report.suppressed} suppressed,"
+               f" {report.baselined} baselined)")
+    if breakdown:
+        trailer += f" [{breakdown}]"
+    print(trailer, file=out)
+
+
+def report_document(report: LintReport) -> dict[str, object]:
+    """The ``repro-lint/1`` JSON document for ``report``."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "files": report.files,
+        "ok": report.ok,
+        "findings": [finding.to_dict() for finding in report.findings],
+        "counts": report.counts,
+        "suppressed": report.suppressed,
+        "baselined": report.baselined,
+    }
+
+
+def format_json(report: LintReport, out: TextIO) -> None:
+    """Render the JSON report document to ``out``."""
+    json.dump(report_document(report), out, indent=2)
+    out.write("\n")
+
+
+def write_json(report: LintReport, path: str | Path) -> None:
+    """Write the JSON report document to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        format_json(report, handle)
+
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "format_json",
+    "format_text",
+    "report_document",
+    "write_json",
+]

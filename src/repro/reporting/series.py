@@ -8,6 +8,7 @@ series sharing an x-axis as one table (the exact numbers);
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.errors import ExperimentError
@@ -71,7 +72,7 @@ def render_chart(series: list[Series], width: int = 64, height: int = 16,
     if width < 8 or height < 4:
         raise ExperimentError("chart needs width >= 8 and height >= 4")
     all_x = [x for s in series for x in s.xs]
-    all_y = [y for s in series for y in s.ys if y == y and abs(y) != float("inf")]
+    all_y = [y for s in series for y in s.ys if math.isfinite(y)]
     if not all_y:
         raise ExperimentError("no finite y values to chart")
     min_x, max_x = min(all_x), max(all_x)
@@ -82,7 +83,7 @@ def render_chart(series: list[Series], width: int = 64, height: int = 16,
     for index, s in enumerate(series):
         glyph = _GLYPHS[index % len(_GLYPHS)]
         for x, y in zip(s.xs, s.ys):
-            if y != y or abs(y) == float("inf"):
+            if not math.isfinite(y):
                 continue
             col = int((x - min_x) / span_x * (width - 1))
             row = int((y - min_y) / span_y * (height - 1))

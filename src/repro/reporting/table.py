@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Any, Sequence
 
 from repro.errors import ExperimentError
@@ -11,10 +12,10 @@ def _format_cell(value: Any, precision: int) -> str:
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, float):
-        if value != value:  # NaN
+        if math.isnan(value):
             return "nan"
-        if value == float("inf"):
-            return "inf"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
         return f"{value:.{precision}f}"
     return str(value)
 

@@ -297,7 +297,7 @@ class TraceCurve(SpeedCurve):
         if len(samples) < 2:
             raise SimulationError("a trace needs at least two samples")
         times = [t for t, _ in samples]
-        if times[0] != 0.0:
+        if times[0] != 0.0:  # repro: noqa[RPR301] spec check: a trace's first sample must be literally t=0, not merely close
             raise SimulationError(
                 f"a trace must start at time 0, got {times[0]}"
             )

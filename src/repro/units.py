@@ -64,3 +64,18 @@ def km_to_miles(km: float) -> float:
 def miles_to_km(miles: float) -> float:
     """Convert canonical miles to kilometres."""
     return miles * KM_PER_MILE
+
+
+__all__ = [
+    "DEFAULT_TICK_MINUTES",
+    "KM_PER_MILE",
+    "MINUTES_PER_HOUR",
+    "SECONDS_PER_MINUTE",
+    "hours_to_minutes",
+    "km_to_miles",
+    "miles_per_minute_to_mph",
+    "miles_to_km",
+    "minutes_to_seconds",
+    "mph_to_miles_per_minute",
+    "seconds_to_minutes",
+]

@@ -1,0 +1,28 @@
+"""Shared helpers for the lint-engine tests.
+
+``lint_fixture`` runs the engine on one fixture file exactly the way
+the CLI would (explicit path, default config rooted at the repo), so
+fixture tests exercise path classification, scoping, and suppression
+end to end rather than calling checkers directly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Config, LintReport, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = REPO_ROOT / "tests" / "lint" / "fixtures"
+
+
+@pytest.fixture
+def lint_fixture():
+    def run(relpath: str) -> LintReport:
+        path = FIXTURES / relpath
+        assert path.is_file(), f"missing fixture {path}"
+        return lint_paths([path], Config(root=REPO_ROOT))
+
+    return run

@@ -1,0 +1,8 @@
+"""Bad: __all__ names a binding the module never defines."""
+
+
+def real() -> None:
+    pass
+
+
+__all__ = ["real", "imaginary"]

@@ -1,0 +1,16 @@
+"""Bad: mutable default arguments."""
+
+
+def append(x, xs=[]):
+    xs.append(x)
+    return xs
+
+
+def tally(key, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def collect(x, seen=set()):
+    seen.add(x)
+    return seen

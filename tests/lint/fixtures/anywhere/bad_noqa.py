@@ -1,0 +1,9 @@
+"""Bad: suppressions that name unknown codes or give no reason."""
+
+
+def append(x, xs=[]):  # repro: noqa[RPR302]
+    return xs + [x]
+
+
+def tally(x, counts={}):  # repro: noqa[XXX999] not a real code
+    return counts

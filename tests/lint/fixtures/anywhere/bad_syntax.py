@@ -1,0 +1,4 @@
+"""Bad: does not parse."""
+
+def broken(:
+    pass

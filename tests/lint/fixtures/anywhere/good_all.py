@@ -1,0 +1,11 @@
+"""Good: every __all__ entry resolves."""
+from math import pi
+
+CONSTANT = pi
+
+
+def real() -> None:
+    pass
+
+
+__all__ = ["CONSTANT", "real"]

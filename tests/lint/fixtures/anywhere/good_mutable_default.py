@@ -1,0 +1,7 @@
+"""Good: None defaults, constructed inside."""
+
+
+def append(x, xs=None):
+    xs = [] if xs is None else xs
+    xs.append(x)
+    return xs

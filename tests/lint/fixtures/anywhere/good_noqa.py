@@ -1,0 +1,5 @@
+"""Good: a suppression with a real code and a reason."""
+
+
+def append(x, xs=[]):  # repro: noqa[RPR302] fixture: demonstrates a well-formed suppression
+    return xs + [x]

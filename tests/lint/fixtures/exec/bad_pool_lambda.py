@@ -1,0 +1,12 @@
+"""Bad: unpicklable tasks submitted to a process pool."""
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run(xs: list) -> list:
+    with ProcessPoolExecutor() as pool:
+        def work(x):
+            return x * 2
+
+        futures = [pool.submit(lambda: x * 2) for x in xs]
+        pool.submit(work, 1)
+        return [f.result() for f in futures]

@@ -1,0 +1,9 @@
+"""Bad: a worker task rebinds module globals under fork."""
+
+_CACHE = None
+
+
+def compute(x: int) -> int:
+    global _CACHE
+    _CACHE = x
+    return x * 2

@@ -1,0 +1,11 @@
+"""Good: only module-level functions cross the pickle boundary."""
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(x: int) -> int:
+    return x * 2
+
+
+def run(xs: list) -> list:
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(work, xs))

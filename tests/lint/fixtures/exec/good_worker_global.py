@@ -1,0 +1,12 @@
+"""Good: only the pool initializer installs worker-process state."""
+
+_SPEC = None
+
+
+def _init_worker(spec: object) -> None:
+    global _SPEC
+    _SPEC = spec
+
+
+def compute(x: int) -> int:
+    return x * 2

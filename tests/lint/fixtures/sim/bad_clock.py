@@ -1,0 +1,16 @@
+"""Bad: wall-clock and entropy reads inside a deterministic path."""
+import os
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def label() -> str:
+    return datetime.now().isoformat()
+
+
+def salt() -> bytes:
+    return os.urandom(8)

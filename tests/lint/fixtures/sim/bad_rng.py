@@ -1,0 +1,11 @@
+"""Bad: draws from the shared global RNG inside a deterministic path."""
+import random
+
+
+def jitter(x: float) -> float:
+    return x + random.random()
+
+
+def pick(xs: list) -> object:
+    rng = random.Random()
+    return rng.choice(xs)

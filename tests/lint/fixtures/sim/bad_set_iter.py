@@ -1,0 +1,14 @@
+"""Bad: set iteration order leaks into ordered output."""
+
+
+def ids(xs: list) -> list:
+    return list(set(xs))
+
+
+def render(xs: list) -> list:
+    return [str(x) for x in set(xs)]
+
+
+def emit(flags: set) -> None:
+    for flag in {"a", "b", "c"}:
+        print(flag)

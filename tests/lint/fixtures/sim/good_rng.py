@@ -1,0 +1,7 @@
+"""Good: all randomness flows through an explicitly seeded generator."""
+import random
+
+
+def jitter(x: float, seed: int) -> float:
+    rng = random.Random(seed)
+    return x + rng.random()

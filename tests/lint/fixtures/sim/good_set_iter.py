@@ -1,0 +1,9 @@
+"""Good: sets are sorted before becoming ordered output."""
+
+
+def ids(xs: list) -> list:
+    return sorted(set(xs))
+
+
+def render(xs: list) -> list:
+    return [str(x) for x in sorted(set(xs))]

@@ -1,0 +1,12 @@
+"""Bad: bare float equality in library math code."""
+
+
+def at_threshold(deviation: float) -> bool:
+    return deviation == 0.5
+
+
+def is_unit(k: float) -> bool:
+    return float(k) != 1.0
+
+
+__all__ = ["at_threshold", "is_unit"]

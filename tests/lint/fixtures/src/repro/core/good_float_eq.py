@@ -1,0 +1,9 @@
+"""Good: float comparison through an explicit tolerance."""
+import math
+
+
+def at_threshold(deviation: float) -> bool:
+    return math.isclose(deviation, 0.5)
+
+
+__all__ = ["at_threshold"]

@@ -1,0 +1,5 @@
+"""Bad: a public library module with no declared import surface."""
+
+
+def query() -> None:
+    pass

@@ -1,0 +1,10 @@
+"""Bad: constructs a registry directly instead of going through obs."""
+from repro.obs.metrics import MetricsRegistry
+
+
+def snapshot() -> object:
+    registry = MetricsRegistry()
+    return registry
+
+
+__all__ = ["snapshot"]

@@ -1,0 +1,9 @@
+"""Good: obs/ itself may construct registries."""
+from repro.obs.metrics import MetricsRegistry
+
+
+def fresh() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+__all__ = ["fresh"]

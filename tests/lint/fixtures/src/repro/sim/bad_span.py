@@ -1,0 +1,10 @@
+"""Bad: a span opened without `with` can exit out of order or never."""
+from repro.obs.registry import span
+
+
+def run() -> None:
+    handle = span("tick")
+    handle.__enter__()
+
+
+__all__ = ["run"]

@@ -1,0 +1,10 @@
+"""Good: spans are context-managed at the call site."""
+from repro.obs.registry import span
+
+
+def run() -> None:
+    with span("tick"):
+        pass
+
+
+__all__ = ["run"]

@@ -1,0 +1,108 @@
+"""Baseline mode: round-trip, grandfathering semantics, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import (
+    BASELINE_SCHEMA,
+    Config,
+    LintError,
+    apply_baseline,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    (tmp_path / "old.py").write_text(
+        "def f(x=[]):\n    return x\n\n\ndef g(y={}):\n    return y\n")
+    return tmp_path
+
+
+def run(tree):
+    return lint_paths([tree], Config(root=tree))
+
+
+class TestRoundTrip:
+    def test_baselined_report_is_clean(self, dirty_tree, tmp_path):
+        report = run(dirty_tree)
+        assert len(report.findings) == 2
+        baseline_path = tmp_path / "baseline.json"
+        assert write_baseline(report, baseline_path) == 2
+
+        gated = apply_baseline(run(dirty_tree),
+                               load_baseline(baseline_path))
+        assert gated.ok
+        assert gated.baselined == 2
+
+    def test_new_finding_still_fails(self, dirty_tree, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(run(dirty_tree), baseline_path)
+
+        # A third violation of an already-baselined kind, in a new file.
+        (dirty_tree / "new.py").write_text("def h(z=[]):\n    return z\n")
+        gated = apply_baseline(run(dirty_tree),
+                               load_baseline(baseline_path))
+        assert not gated.ok
+        assert [f.path for f in gated.findings] == ["new.py"]
+        assert gated.baselined == 2
+
+    def test_line_drift_does_not_invalidate(self, dirty_tree, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(run(dirty_tree), baseline_path)
+
+        # Shift every finding by adding lines above them.
+        source = (dirty_tree / "old.py").read_text()
+        (dirty_tree / "old.py").write_text("# pad\n# pad\n# pad\n" + source)
+        gated = apply_baseline(run(dirty_tree),
+                               load_baseline(baseline_path))
+        assert gated.ok
+
+    def test_fixed_finding_leaves_budget_unused(self, dirty_tree, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(run(dirty_tree), baseline_path)
+        (dirty_tree / "old.py").write_text("X = 1\n__all__ = ['X']\n")
+        gated = apply_baseline(run(dirty_tree),
+                               load_baseline(baseline_path))
+        assert gated.ok
+        assert gated.baselined == 0
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(LintError, match="baseline not found"):
+            load_baseline(tmp_path / "nope.json")
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text("{not json")
+        with pytest.raises(LintError, match="not valid JSON"):
+            load_baseline(path)
+
+    def test_wrong_schema(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"schema": "other/9", "entries": {}}))
+        with pytest.raises(LintError, match="does not match schema"):
+            load_baseline(path)
+
+    def test_malformed_entry(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps(
+            {"schema": BASELINE_SCHEMA, "entries": {"k": 0}}))
+        with pytest.raises(LintError, match="malformed"):
+            load_baseline(path)
+
+    def test_document_shape_is_sorted_and_schema_tagged(
+            self, dirty_tree, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(run(dirty_tree), baseline_path)
+        document = json.loads(baseline_path.read_text())
+        assert document["schema"] == BASELINE_SCHEMA
+        keys = list(document["entries"])
+        assert keys == sorted(keys)
+        assert all("::RPR302::" in key for key in keys)
