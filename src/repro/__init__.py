@@ -85,6 +85,13 @@ from repro.sim import (
 )
 from repro.analysis import OfflineSchedule, offline_optimal_schedule
 from repro.exec import GridTrip, SweepExecutor, TickGrid, TripTickCache
+from repro.trace import (
+    TraceRecorder,
+    TraceReplayer,
+    read_trace,
+    use_recorder,
+    write_trace,
+)
 from repro.workloads import (
     battlefield_scenario,
     taxi_fleet_scenario,
@@ -162,6 +169,12 @@ __all__ = [
     "TripTickCache",
     "TickGrid",
     "GridTrip",
+    # trace
+    "TraceRecorder",
+    "TraceReplayer",
+    "read_trace",
+    "use_recorder",
+    "write_trace",
     # workloads
     "taxi_fleet_scenario",
     "trucking_scenario",

@@ -16,7 +16,11 @@ Six commands cover the library's day-one workflows:
   snapshot (see :mod:`repro.dbms.persistence`),
 * ``bench`` — the unified benchmark harness (:mod:`repro.bench`):
   ``list`` the registered cases, ``run`` them with baseline regression
-  gating and ``BENCH_<group>.json`` trajectory artifacts.
+  gating and ``BENCH_<group>.json`` trajectory artifacts,
+* ``trace`` — the workload flight recorder (:mod:`repro.trace`):
+  ``record`` a scenario + query workload as schema-versioned JSONL,
+  ``replay`` it against a fresh database verifying byte-identical
+  answer digests, ``summary`` its event counts.
 
 ``report``, ``scenario``, and ``stats`` accept ``--profile``, which
 records the run's spans and prints a flame summary (per-span-name
@@ -90,19 +94,33 @@ def _profiled(enabled: bool, root_name: str, out: TextIO) -> Iterator[None]:
 
 
 def _cmd_report(args: argparse.Namespace, out: TextIO) -> int:
+    from contextlib import ExitStack
+
     from repro.experiments.runner import run_all
 
     with _profiled(args.profile, "report", out):
-        if args.metrics_out is not None:
-            from repro.obs import use_registry, write_jsonl
+        with ExitStack() as stack:
+            registry = None
+            recorder = None
+            if args.metrics_out is not None:
+                from repro.obs import use_registry, write_jsonl
 
-            with use_registry() as registry:
-                run_all(fast=args.fast, out=out, jobs=args.jobs)
+                registry = stack.enter_context(use_registry())
+            if args.trace_out is not None:
+                from repro.trace import use_recorder
+
+                recorder = stack.enter_context(use_recorder())
+            run_all(fast=args.fast, out=out, jobs=args.jobs)
+        if registry is not None:
             write_jsonl(registry, args.metrics_out)
             print(f"metrics snapshot written to {args.metrics_out}",
                   file=out)
-        else:
-            run_all(fast=args.fast, out=out, jobs=args.jobs)
+        if recorder is not None:
+            from repro.trace import write_trace
+
+            count = write_trace(recorder, args.trace_out)
+            print(f"workload trace ({count} events) written to "
+                  f"{args.trace_out}", file=out)
     return 0
 
 
@@ -219,7 +237,18 @@ def _cmd_stats(args: argparse.Namespace, out: TextIO) -> int:
         tracer.span("stats")  # repro: noqa[RPR501] entered by the `with` below; the nullcontext arm keeps one code path
         if args.profile else nullcontext()
     )
-    with use_registry() as registry, use_tracer(tracer), root_span:
+    recorder = None
+    record_ctx = nullcontext()
+    if args.trace_out is not None:
+        from repro.trace import TraceRecorder, use_recorder
+
+        recorder = TraceRecorder(meta={
+            "command": "stats", "scenario": args.name, "size": args.size,
+            "duration": args.duration, "seed": args.seed,
+        })
+        record_ctx = use_recorder(recorder)
+    with use_registry() as registry, use_tracer(tracer), record_ctx, \
+            root_span:
         scenario = _build_scenario(
             args.name, args.size, args.duration, args.seed
         )
@@ -258,6 +287,24 @@ def _cmd_stats(args: argparse.Namespace, out: TextIO) -> int:
             counts = scenario.fleet.run(on_tick=on_tick)
             queries_issued = progress["query"]
 
+        if args.jobs > 1:
+            # Exercise the parallel executor so the emitted snapshot
+            # demonstrates merged per-worker telemetry (the metrics
+            # carry worker="chunk-N" labels, the span tree the adopted
+            # worker spans).
+            from repro.exec import SweepExecutor
+            from repro.experiments.sweep import SweepSpec
+
+            SweepExecutor(jobs=args.jobs).run(SweepSpec(
+                policy_names=("dl", "ail"), update_costs=(2.0, 5.0),
+                num_curves=max(args.jobs, 2),
+                duration=min(args.duration, 10.0), seed=args.seed,
+            ))
+        if recorder is not None:
+            from repro.trace import record_index_digest
+
+            record_index_digest(scenario.database)
+
     total = sum(counts.values())
     print(f"# scenario {scenario.name}: {len(scenario.database)} objects, "
           f"{args.duration} min, {total} update messages, "
@@ -277,9 +324,15 @@ def _cmd_stats(args: argparse.Namespace, out: TextIO) -> int:
     if args.jsonl_out is not None:
         write_jsonl(registry, args.jsonl_out)
         print(f"# jsonl snapshot written to {args.jsonl_out}", file=out)
-    if args.trace_out is not None:
-        exported = tracer.export_jsonl(args.trace_out)
-        print(f"# {exported} spans written to {args.trace_out}", file=out)
+    if args.spans_out is not None:
+        exported = tracer.export_jsonl(args.spans_out)
+        print(f"# {exported} spans written to {args.spans_out}", file=out)
+    if recorder is not None:
+        from repro.trace import write_trace
+
+        count = write_trace(recorder, args.trace_out)
+        print(f"# workload trace ({count} events) written to "
+              f"{args.trace_out}", file=out)
     if args.profile:
         from repro.obs import print_flame_summary
 
@@ -435,6 +488,101 @@ def _cmd_lint(args: argparse.Namespace, out: TextIO) -> int:
     return 0 if report.ok else 1
 
 
+def _issue_sequential(database, queries) -> None:
+    """Answer a mixed batch workload one call at a time."""
+    from repro.dbms.batch import PositionQuery, RangeQuery
+
+    for query in queries:
+        if isinstance(query, PositionQuery):
+            database.position_of(query.object_id, query.time)
+        elif isinstance(query, RangeQuery):
+            database.range_query(
+                query.polygon, query.time,
+                where=query.where, class_name=query.class_name,
+            )
+        else:
+            database.within_distance(
+                query.center, query.radius, query.time,
+                where=query.where, class_name=query.class_name,
+            )
+
+
+def _cmd_trace_record(args: argparse.Namespace, out: TextIO) -> int:
+    """Record a fleet scenario plus query workload as a JSONL trace."""
+    from repro.dbms.batch import BatchQueryEngine
+    from repro.geometry.point import Point
+    from repro.trace import (
+        TraceRecorder,
+        record_index_digest,
+        use_recorder,
+        write_trace,
+    )
+    from repro.workloads.query_workloads import mixed_query_workload
+
+    random.seed(args.seed)
+    recorder = TraceRecorder(meta={
+        "command": "trace record", "scenario": args.name,
+        "size": args.size, "duration": args.duration, "seed": args.seed,
+        "queries": args.queries, "batch": args.batch,
+    })
+    with use_recorder(recorder):
+        scenario = _build_scenario(
+            args.name, args.size, args.duration, args.seed
+        )
+        scenario.fleet.run()
+        database = scenario.database
+        t_end = database.clock_time
+        object_ids = database.object_ids()
+        queries = mixed_query_workload(
+            scenario.network, random.Random(args.seed + 1),
+            args.queries, object_ids, (t_end,),
+        )
+        if args.batch:
+            BatchQueryEngine(database).run(queries)
+        else:
+            _issue_sequential(database, queries)
+        # Cover the db-only query kinds too, then checkpoint the index.
+        extent = scenario.network.bounding_extent()
+        center = Point((extent[0] + extent[2]) / 2.0,
+                       (extent[1] + extent[3]) / 2.0)
+        database.nearest(center, 3, t_end)
+        if object_ids:
+            database.within_distance_of_object(object_ids[0], 1.0, t_end)
+        record_index_digest(database)
+    count = write_trace(recorder, args.out)
+    print(f"{count} events written to {args.out}", file=out)
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace, out: TextIO) -> int:
+    """Re-drive a recorded trace and verify every answer digest."""
+    from repro.trace import TraceReplayer
+
+    report = TraceReplayer(mode=args.mode).replay_file(args.trace)
+    print(f"replayed {report.events_total} events: "
+          f"{report.queries_checked} query digest(s), "
+          f"{report.index_checks} index checkpoint(s)", file=out)
+    if report.ok:
+        print("replay OK: all digests byte-identical", file=out)
+        return 0
+    for mismatch in report.mismatches[:10]:
+        print(f"seq {mismatch.seq} [{mismatch.kind}] {mismatch.detail}",
+              file=out)
+        print(f"  expected {mismatch.expected}", file=out)
+        print(f"  actual   {mismatch.actual}", file=out)
+    print(f"FAIL: {len(report.mismatches)} digest mismatch(es)",
+          file=sys.stderr)
+    return 1
+
+
+def _cmd_trace_summary(args: argparse.Namespace, out: TextIO) -> int:
+    from repro.trace import read_trace, render_summary, summarize
+
+    meta, events = read_trace(args.trace)
+    render_summary(summarize(meta, events), out)
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace, out: TextIO) -> int:
     database = load_database(args.snapshot)
     answer = execute_mql(database, args.statement)
@@ -479,6 +627,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--profile", action="store_true",
                         help="record spans and print a flame summary "
                              "after the run")
+    report.add_argument("--trace-out", default=None,
+                        help="record the run's DBMS workload as a JSONL "
+                             "flight-recorder trace at this path")
     report.set_defaults(func=_cmd_report)
 
     simulate = sub.add_parser("simulate", help="simulate one trip")
@@ -534,8 +685,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the Prometheus-text snapshot to this path")
     stats.add_argument("--jsonl-out", default=None,
                        help="write the JSONL snapshot to this path")
-    stats.add_argument("--trace-out", default=None,
+    stats.add_argument("--spans-out", default=None,
                        help="write the span trace (JSONL) to this path")
+    stats.add_argument("--trace-out", default=None,
+                       help="record the run's DBMS workload as a JSONL "
+                            "flight-recorder trace at this path")
+    stats.add_argument("--jobs", type=int, default=1,
+                       help="also run a small parallel sweep with this many "
+                            "workers; their telemetry is merged into the "
+                            "snapshot under worker=\"chunk-N\" labels")
     stats.add_argument("--profile", action="store_true",
                        help="record spans under a root span and print a "
                             "flame summary after the snapshot")
@@ -613,6 +771,47 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write this run as the new baseline instead "
                                 "of gating")
     bench_run.set_defaults(func=_cmd_bench_run)
+
+    trace = sub.add_parser(
+        "trace", help="record/replay/summarize workload traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_record = trace_sub.add_parser(
+        "record", help="record a fleet scenario + query workload as "
+                       "schema-versioned JSONL"
+    )
+    trace_record.add_argument("--name", default="taxi",
+                              choices=("taxi", "trucking", "battlefield"))
+    trace_record.add_argument("--size", type=int, default=10)
+    trace_record.add_argument("--duration", type=float, default=15.0)
+    trace_record.add_argument("--seed", type=int, default=7)
+    trace_record.add_argument("--queries", type=int, default=20,
+                              help="mixed position/range/within queries "
+                                   "issued after the run")
+    trace_record.add_argument("--batch", action="store_true",
+                              help="issue the query workload through the "
+                                   "batched query engine")
+    trace_record.add_argument("--out", default="trace.jsonl",
+                              help="trace output path")
+    trace_record.set_defaults(func=_cmd_trace_record)
+
+    trace_replay = trace_sub.add_parser(
+        "replay", help="re-drive a trace against a fresh database and "
+                       "verify byte-identical answer digests"
+    )
+    trace_replay.add_argument("trace", help="JSONL trace path")
+    trace_replay.add_argument("--mode", default="auto",
+                              choices=("auto", "sequential", "batch"),
+                              help="query path: as recorded (auto), or "
+                                   "forced sequential/batched")
+    trace_replay.set_defaults(func=_cmd_trace_replay)
+
+    trace_summary = trace_sub.add_parser(
+        "summary", help="print aggregate event counts for a trace"
+    )
+    trace_summary.add_argument("trace", help="JSONL trace path")
+    trace_summary.set_defaults(func=_cmd_trace_summary)
     return parser
 
 

@@ -53,6 +53,8 @@ from repro.geometry.polygon import Polygon
 from repro.index.rtree import SearchStats
 from repro.obs.instrument import time_section
 from repro.obs.registry import get_registry
+from repro.trace.events import CACHE, answer_digest
+from repro.trace.recorder import get_recorder
 
 
 @dataclass(frozen=True, slots=True)
@@ -243,6 +245,36 @@ class BatchQueryEngine:
                         query, candidates[i], eligible
                     ))
         self._publish(queries, hits_before, misses_before)
+        rec = get_recorder()
+        if rec.enabled and queries:
+            batch = rec.next_batch_id()
+            for i, (query, answer) in enumerate(zip(queries, answers)):
+                if isinstance(query, PositionQuery):
+                    rec.record_query(
+                        "position", answer_digest(answer),
+                        time=query.time, object_id=query.object_id,
+                        engine="batch", batch=batch, index=i,
+                    )
+                elif isinstance(query, RangeQuery):
+                    rec.record_query(
+                        "range", answer_digest(answer), time=query.time,
+                        engine="batch", batch=batch, index=i,
+                        polygon=[[v.x, v.y]
+                                 for v in query.polygon.vertices],
+                        where=query.where, class_name=query.class_name,
+                    )
+                else:
+                    rec.record_query(
+                        "within", answer_digest(answer), time=query.time,
+                        engine="batch", batch=batch, index=i,
+                        center=[query.center.x, query.center.y],
+                        radius=query.radius, where=query.where,
+                        class_name=query.class_name,
+                    )
+            rec.record(
+                CACHE, hits=self.cache_hits - hits_before,
+                misses=self.cache_misses - misses_before,
+            )
         return answers
 
     def _validate(self, queries: list[BatchQuery]) -> None:

@@ -39,6 +39,16 @@ from repro.geometry.polygon import Polygon
 from repro.index.oplane import OPlane
 from repro.index.rtree import SearchStats
 from repro.routes.route import Route, RouteDatabase
+from repro.trace.events import (
+    DB_CONFIG,
+    INDEX_CONFIG,
+    INSERT_MOBILE,
+    INSERT_STATIONARY,
+    REMOVE_OBJECT,
+    ROUTE_REGISTER,
+    answer_digest,
+)
+from repro.trace.recorder import get_recorder
 
 _QUERY_SECONDS = "dbms_query_seconds"
 _QUERY_HELP = "Query-processor latency by query kind."
@@ -92,6 +102,15 @@ class MovingObjectDatabase:
         #: multi-versioned (valid time = transaction time, §2), so only
         #: "current or future" queries are answerable (§4.2).
         self.clock_time = 0.0
+        rec = get_recorder()
+        if rec.enabled:
+            config: dict[str, Any] = {
+                "horizon": horizon,
+                "index": type(index).__name__ if index is not None else "none",
+            }
+            if hasattr(index, "slab_minutes"):
+                config["slab_minutes"] = index.slab_minutes
+            rec.record(DB_CONFIG, **config)
 
     # ------------------------------------------------------------------
     # Catalogue management
@@ -100,6 +119,12 @@ class MovingObjectDatabase:
     def register_route(self, route: Route) -> None:
         """Add a route to the route database."""
         self.routes.add(route)
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record(
+                ROUTE_REGISTER, route_id=route.route_id, name=route.name,
+                vertices=[[v.x, v.y] for v in route.polyline.vertices],
+            )
 
     def table(self, class_name: str) -> Table:
         """The non-spatial attribute table of an object class."""
@@ -152,6 +177,17 @@ class MovingObjectDatabase:
         self._records[object_id] = record
         heapq.heappush(self._horizon_heap, (t, object_id))
         self.table(class_name).insert(object_id, attributes)
+        rec = get_recorder()
+        if rec.enabled:
+            from repro.core.serialize import policy_to_spec
+
+            rec.record(
+                INSERT_MOBILE, time=t, object_id=object_id,
+                class_name=class_name, route_id=route_id,
+                position=[position.x, position.y], direction=direction,
+                speed=speed, max_speed=max_speed,
+                policy=policy_to_spec(policy), attributes=attributes,
+            )
         self._reindex(record)
         return record
 
@@ -178,6 +214,13 @@ class MovingObjectDatabase:
         self._stationary[object_id] = (class_name, position)
         self._stationary_ids = None
         self.table(class_name).insert(object_id, attributes)
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record(
+                INSERT_STATIONARY, object_id=object_id,
+                class_name=class_name,
+                position=[position.x, position.y], attributes=attributes,
+            )
 
     def stationary_position(self, object_id: str) -> Point:
         """The fixed position of a stationary object."""
@@ -194,10 +237,16 @@ class MovingObjectDatabase:
             class_name, _ = self._stationary.pop(object_id)
             self._stationary_ids = None
             self.table(class_name).delete(object_id)
+            rec = get_recorder()
+            if rec.enabled:
+                rec.record(REMOVE_OBJECT, object_id=object_id)
             return
         record = self.record(object_id)
         del self._records[object_id]
         self.table(record.class_name).delete(object_id)
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record(REMOVE_OBJECT, object_id=object_id)
         if self._index is not None and object_id in self._index:
             self._index.remove(object_id)
 
@@ -287,6 +336,35 @@ class MovingObjectDatabase:
         else:
             self._index.insert(record.object_id, plane)
 
+    def rebuild_index(self, slab_minutes: float = 5.0,
+                      max_entries: int = 8, min_entries: int = 3) -> Any:
+        """Rebuild the time-space index from the current o-planes.
+
+        Re-slabs every mobile object's plane at the requested
+        granularity (§4.2's partitioning knob) and swaps the rebuilt
+        index in.  This is the supported way to retune the index on a
+        live database — assigning ``_index`` directly bypasses the
+        flight recorder and the run stops being replayable.
+        """
+        from repro.index.timespace import TimeSpaceIndex
+
+        planes = {
+            object_id: self.oplane_of(object_id)
+            for object_id in self.object_ids()
+        }
+        index = TimeSpaceIndex.bulk_build(
+            planes, slab_minutes=slab_minutes,
+            max_entries=max_entries, min_entries=min_entries,
+        )
+        self._index = index
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record(
+                INDEX_CONFIG, slab_minutes=slab_minutes,
+                max_entries=max_entries, min_entries=min_entries,
+            )
+        return index
+
     def oplane_of(self, object_id: str) -> OPlane:
         """The current o-plane of an object."""
         record = self.record(object_id)
@@ -364,7 +442,7 @@ class MovingObjectDatabase:
         route = self.routes.get(record.attribute.route_id)
         elapsed = record.attribute.elapsed(t)
         bounds = record.bounds()
-        return PositionAnswer(
+        answer = PositionAnswer(
             object_id=object_id,
             time=t,
             position=record.database_position(route, t),
@@ -373,6 +451,11 @@ class MovingObjectDatabase:
             error_bound=bounds.total(elapsed),
             interval=record.uncertainty(route, t),
         )
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record_query("position", answer_digest(answer), time=t,
+                             object_id=object_id)
+        return answer
 
     @timed(_QUERY_SECONDS, help=_QUERY_HELP, kind="range")
     def range_query(self, polygon: Polygon, t: float,
@@ -420,13 +503,21 @@ class MovingObjectDatabase:
             if polygon.contains_point(self._stationary[object_id][1]):
                 may.add(object_id)
                 must.add(object_id)
-        return RangeAnswer(
+        answer = RangeAnswer(
             time=t,
             may=frozenset(may),
             must=frozenset(must),
             examined=examined,
             candidates=frozenset(candidates),
         )
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record_query(
+                "range", answer_digest(answer), time=t,
+                polygon=[[v.x, v.y] for v in polygon.vertices],
+                where=where, class_name=class_name,
+            )
+        return answer
 
     @staticmethod
     def _count_outcome(counters, outcome: Containment) -> None:
@@ -481,13 +572,21 @@ class MovingObjectDatabase:
             if self._stationary[object_id][1].distance_to(center) <= radius:
                 may.add(object_id)
                 must.add(object_id)
-        return RangeAnswer(
+        answer = RangeAnswer(
             time=t,
             may=frozenset(may),
             must=frozenset(must),
             examined=examined,
             candidates=frozenset(candidates),
         )
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record_query(
+                "within", answer_digest(answer), time=t,
+                center=[center.x, center.y], radius=radius,
+                where=where, class_name=class_name,
+            )
+        return answer
 
     @timed(_QUERY_SECONDS, help=_QUERY_HELP, kind="proximity")
     def within_distance_of_object(self, anchor_id: str, radius: float,
@@ -546,13 +645,21 @@ class MovingObjectDatabase:
             may.add(object_id)
             if maximum <= radius:
                 must.add(object_id)
-        return RangeAnswer(
+        answer = RangeAnswer(
             time=t,
             may=frozenset(may),
             must=frozenset(must),
             examined=examined,
             candidates=frozenset(candidates),
         )
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record_query(
+                "proximity", answer_digest(answer), time=t,
+                object_id=anchor_id, radius=radius,
+                where=where, class_name=class_name,
+            )
+        return answer
 
     @timed(_QUERY_SECONDS, help=_QUERY_HELP, kind="nearest")
     def nearest(self, center: Point, k: int, t: float,
@@ -607,6 +714,13 @@ class MovingObjectDatabase:
                     max_distance=entry.max_distance,
                     certain=entry.max_distance <= later_minimum,
                 )
+            )
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record_query(
+                "nearest", answer_digest(results), time=t,
+                center=[center.x, center.y], k=k,
+                where=where, class_name=class_name,
             )
         return results
 

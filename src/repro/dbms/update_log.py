@@ -15,6 +15,8 @@ from dataclasses import dataclass
 
 from repro.errors import QueryError
 from repro.obs.registry import get_registry
+from repro.trace.events import UPDATE
+from repro.trace.recorder import get_recorder
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,6 +71,14 @@ class UpdateLog:
                 "dbms_update_messages_total",
                 help="Position-update messages received by the database.",
             ).inc()
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record(
+                UPDATE, time=message.time, object_id=message.object_id,
+                x=message.x, y=message.y, speed=message.speed,
+                route_id=message.route_id, direction=message.direction,
+                policy=message.policy,
+            )
 
     def __len__(self) -> int:
         return len(self._messages)

@@ -65,6 +65,11 @@ class ObservabilityError(ReproError):
     """A metrics/tracing misuse (kind conflict, bad buckets, bad name)."""
 
 
+class TraceError(ReproError):
+    """A flight-recorder failure (bad event, unreadable trace, replay
+    against a trace whose schema this build does not understand)."""
+
+
 __all__ = [
     "ExperimentError",
     "GeometryError",
@@ -77,4 +82,5 @@ __all__ = [
     "SchemaError",
     "SimulationError",
     "SpatialIndexError",
+    "TraceError",
 ]

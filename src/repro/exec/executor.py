@@ -35,7 +35,7 @@ from repro.experiments.sweep import (
     SweepSpec,
     build_curves,
 )
-from repro.obs.registry import get_registry, span
+from repro.obs.registry import get_registry, get_tracer, span
 from repro.sim.engine import PolicySimulation
 from repro.sim.metrics import TripMetrics, aggregate_metrics
 from repro.sim.speed_curves import SpeedCurve
@@ -116,17 +116,46 @@ def _init_worker(spec: SweepSpec, grids: list[TickGrid]) -> None:
 
 def _run_chunk(
     chunk: list[tuple[int, SweepCell]],
-) -> tuple[list[tuple[int, TripMetrics]], float]:
-    """Run a batch of cells in a worker; returns (indexed results, secs)."""
+) -> tuple[list[tuple[int, TripMetrics]], float, dict | None, list | None]:
+    """Run a batch of cells in a worker.
+
+    Returns ``(indexed results, secs, metrics snapshot, span dicts)``.
+    The parent's registry/tracer objects arrive here through fork
+    inheritance, but mutations to them are lost with the worker process
+    — so when the parent is observing, the chunk runs under *fresh*
+    worker-local instances and ships their contents back as plain data
+    for the parent to merge (:meth:`MetricsRegistry.merge_snapshot`,
+    :meth:`Tracer.adopt_spans`).  When nobody observes, the fast path
+    returns no telemetry at all.
+    """
     assert _WORKER_SPEC is not None and _WORKER_GRIDS is not None
+    observed = get_registry().enabled
+    traced = get_tracer().enabled
     start = perf_counter()
-    results = [
-        (position, _simulate_cell(
-            _WORKER_SPEC, _WORKER_GRIDS[cell.trip_index], cell
-        ))
-        for position, cell in chunk
-    ]
-    return results, perf_counter() - start
+    if not observed and not traced:
+        results = [
+            (position, _simulate_cell(
+                _WORKER_SPEC, _WORKER_GRIDS[cell.trip_index], cell
+            ))
+            for position, cell in chunk
+        ]
+        return results, perf_counter() - start, None, None
+    from contextlib import ExitStack
+
+    from repro.obs.registry import use_registry, use_tracer
+
+    with ExitStack() as stack:
+        registry = stack.enter_context(use_registry()) if observed else None
+        tracer = stack.enter_context(use_tracer()) if traced else None
+        results = [
+            (position, _simulate_cell(
+                _WORKER_SPEC, _WORKER_GRIDS[cell.trip_index], cell
+            ))
+            for position, cell in chunk
+        ]
+        snapshot = registry.snapshot() if registry is not None else None
+        span_dicts = tracer.to_dicts() if tracer is not None else None
+    return results, perf_counter() - start, snapshot, span_dicts
 
 
 def _pool_context():
@@ -246,14 +275,22 @@ class SweepExecutor:
             initializer=_init_worker,
             initargs=(spec, grids),
         ) as pool:
-            for future in [pool.submit(_run_chunk, chunk)
-                           for chunk in chunks]:
-                chunk_results, task_seconds = future.result()
+            for chunk_index, future in enumerate(
+                [pool.submit(_run_chunk, chunk) for chunk in chunks]
+            ):
+                (chunk_results, task_seconds,
+                 snapshot, span_dicts) = future.result()
+                worker = f"chunk-{chunk_index}"
                 if observed:
                     registry.histogram(
                         "exec_task_seconds",
                         help="Wall-clock seconds per worker task (chunk).",
                     ).observe(task_seconds)
+                    if snapshot is not None:
+                        registry.merge_snapshot(snapshot, worker=worker)
+                tracer = get_tracer()
+                if tracer.enabled and span_dicts:
+                    tracer.adopt_spans(span_dicts, worker=worker)
                 for position, metrics in chunk_results:
                     results[position] = metrics
         missing = [i for i, r in enumerate(results) if r is None]

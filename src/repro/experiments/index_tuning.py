@@ -37,14 +37,7 @@ def table_slab_tuning(slab_widths: tuple[float, ...] = (1.0, 2.5, 5.0, 10.0, 20.
         )
         # Rebuild the index at the requested granularity from the final
         # database state (same objects, same planes, different slabs).
-        from repro.index.timespace import TimeSpaceIndex
-
-        planes = {
-            object_id: built.database.oplane_of(object_id)
-            for object_id in built.database.object_ids()
-        }
-        index = TimeSpaceIndex.bulk_build(planes, slab_minutes=slab_minutes)
-        built.database._index = index
+        index = built.database.rebuild_index(slab_minutes=slab_minutes)
 
         # The same query workload for every slab width — the rows must
         # differ only in index granularity.
@@ -64,7 +57,9 @@ def table_slab_tuning(slab_widths: tuple[float, ...] = (1.0, 2.5, 5.0, 10.0, 20.
             answers_total += len(answer.may)
         # Maintenance cost: boxes swapped per position update.
         sample_id = built.database.object_ids()[0]
-        swap = index.replace(sample_id, planes[sample_id], force=True)
+        swap = index.replace(
+            sample_id, built.database.oplane_of(sample_id), force=True
+        )
         rows.append(
             [
                 slab_minutes,

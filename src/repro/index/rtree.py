@@ -651,6 +651,24 @@ class RTree:
             else:
                 stack.extend(e.child for e in node.entries)  # type: ignore[misc]
 
+    def content_digest(self) -> str:
+        """SHA-256 over the sorted leaf contents.
+
+        Structure-independent: two trees holding the same ``(box,
+        payload)`` multiset digest equal even when splits placed the
+        entries in different nodes.  Float coordinates go through
+        ``repr`` (exact), so this is a byte-level content check the
+        flight recorder uses as a replay checkpoint.
+        """
+        import hashlib
+
+        entries = sorted(
+            ((box.min_x, box.min_y, box.min_t,
+              box.max_x, box.max_y, box.max_t), repr(payload))
+            for box, payload in self.items()
+        )
+        return hashlib.sha256(repr(entries).encode("utf-8")).hexdigest()
+
     def check_invariants(self) -> None:
         """Validate structural invariants; raises on violation.
 

@@ -26,6 +26,8 @@ from repro.geometry.bbox import Box3D, Rect2D
 from repro.index.oplane import OPlane
 from repro.index.rtree import RTree, SearchStats
 from repro.obs.registry import get_registry
+from repro.trace.events import INDEX_INSERT, INDEX_REMOVE, INDEX_REPLACE
+from repro.trace.recorder import get_recorder
 
 
 @dataclass(frozen=True, slots=True)
@@ -100,6 +102,9 @@ class TimeSpaceIndex:
                 help="Slab boxes inserted into the time-space index.",
             ).inc(inserted)
             self._publish_size(registry)
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record(INDEX_INSERT, object_id=object_id, boxes=inserted)
         return inserted
 
     def _insert_boxes(self, object_id: str, plane: OPlane,
@@ -127,6 +132,9 @@ class TimeSpaceIndex:
                 help="Slab boxes removed from the time-space index.",
             ).inc(removed)
             self._publish_size(registry)
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record(INDEX_REMOVE, object_id=object_id, boxes=removed)
         return removed
 
     def _remove_boxes(self, object_id: str) -> int:
@@ -180,6 +188,10 @@ class TimeSpaceIndex:
                     "index_replace_skipped_total",
                     help="Replaces skipped because slab boxes were unchanged.",
                 ).inc()
+            rec = get_recorder()
+            if rec.enabled:
+                rec.record(INDEX_REPLACE, object_id=object_id,
+                           removed=0, inserted=0, skipped=True)
             return IndexMaintenanceStats(boxes_removed=0, boxes_inserted=0)
         removed = self._remove_boxes(object_id)
         inserted = self._insert_boxes(object_id, plane, boxes=new_boxes)
@@ -193,9 +205,17 @@ class TimeSpaceIndex:
                 help="Slab boxes inserted into the time-space index.",
             ).inc(inserted)
             self._publish_size(registry)
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record(INDEX_REPLACE, object_id=object_id,
+                       removed=removed, inserted=inserted, skipped=False)
         return IndexMaintenanceStats(
             boxes_removed=removed, boxes_inserted=inserted
         )
+
+    def content_digest(self) -> str:
+        """Digest of the underlying R-tree's content (replay checks)."""
+        return self._tree.content_digest()
 
     def candidates_at(self, region: Rect2D, t: float,
                       stats: SearchStats | None = None) -> set[str]:

@@ -12,7 +12,9 @@ Code families (see :mod:`repro.lint.rules` for scoping):
   corrupt the §3 cost algebra in ways tests rarely catch.
 * ``RPR4xx`` **API consistency** — ``__all__`` drift.
 * ``RPR5xx`` **observability discipline** — span pairing and registry
-  construction rules from PR 1.
+  construction rules from PR 1, plus flight-recorder event discipline
+  (DBMS/index modules serialize events through ``repro.trace``, never
+  ad hoc).
 * ``RPR9xx`` **suppression hygiene** — enforced by the engine itself
   (registered here with ``check=None`` so they are documented and
   selectable like any other rule).
@@ -455,6 +457,23 @@ def check_registry_construction(ctx: ModuleContext) -> Iterator[Finding]:
             )
 
 
+@register(
+    "RPR503", "ad-hoc-event-serialization", SEVERITY_ERROR, "dbms-index",
+    "DBMS/index event emission must go through the flight recorder "
+    "API (no ad-hoc json.dumps in dbms/ or index/ modules)",
+)
+def check_adhoc_event_writes(ctx: ModuleContext) -> Iterator[Finding]:
+    for call, resolved in _calls(ctx):
+        if _matches(resolved, "json.dumps"):
+            yield ctx.finding(
+                call, "RPR503",
+                "json.dumps in a dbms/index module; DBMS-visible events "
+                "are serialized by the flight recorder — record them "
+                "through repro.trace.get_recorder() so traces stay "
+                "schema-versioned and replayable",
+            )
+
+
 register_rule(Rule(
     code="RPR000", name="syntax-error", severity=SEVERITY_ERROR,
     scope="everywhere", check=None,
@@ -479,6 +498,7 @@ register_rule(Rule(
 
 
 __all__ = [
+    "check_adhoc_event_writes",
     "check_all_resolves",
     "check_float_equality",
     "check_missing_all",

@@ -51,6 +51,8 @@ def classify_path(relpath: str) -> frozenset[str]:
         tags.add("exec")
     if "obs" in parts:
         tags.add("obs")
+    if "dbms" in parts or "index" in parts:
+        tags.add("dbms")
     if "src" in parts or parts[0] == "repro":
         tags.add("library")
     if stem in ("__main__", "conftest", "setup"):
@@ -78,6 +80,10 @@ def _scope_library_not_obs(tags: frozenset[str]) -> bool:
     return _scope_library(tags) and "obs" not in tags
 
 
+def _scope_dbms_index(tags: frozenset[str]) -> bool:
+    return "dbms" in tags and "test" not in tags
+
+
 #: Scope name -> predicate over path tags.
 SCOPES: dict[str, Callable[[frozenset[str]], bool]] = {
     "everywhere": _scope_everywhere,
@@ -85,6 +91,7 @@ SCOPES: dict[str, Callable[[frozenset[str]], bool]] = {
     "exec": _scope_exec,
     "library": _scope_library,
     "library-not-obs": _scope_library_not_obs,
+    "dbms-index": _scope_dbms_index,
 }
 
 

@@ -1,0 +1,61 @@
+"""Workload flight recorder: record, serialize, summarize, and replay
+every DBMS-visible event of a run (schema ``repro-trace/1``).
+
+Typical use::
+
+    with use_recorder() as recorder:
+        ...drive the database...
+    write_trace(recorder, "run.jsonl")
+
+    report = TraceReplayer().replay_file("run.jsonl")
+    assert report.ok  # byte-identical answer digests
+"""
+
+from repro.trace.events import (
+    KINDS,
+    SCHEMA,
+    TraceEvent,
+    answer_digest,
+    canonical_json,
+    digest,
+)
+from repro.trace.recorder import (
+    NullRecorder,
+    TraceRecorder,
+    get_recorder,
+    read_trace,
+    record_index_digest,
+    set_recorder,
+    use_recorder,
+    write_trace,
+)
+from repro.trace.replay import (
+    MODES,
+    ReplayMismatch,
+    ReplayReport,
+    TraceReplayer,
+)
+from repro.trace.summary import render_summary, summarize
+
+__all__ = [
+    "KINDS",
+    "MODES",
+    "NullRecorder",
+    "ReplayMismatch",
+    "ReplayReport",
+    "SCHEMA",
+    "TraceEvent",
+    "TraceRecorder",
+    "TraceReplayer",
+    "answer_digest",
+    "canonical_json",
+    "digest",
+    "get_recorder",
+    "read_trace",
+    "record_index_digest",
+    "render_summary",
+    "set_recorder",
+    "summarize",
+    "use_recorder",
+    "write_trace",
+]

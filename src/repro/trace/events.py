@@ -1,0 +1,188 @@
+"""Event model for the workload flight recorder.
+
+A trace is a schema-versioned stream of :class:`TraceEvent` records —
+one line of JSON per DBMS-visible event (schema definition, object
+insert, update install, query with its answer digest, cache activity,
+index maintenance).  Timestamps are *logical*: they are the domain
+times carried by the workload itself (update time, query time), never
+wall clock, so a trace recorded today replays byte-identically
+tomorrow.
+
+Answer digests are SHA-256 over a canonical JSON encoding of the
+answer's observable fields.  ``json.dumps`` with sorted keys and
+``repr``-exact floats makes the digest a byte-level equality check:
+two answers digest equal iff every bound, interval, and member set is
+identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.errors import TraceError
+
+#: Trace schema identifier; bump on any incompatible event change.
+SCHEMA = "repro-trace/1"
+
+DB_CONFIG = "db_config"
+CLASS_DEFINE = "class_define"
+ROUTE_REGISTER = "route_register"
+INSERT_MOBILE = "insert_mobile"
+INSERT_STATIONARY = "insert_stationary"
+REMOVE_OBJECT = "remove_object"
+UPDATE = "update"
+QUERY = "query"
+CACHE = "cache"
+INDEX_INSERT = "index_insert"
+INDEX_REPLACE = "index_replace"
+INDEX_REMOVE = "index_remove"
+INDEX_DIGEST = "index_digest"
+INDEX_CONFIG = "index_config"
+
+#: Every event kind the ``repro-trace/1`` schema admits.
+KINDS = frozenset({
+    DB_CONFIG,
+    CLASS_DEFINE,
+    ROUTE_REGISTER,
+    INSERT_MOBILE,
+    INSERT_STATIONARY,
+    REMOVE_OBJECT,
+    UPDATE,
+    QUERY,
+    CACHE,
+    INDEX_INSERT,
+    INDEX_REPLACE,
+    INDEX_REMOVE,
+    INDEX_DIGEST,
+    INDEX_CONFIG,
+})
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One recorded event: a monotone sequence number, a kind from
+    :data:`KINDS`, an optional logical (domain) timestamp, optional
+    per-object provenance, and a JSON-safe payload."""
+
+    seq: int
+    kind: str
+    time: float | None = None
+    object_id: str | None = None
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.seq < 0:
+            raise TraceError(f"event seq must be >= 0, got {self.seq}")
+        if self.kind not in KINDS:
+            raise TraceError(f"unknown event kind {self.kind!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict with a stable field set."""
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "time": self.time,
+            "object_id": self.object_id,
+            "data": dict(self.data),
+        }
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical (sorted-key, no-whitespace) encoding digests use."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def digest(payload: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json` of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def position_answer_payload(answer: Any) -> dict[str, Any]:
+    """Observable fields of a ``PositionAnswer`` as JSON-safe data."""
+    interval = answer.interval
+    return {
+        "kind": "position",
+        "object_id": answer.object_id,
+        "time": answer.time,
+        "position": [answer.position.x, answer.position.y],
+        "slow_bound": answer.slow_bound,
+        "fast_bound": answer.fast_bound,
+        "error_bound": answer.error_bound,
+        "interval": {
+            "route_id": interval.route_id,
+            "direction": interval.direction,
+            "lower": interval.lower,
+            "upper": interval.upper,
+        },
+    }
+
+
+def range_answer_payload(answer: Any) -> dict[str, Any]:
+    """Observable fields of a ``RangeAnswer`` (may/must semantics)."""
+    return {
+        "kind": "range",
+        "time": answer.time,
+        "may": sorted(answer.may),
+        "must": sorted(answer.must),
+        "examined": answer.examined,
+        "candidates": sorted(answer.candidates),
+    }
+
+
+def nearest_answer_payload(answers: Iterable[Any]) -> dict[str, Any]:
+    """Observable fields of a ranked ``NearestAnswer`` list."""
+    return {
+        "kind": "nearest",
+        "entries": [
+            {
+                "object_id": entry.object_id,
+                "min_distance": entry.min_distance,
+                "max_distance": entry.max_distance,
+                "certain": entry.certain,
+            }
+            for entry in answers
+        ],
+    }
+
+
+def answer_digest(answer: Any) -> str:
+    """Digest any DBMS answer shape (position, range, nearest list)."""
+    if isinstance(answer, (list, tuple)):
+        return digest(nearest_answer_payload(answer))
+    if hasattr(answer, "may"):
+        return digest(range_answer_payload(answer))
+    if hasattr(answer, "position"):
+        return digest(position_answer_payload(answer))
+    raise TraceError(
+        f"cannot digest answer of type {type(answer).__name__}"
+    )
+
+
+__all__ = [
+    "CACHE",
+    "CLASS_DEFINE",
+    "DB_CONFIG",
+    "INDEX_CONFIG",
+    "INDEX_DIGEST",
+    "INDEX_INSERT",
+    "INDEX_REMOVE",
+    "INDEX_REPLACE",
+    "INSERT_MOBILE",
+    "INSERT_STATIONARY",
+    "KINDS",
+    "QUERY",
+    "REMOVE_OBJECT",
+    "ROUTE_REGISTER",
+    "SCHEMA",
+    "TraceEvent",
+    "UPDATE",
+    "answer_digest",
+    "canonical_json",
+    "digest",
+    "nearest_answer_payload",
+    "position_answer_payload",
+    "range_answer_payload",
+]

@@ -1,0 +1,244 @@
+"""The flight recorder: capture, serialize, and load workload traces.
+
+Mirrors the ambient-instance pattern of :mod:`repro.obs.registry`: a
+module-level active recorder defaults to a no-op :class:`NullRecorder`
+(``enabled`` is ``False``, so hot paths pay one attribute test), and
+:func:`use_recorder` swaps a live :class:`TraceRecorder` in for the
+duration of a ``with`` block.
+
+Serialization is JSONL (:func:`write_trace` / :func:`read_trace`): a
+header line carrying the schema id, event count, and free-form
+metadata, then one canonical-JSON event per line.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import IO, Any, Iterator, Mapping
+
+from repro.errors import TraceError
+from repro.trace.events import KINDS, QUERY, SCHEMA, TraceEvent
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEvent` records in memory.
+
+    ``enabled`` is a class attribute so instrumented call sites can
+    hoist the check (``rec = get_recorder()`` then ``if rec.enabled:``)
+    exactly like the metrics registry.
+    """
+
+    enabled = True
+
+    def __init__(self, meta: Mapping[str, Any] | None = None) -> None:
+        self.meta: dict[str, Any] = dict(meta or {})
+        self._events: list[TraceEvent] = []
+        self._next_seq = 0
+        self._next_batch = 0
+
+    def record(self, kind: str, *, time: float | None = None,
+               object_id: str | None = None, **data: Any) -> TraceEvent:
+        """Append an event; ``data`` becomes its JSON payload."""
+        event = TraceEvent(self._next_seq, kind, time, object_id, data)
+        self._next_seq += 1
+        self._events.append(event)
+        return event
+
+    def record_query(self, query_kind: str, digest: str, *,
+                     time: float, object_id: str | None = None,
+                     engine: str = "db", batch: int | None = None,
+                     index: int | None = None,
+                     **params: Any) -> TraceEvent:
+        """Append a query event.
+
+        Separate from :meth:`record` because the payload needs its own
+        ``kind`` key (position/range/within/proximity/nearest) next to
+        the answer digest and the issuing engine (``db`` for the
+        sequential path, ``batch`` with a batch id and intra-batch
+        index for :class:`~repro.dbms.batch.BatchQueryEngine`).
+        """
+        data: dict[str, Any] = {"kind": query_kind, "digest": digest,
+                                "engine": engine}
+        if batch is not None:
+            data["batch"] = batch
+        if index is not None:
+            data["index"] = index
+        data.update(params)
+        event = TraceEvent(self._next_seq, QUERY, time, object_id, data)
+        self._next_seq += 1
+        self._events.append(event)
+        return event
+
+    def next_batch_id(self) -> int:
+        """A fresh id grouping one ``BatchQueryEngine.run()`` call."""
+        batch = self._next_batch
+        self._next_batch += 1
+        return batch
+
+    def events(self) -> tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [event.to_dict() for event in self._events]
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._next_seq = 0
+        self._next_batch = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class NullRecorder(TraceRecorder):
+    """Default recorder: records nothing, costs one attribute test."""
+
+    enabled = False
+
+    def record(self, kind: str, *, time: float | None = None,
+               object_id: str | None = None, **data: Any) -> None:  # type: ignore[override]
+        return None
+
+    def record_query(self, query_kind: str, digest: str, *,
+                     time: float, object_id: str | None = None,
+                     engine: str = "db", batch: int | None = None,
+                     index: int | None = None,
+                     **params: Any) -> None:  # type: ignore[override]
+        return None
+
+    def next_batch_id(self) -> int:
+        return 0
+
+
+_NULL_RECORDER = NullRecorder()
+_active_recorder: TraceRecorder = _NULL_RECORDER
+
+
+def get_recorder() -> TraceRecorder:
+    """The ambient recorder (a no-op unless one is installed)."""
+    return _active_recorder
+
+
+def set_recorder(recorder: TraceRecorder | None) -> TraceRecorder:
+    """Install ``recorder`` (or the null recorder); returns previous."""
+    global _active_recorder
+    previous = _active_recorder
+    _active_recorder = recorder if recorder is not None else _NULL_RECORDER
+    return previous
+
+
+@contextmanager
+def use_recorder(recorder: TraceRecorder | None = None) -> Iterator[TraceRecorder]:
+    """Scoped installation; creates a fresh recorder when none given."""
+    if recorder is None:
+        recorder = TraceRecorder()
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+
+
+def record_index_digest(database: Any,
+                        recorder: TraceRecorder | None = None) -> str | None:
+    """Record the database index's content digest as a checkpoint event.
+
+    Returns the digest, or ``None`` when the database has no index (or
+    an index without :meth:`content_digest`).  The event is appended to
+    ``recorder`` if given, else to the active recorder when enabled.
+    """
+    from repro.trace.events import INDEX_DIGEST
+
+    index = getattr(database, "_index", None)
+    if index is None or not hasattr(index, "content_digest"):
+        return None
+    value = index.content_digest()
+    target = recorder if recorder is not None else get_recorder()
+    if target.enabled:
+        target.record(INDEX_DIGEST, digest=value,
+                      index=type(index).__name__)
+    return value
+
+
+def write_trace(recorder: TraceRecorder, target: str | IO[str]) -> int:
+    """Write ``recorder``'s events as JSONL; returns the event count.
+
+    Line 1 is the header ``{"schema", "events", "meta"}``; every
+    following line is one event, keys sorted so traces diff cleanly.
+    """
+    events = recorder.to_dicts()
+    header = {"schema": SCHEMA, "events": len(events),
+              "meta": recorder.meta}
+    lines = [json.dumps(header, sort_keys=True)]
+    lines.extend(json.dumps(event, sort_keys=True) for event in events)
+    text = "\n".join(lines) + "\n"
+    if isinstance(target, str):
+        try:
+            with open(target, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        except OSError as exc:
+            raise TraceError(f"cannot write trace {target!r}: {exc}") from exc
+    else:
+        target.write(text)
+    return len(events)
+
+
+def read_trace(source: str | IO[str]) -> tuple[dict[str, Any], list[TraceEvent]]:
+    """Load a JSONL trace; returns ``(meta, events)``.
+
+    Raises :class:`TraceError` on a missing/foreign schema header, a
+    malformed line, an unknown event kind, or an event-count mismatch.
+    """
+    if isinstance(source, str):
+        try:
+            with open(source, "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        except OSError as exc:
+            raise TraceError(f"cannot read trace {source!r}: {exc}") from exc
+    else:
+        raw = source.read()
+    lines = [line for line in raw.splitlines() if line.strip()]
+    if not lines:
+        raise TraceError("empty trace: missing schema header")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"unreadable trace header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("schema") != SCHEMA:
+        raise TraceError(
+            f"unsupported trace schema {header.get('schema') if isinstance(header, dict) else header!r}; "
+            f"this build reads {SCHEMA}"
+        )
+    events: list[TraceEvent] = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            document = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"bad JSON on line {lineno}: {exc}") from exc
+        kind = document.get("kind")
+        if kind not in KINDS:
+            raise TraceError(f"unknown event kind {kind!r} on line {lineno}")
+        events.append(TraceEvent(
+            seq=document["seq"], kind=kind, time=document.get("time"),
+            object_id=document.get("object_id"),
+            data=document.get("data", {}),
+        ))
+    declared = header.get("events")
+    if declared is not None and declared != len(events):
+        raise TraceError(
+            f"trace declares {declared} events but contains {len(events)}"
+        )
+    return dict(header.get("meta") or {}), events
+
+
+__all__ = [
+    "NullRecorder",
+    "TraceRecorder",
+    "get_recorder",
+    "read_trace",
+    "record_index_digest",
+    "set_recorder",
+    "use_recorder",
+    "write_trace",
+]

@@ -1,0 +1,358 @@
+"""Deterministic replay of a recorded workload trace.
+
+:class:`TraceReplayer` re-drives a trace against a *fresh*
+:class:`~repro.dbms.database.MovingObjectDatabase` (and, for queries
+recorded through the batch path, a fresh
+:class:`~repro.dbms.batch.BatchQueryEngine`), recomputes every answer,
+and compares its digest byte-for-byte against the recorded one.  A
+clean report proves the run is reproducible; a mismatch pinpoints the
+first diverging event.
+
+Module-level imports stay stdlib-only (plus the trace siblings) so the
+DBMS layer can import the recorder API without a cycle; the heavy
+``dbms``/``index``/``geometry`` imports happen lazily at replay time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import TraceError
+from repro.trace import events as ev
+from repro.trace.events import TraceEvent, answer_digest
+from repro.trace.recorder import read_trace, record_index_digest
+
+#: Replay modes: honour the recorded engine, or force one path.
+MODES = ("auto", "sequential", "batch")
+
+#: Query kinds only the sequential database path can answer.
+_DB_ONLY_KINDS = ("proximity", "nearest")
+
+
+@dataclass(frozen=True, slots=True)
+class ReplayMismatch:
+    """One diverging event: recorded vs. recomputed digest."""
+
+    seq: int
+    kind: str
+    expected: str
+    actual: str
+    detail: str = ""
+
+
+@dataclass(slots=True)
+class ReplayReport:
+    """Outcome of one replay: totals plus every mismatch found."""
+
+    events_total: int = 0
+    queries_checked: int = 0
+    index_checks: int = 0
+    mismatches: list[ReplayMismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+class TraceReplayer:
+    """Re-drives a trace and verifies answer digests.
+
+    ``mode`` selects the query path: ``auto`` (default) replays each
+    query through the engine that recorded it, ``sequential`` forces
+    every query through ``Database`` calls, ``batch`` forces groupable
+    kinds through a :class:`BatchQueryEngine` (proximity and nearest
+    queries always go through the database — the batch engine does not
+    answer them).  Digests must match in every mode: the two paths are
+    byte-equivalent by construction.
+    """
+
+    def __init__(self, mode: str = "auto") -> None:
+        if mode not in MODES:
+            raise TraceError(
+                f"unknown replay mode {mode!r}; expected one of {MODES}"
+            )
+        self.mode = mode
+        self._db: Any = None
+        self._engine: Any = None
+
+    def replay_file(self, path: str) -> ReplayReport:
+        """Load a JSONL trace from ``path`` and replay it."""
+        _, trace_events = read_trace(path)
+        return self.replay(trace_events)
+
+    def replay(self, trace_events: Sequence[TraceEvent]) -> ReplayReport:
+        """Replay ``trace_events`` in order; returns the report."""
+        report = ReplayReport(events_total=len(trace_events))
+        position = 0
+        while position < len(trace_events):
+            event = trace_events[position]
+            if (event.kind == ev.QUERY
+                    and self._effective_engine(event) == "batch"):
+                group = [event]
+                batch_id = event.data.get("batch")
+                position += 1
+                while position < len(trace_events):
+                    nxt = trace_events[position]
+                    if (nxt.kind != ev.QUERY
+                            or self._effective_engine(nxt) != "batch"
+                            or nxt.data.get("batch") != batch_id):
+                        break
+                    group.append(nxt)
+                    position += 1
+                self._replay_batch(group, report)
+                continue
+            self._apply(event, report)
+            position += 1
+        return report
+
+    # ------------------------------------------------------------------
+    # Event application
+    # ------------------------------------------------------------------
+
+    def _require_db(self, event: TraceEvent) -> Any:
+        if self._db is None:
+            raise TraceError(
+                f"event {event.seq} ({event.kind}) arrived before any "
+                "db_config event; the trace is truncated or reordered"
+            )
+        return self._db
+
+    def _effective_engine(self, event: TraceEvent) -> str:
+        if event.data.get("kind") in _DB_ONLY_KINDS:
+            return "db"
+        if self.mode == "auto":
+            return event.data.get("engine", "db")
+        return "db" if self.mode == "sequential" else "batch"
+
+    def _apply(self, event: TraceEvent, report: ReplayReport) -> None:
+        data = event.data
+        if event.kind == ev.DB_CONFIG:
+            self._db = self._build_database(data)
+            self._engine = None
+        elif event.kind == ev.CLASS_DEFINE:
+            self._define_class(self._require_db(event), data)
+        elif event.kind == ev.ROUTE_REGISTER:
+            self._register_route(self._require_db(event), data)
+        elif event.kind == ev.INSERT_MOBILE:
+            self._insert_mobile(self._require_db(event), event)
+        elif event.kind == ev.INSERT_STATIONARY:
+            self._insert_stationary(self._require_db(event), event)
+        elif event.kind == ev.REMOVE_OBJECT:
+            self._require_db(event).remove_object(event.object_id)
+        elif event.kind == ev.UPDATE:
+            self._install_update(self._require_db(event), event)
+        elif event.kind == ev.QUERY:
+            answer = self._issue_query(self._require_db(event), event)
+            self._check(event, answer, report)
+        elif event.kind == ev.INDEX_CONFIG:
+            self._require_db(event).rebuild_index(
+                slab_minutes=data.get("slab_minutes", 5.0),
+                max_entries=data.get("max_entries", 8),
+                min_entries=data.get("min_entries", 3),
+            )
+            self._engine = None  # the swap invalidates cached traversals
+        elif event.kind == ev.INDEX_DIGEST:
+            actual = record_index_digest(self._require_db(event))
+            report.index_checks += 1
+            if actual != data.get("digest"):
+                report.mismatches.append(ReplayMismatch(
+                    seq=event.seq, kind=event.kind,
+                    expected=str(data.get("digest")), actual=str(actual),
+                    detail="index content digest diverged",
+                ))
+        elif event.kind in (ev.CACHE, ev.INDEX_INSERT, ev.INDEX_REPLACE,
+                            ev.INDEX_REMOVE):
+            pass  # derived events; the re-driven machinery re-emits them
+        else:  # pragma: no cover - KINDS is closed in events.py
+            raise TraceError(f"unreplayable event kind {event.kind!r}")
+
+    @staticmethod
+    def _build_database(data: dict[str, Any]) -> Any:
+        from repro.dbms.database import MovingObjectDatabase
+
+        index_name = data.get("index", "none")
+        if index_name in (None, "none", "NoneType"):
+            index = None
+        elif index_name == "TimeSpaceIndex":
+            from repro.index.timespace import TimeSpaceIndex
+
+            index = TimeSpaceIndex(
+                slab_minutes=data.get("slab_minutes", 5.0)
+            )
+        elif index_name == "LinearScanIndex":
+            from repro.index.scan import LinearScanIndex
+
+            index = LinearScanIndex()
+        else:
+            raise TraceError(
+                f"trace was recorded with unknown index {index_name!r}"
+            )
+        return MovingObjectDatabase(
+            index=index, horizon=data.get("horizon", 120.0)
+        )
+
+    @staticmethod
+    def _define_class(db: Any, data: dict[str, Any]) -> None:
+        from repro.dbms.schema import (
+            AttributeDef,
+            Mobility,
+            ObjectClass,
+            SpatialKind,
+        )
+
+        db.schema.define(ObjectClass(
+            name=data["name"],
+            spatial_kind=SpatialKind(data["spatial_kind"]),
+            mobility=Mobility(data["mobility"]),
+            attributes=tuple(
+                AttributeDef(a["name"], a["type"], a.get("required", False))
+                for a in data.get("attributes", [])
+            ),
+        ))
+
+    @staticmethod
+    def _register_route(db: Any, data: dict[str, Any]) -> None:
+        from repro.geometry.point import Point
+        from repro.geometry.polyline import Polyline
+        from repro.routes.route import Route
+
+        db.register_route(Route(
+            data["route_id"],
+            Polyline(Point(x, y) for x, y in data["vertices"]),
+            name=data.get("name"),
+        ))
+
+    @staticmethod
+    def _insert_mobile(db: Any, event: TraceEvent) -> None:
+        from repro.core.serialize import policy_from_spec
+        from repro.geometry.point import Point
+
+        data = event.data
+        db.insert_moving_object(
+            event.object_id, data["class_name"], data["route_id"],
+            event.time, Point(*data["position"]), data["direction"],
+            data["speed"], policy_from_spec(data["policy"]),
+            max_speed=data["max_speed"],
+            attributes=data.get("attributes"),
+        )
+
+    @staticmethod
+    def _insert_stationary(db: Any, event: TraceEvent) -> None:
+        from repro.geometry.point import Point
+
+        data = event.data
+        db.insert_stationary_object(
+            event.object_id, data["class_name"],
+            Point(*data["position"]), attributes=data.get("attributes"),
+        )
+
+    @staticmethod
+    def _install_update(db: Any, event: TraceEvent) -> None:
+        from repro.dbms.update_log import PositionUpdateMessage
+
+        data = event.data
+        db.process_update(PositionUpdateMessage(
+            event.object_id, event.time, data["x"], data["y"],
+            data["speed"], route_id=data.get("route_id"),
+            direction=data.get("direction"), policy=data.get("policy"),
+        ))
+
+    def _issue_query(self, db: Any, event: TraceEvent) -> Any:
+        from repro.geometry.point import Point
+        from repro.geometry.polygon import Polygon
+
+        data = event.data
+        kind = data.get("kind")
+        where = data.get("where")
+        class_name = data.get("class_name")
+        if kind == "position":
+            return db.position_of(event.object_id, event.time)
+        if kind == "range":
+            return db.range_query(
+                Polygon.from_coordinates(
+                    [(x, y) for x, y in data["polygon"]]
+                ),
+                event.time, where=where, class_name=class_name,
+            )
+        if kind == "within":
+            return db.within_distance(
+                Point(*data["center"]), data["radius"], event.time,
+                where=where, class_name=class_name,
+            )
+        if kind == "proximity":
+            return db.within_distance_of_object(
+                event.object_id, data["radius"], event.time,
+                where=where, class_name=class_name,
+            )
+        if kind == "nearest":
+            return db.nearest(
+                Point(*data["center"]), data["k"], event.time,
+                where=where, class_name=class_name,
+            )
+        raise TraceError(
+            f"event {event.seq}: unknown query kind {kind!r}"
+        )
+
+    def _replay_batch(self, group: list[TraceEvent],
+                      report: ReplayReport) -> None:
+        from repro.dbms.batch import (
+            BatchQueryEngine,
+            PositionQuery,
+            RangeQuery,
+            WithinDistanceQuery,
+        )
+        from repro.geometry.point import Point
+        from repro.geometry.polygon import Polygon
+
+        db = self._require_db(group[0])
+        if self._engine is None:
+            self._engine = BatchQueryEngine(db)
+        queries: list[Any] = []
+        for event in group:
+            data = event.data
+            kind = data.get("kind")
+            if kind == "position":
+                queries.append(PositionQuery(event.object_id, event.time))
+            elif kind == "range":
+                queries.append(RangeQuery(
+                    Polygon.from_coordinates(
+                        [(x, y) for x, y in data["polygon"]]
+                    ),
+                    event.time, where=data.get("where"),
+                    class_name=data.get("class_name"),
+                ))
+            elif kind == "within":
+                queries.append(WithinDistanceQuery(
+                    Point(*data["center"]), data["radius"], event.time,
+                    where=data.get("where"),
+                    class_name=data.get("class_name"),
+                ))
+            else:
+                raise TraceError(
+                    f"event {event.seq}: query kind {kind!r} cannot "
+                    "replay through the batch engine"
+                )
+        answers = self._engine.run(queries)
+        for event, answer in zip(group, answers):
+            self._check(event, answer, report)
+
+    def _check(self, event: TraceEvent, answer: Any,
+               report: ReplayReport) -> None:
+        report.queries_checked += 1
+        expected = event.data.get("digest")
+        actual = answer_digest(answer)
+        if actual != expected:
+            report.mismatches.append(ReplayMismatch(
+                seq=event.seq, kind=event.kind,
+                expected=str(expected), actual=actual,
+                detail=f"{event.data.get('kind')} query answer diverged",
+            ))
+
+
+__all__ = [
+    "MODES",
+    "ReplayMismatch",
+    "ReplayReport",
+    "TraceReplayer",
+]

@@ -1,0 +1,56 @@
+"""Human-readable summaries of a recorded trace."""
+
+from __future__ import annotations
+
+from typing import IO, Any, Mapping, Sequence
+
+from repro.trace.events import QUERY, SCHEMA, TraceEvent
+
+
+def summarize(meta: Mapping[str, Any],
+              trace_events: Sequence[TraceEvent]) -> dict[str, Any]:
+    """Aggregate counts for one trace: events by kind, object and
+    query populations, and the logical time span covered."""
+    by_kind: dict[str, int] = {}
+    queries: dict[str, int] = {}
+    objects: set[str] = set()
+    times: list[float] = []
+    for event in trace_events:
+        by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+        if event.object_id is not None:
+            objects.add(event.object_id)
+        if event.time is not None:
+            times.append(event.time)
+        if event.kind == QUERY:
+            kind = str(event.data.get("kind"))
+            queries[kind] = queries.get(kind, 0) + 1
+    return {
+        "schema": SCHEMA,
+        "meta": dict(meta),
+        "events": len(trace_events),
+        "by_kind": dict(sorted(by_kind.items())),
+        "objects": len(objects),
+        "time_span": [min(times), max(times)] if times else None,
+        "queries": dict(sorted(queries.items())),
+    }
+
+
+def render_summary(summary: Mapping[str, Any], out: IO[str]) -> None:
+    """Print a :func:`summarize` document as aligned text lines."""
+    out.write(f"schema:  {summary['schema']}\n")
+    for key, value in sorted(summary["meta"].items()):
+        out.write(f"meta:    {key} = {value}\n")
+    out.write(f"events:  {summary['events']}\n")
+    out.write(f"objects: {summary['objects']}\n")
+    span = summary["time_span"]
+    if span is not None:
+        out.write(f"time:    [{span[0]:g}, {span[1]:g}]\n")
+    for kind, count in summary["by_kind"].items():
+        out.write(f"  {kind:<18} {count}\n")
+    if summary["queries"]:
+        out.write("queries by kind:\n")
+        for kind, count in summary["queries"].items():
+            out.write(f"  {kind:<18} {count}\n")
+
+
+__all__ = ["render_summary", "summarize"]

@@ -1,0 +1,16 @@
+"""Bad: serializes DBMS events by hand instead of using the recorder."""
+import json
+
+
+def log_update(handle, object_id: str, x: float, y: float) -> None:
+    handle.write(json.dumps({"kind": "update", "object_id": object_id,
+                             "x": x, "y": y}) + "\n")
+
+
+def log_query(handle, object_id: str, time: float) -> None:
+    line = json.dumps({"kind": "query", "object_id": object_id,
+                       "time": time})
+    handle.write(line + "\n")
+
+
+__all__ = ["log_query", "log_update"]

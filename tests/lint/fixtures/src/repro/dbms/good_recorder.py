@@ -1,0 +1,12 @@
+"""Good: DBMS events flow through the flight recorder API."""
+from repro.trace.events import UPDATE
+from repro.trace.recorder import get_recorder
+
+
+def log_update(object_id: str, time: float, x: float, y: float) -> None:
+    rec = get_recorder()
+    if rec.enabled:
+        rec.record(UPDATE, time=time, object_id=object_id, x=x, y=y)
+
+
+__all__ = ["log_update"]

@@ -25,6 +25,7 @@ BAD_FIXTURES = [
     ("src/repro/dbms/bad_missing_all.py", "RPR402", 1),
     ("src/repro/sim/bad_span.py", "RPR501", 1),
     ("src/repro/dbms/bad_registry.py", "RPR502", 1),
+    ("src/repro/dbms/bad_jsonl_write.py", "RPR503", 2),
     ("anywhere/bad_noqa.py", "RPR901", 1),
     ("anywhere/bad_noqa.py", "RPR902", 1),
     ("anywhere/bad_syntax.py", "RPR000", 1),
@@ -42,6 +43,7 @@ GOOD_FIXTURES = [
     ("anywhere/good_all.py", "RPR401"),
     ("src/repro/sim/good_span.py", "RPR501"),
     ("src/repro/obs/good_registry.py", "RPR502"),
+    ("src/repro/dbms/good_recorder.py", "RPR503"),
     ("anywhere/good_noqa.py", "RPR901"),
     ("anywhere/good_noqa.py", "RPR902"),
 ]

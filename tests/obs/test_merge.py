@@ -1,0 +1,125 @@
+"""Unit tests for cross-worker telemetry merging.
+
+``MetricsRegistry.merge_snapshot`` and ``Tracer.adopt_spans`` are the
+two halves of the parallel-observability story: worker processes ship
+their telemetry back as plain data and the parent folds it in under a
+per-worker label.
+"""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+def worker_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("sim_runs_total", mode="cell").inc(3)
+    registry.gauge("sim_clock_s").set(12.5)
+    registry.histogram("sim_tick_seconds",
+                       buckets=(0.1, 1.0)).observe(0.05)
+    registry.histogram("sim_tick_seconds",
+                       buckets=(0.1, 1.0)).observe(0.5)
+    return registry.snapshot()
+
+
+class TestMergeSnapshot:
+    def test_counters_sum_under_merged_labels(self):
+        parent = MetricsRegistry()
+        parent.merge_snapshot(worker_snapshot(), worker="chunk-0")
+        parent.merge_snapshot(worker_snapshot(), worker="chunk-0")
+        assert parent.value("sim_runs_total", mode="cell",
+                            worker="chunk-0") == 6.0
+
+    def test_workers_stay_distinguishable(self):
+        parent = MetricsRegistry()
+        parent.merge_snapshot(worker_snapshot(), worker="chunk-0")
+        parent.merge_snapshot(worker_snapshot(), worker="chunk-1")
+        assert parent.value("sim_runs_total", mode="cell",
+                            worker="chunk-0") == 3.0
+        assert parent.value("sim_runs_total", mode="cell",
+                            worker="chunk-1") == 3.0
+
+    def test_gauges_are_last_write(self):
+        parent = MetricsRegistry()
+        parent.gauge("sim_clock_s", worker="w").set(1.0)
+        snapshot = worker_snapshot()
+        parent.merge_snapshot(snapshot, worker="w")
+        assert parent.value("sim_clock_s", worker="w") == 12.5
+
+    def test_histograms_bucket_merge(self):
+        parent = MetricsRegistry()
+        parent.histogram("sim_tick_seconds", buckets=(0.1, 1.0),
+                         worker="w").observe(0.02)
+        parent.merge_snapshot(worker_snapshot(), worker="w")
+        histogram = parent.get("sim_tick_seconds", worker="w")
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(0.02 + 0.05 + 0.5)
+        # per-bucket, not cumulative: [<=0.1, <=1.0, +Inf]
+        assert histogram.bucket_counts == [2, 1, 0]
+
+    def test_bucket_bounds_mismatch_raises(self):
+        parent = MetricsRegistry()
+        parent.histogram("sim_tick_seconds", buckets=(0.5, 2.0),
+                         worker="w").observe(0.3)
+        with pytest.raises(ObservabilityError, match="bucket mismatch"):
+            parent.merge_snapshot(worker_snapshot(), worker="w")
+
+    def test_non_cumulative_buckets_raise(self):
+        snapshot = worker_snapshot()
+        buckets = snapshot["histograms"][0]["buckets"]
+        buckets[0]["count"], buckets[1]["count"] = 5, 1  # decreasing
+        with pytest.raises(ObservabilityError, match="non-cumulative"):
+            MetricsRegistry().merge_snapshot(snapshot, worker="w")
+
+    def test_kind_conflict_raises(self):
+        parent = MetricsRegistry()
+        parent.gauge("sim_runs_total", mode="cell", worker="w").set(1.0)
+        with pytest.raises(ObservabilityError):
+            parent.merge_snapshot(worker_snapshot(), worker="w")
+
+
+class TestAdoptSpans:
+    def foreign_spans(self):
+        tracer = Tracer()
+        with tracer.span("chunk_run"):
+            with tracer.span("cell", trip=0):
+                pass
+            with tracer.span("cell", trip=1):
+                pass
+        return tracer.to_dicts()
+
+    def test_tree_shape_survives_adoption(self):
+        parent = Tracer()
+        adopted = parent.adopt_spans(self.foreign_spans(), worker="chunk-3")
+        assert adopted == 3
+        (root,) = [s for s in parent.spans if s.name == "chunk_run"]
+        cells = parent.spans_named("cell")
+        assert all(span.parent_id == root.span_id for span in cells)
+        assert root.parent_id is None
+        assert all(s.attrs["worker"] == "chunk-3" for s in parent.spans)
+
+    def test_roots_hang_off_open_span(self):
+        parent = Tracer()
+        with parent.span("sweep_execute") as outer:
+            parent.adopt_spans(self.foreign_spans(), worker="w")
+            (root,) = [s for s in parent.spans if s.name == "chunk_run"]
+            assert root.parent_id == outer.span_id
+
+    def test_open_foreign_spans_are_skipped(self):
+        foreign = self.foreign_spans()
+        foreign.append({"name": "leak", "span_id": 99, "parent_id": None,
+                        "start": 0.0, "end": None, "duration": 0.0,
+                        "attrs": {}, "open": True})
+        parent = Tracer()
+        assert parent.adopt_spans(foreign, worker="w") == 3
+        assert not parent.spans_named("leak")
+
+    def test_ids_do_not_collide_with_local_spans(self):
+        parent = Tracer()
+        with parent.span("local"):
+            pass
+        parent.adopt_spans(self.foreign_spans(), worker="w")
+        ids = [s.span_id for s in parent.spans]
+        assert len(ids) == len(set(ids))

@@ -139,15 +139,17 @@ class TestStats:
     def test_snapshot_files_written(self, tmp_path):
         prom = str(tmp_path / "metrics.prom")
         jsonl = str(tmp_path / "metrics.jsonl")
+        spans = str(tmp_path / "spans.jsonl")
         trace = str(tmp_path / "trace.jsonl")
         code, output = run_cli(
             self.ARGS + ["--prom-out", prom, "--jsonl-out", jsonl,
-                         "--trace-out", trace]
+                         "--spans-out", spans, "--trace-out", trace]
         )
         assert code == 0
         assert "# TYPE" in open(prom).read()
         assert open(jsonl).read().strip()
-        assert "fleet_run" in open(trace).read()
+        assert "fleet_run" in open(spans).read()
+        assert '"schema": "repro-trace/1"' in open(trace).readline()
 
     def test_same_seed_same_snapshot(self):
         """Counters/gauges of two same-seed stats runs are identical
@@ -164,6 +166,77 @@ class TestStats:
         _, first = run_cli(self.ARGS + ["--format", "jsonl"])
         _, second = run_cli(self.ARGS + ["--format", "jsonl"])
         assert nontiming(first) == nontiming(second)
+
+
+class TestTrace:
+    def record(self, tmp_path, *extra, filename="trace.jsonl"):
+        path = str(tmp_path / filename)
+        code, output = run_cli(
+            ["trace", "record", "--size", "5", "--duration", "12",
+             "--seed", "7", "--queries", "10", "--out", path, *extra]
+        )
+        assert code == 0
+        assert "events written to" in output
+        return path
+
+    def test_record_replay_summary_roundtrip(self, tmp_path):
+        path = self.record(tmp_path)
+        code, output = run_cli(["trace", "replay", path])
+        assert code == 0
+        assert "replay OK: all digests byte-identical" in output
+        code, output = run_cli(["trace", "summary", path])
+        assert code == 0
+        assert "repro-trace/1" in output
+        assert "update" in output  # duration 12 sends real updates
+
+    def test_batch_trace_replays_in_forced_modes(self, tmp_path):
+        path = self.record(tmp_path, "--batch")
+        for mode in ("auto", "sequential", "batch"):
+            code, output = run_cli(
+                ["trace", "replay", path, "--mode", mode]
+            )
+            assert code == 0, (mode, output)
+            assert "replay OK" in output
+
+    def test_tampered_trace_fails_replay(self, tmp_path):
+        import json
+
+        path = self.record(tmp_path)
+        lines = open(path).read().splitlines()
+        for i, line in enumerate(lines[1:], start=1):
+            document = json.loads(line)
+            if document["kind"] == "query":
+                document["data"]["digest"] = "0" * 64
+                lines[i] = json.dumps(document, sort_keys=True)
+                break
+        open(path, "w").write("\n".join(lines) + "\n")
+        code, output = run_cli(["trace", "replay", path])
+        assert code == 1
+        assert "expected " + "0" * 64 in output
+
+    def test_record_determinism(self, tmp_path):
+        first = self.record(tmp_path, filename="a.jsonl")
+        second = self.record(tmp_path, filename="b.jsonl")
+        assert open(first).read() == open(second).read()
+
+
+class TestStatsParallel:
+    ARGS = ["stats", "--name", "taxi", "--size", "4", "--duration", "8",
+            "--seed", "3", "--queries", "4", "--jobs", "4"]
+
+    def test_jobs_report_merged_worker_metrics(self):
+        code, output = run_cli(self.ARGS + ["--format", "prom"])
+        assert code == 0
+        assert 'worker="chunk-' in output  # merged worker telemetry
+        assert "sim_runs_total" in output
+
+    def test_jobs_trace_replays(self, tmp_path):
+        trace = str(tmp_path / "stats-trace.jsonl")
+        code, _ = run_cli(self.ARGS + ["--trace-out", trace])
+        assert code == 0
+        code, output = run_cli(["trace", "replay", trace])
+        assert code == 0
+        assert "replay OK" in output
 
 
 class TestSeedDeterminism:

@@ -1,0 +1,106 @@
+"""Unit tests for the trace event model and answer digests."""
+
+import hashlib
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.events import (
+    KINDS,
+    QUERY,
+    SCHEMA,
+    TraceEvent,
+    UPDATE,
+    answer_digest,
+    canonical_json,
+    digest,
+    nearest_answer_payload,
+    range_answer_payload,
+)
+
+
+def make_range_answer(may=("a", "b"), must=("a",), examined=5,
+                      candidates=("a", "b", "c"), time=10.0):
+    return SimpleNamespace(may=set(may), must=set(must),
+                           examined=examined, candidates=set(candidates),
+                           time=time)
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_no_whitespace(self):
+        assert canonical_json({"a": [1, 2]}) == '{"a":[1,2]}'
+
+    def test_float_repr_exact(self):
+        # 0.1 + 0.2 != 0.3 must survive the round trip as distinct text.
+        assert canonical_json(0.1 + 0.2) != canonical_json(0.3)
+
+
+class TestDigest:
+    def test_matches_manual_sha256(self):
+        payload = {"kind": "x", "value": 1.5}
+        expected = hashlib.sha256(
+            json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            .encode()
+        ).hexdigest()
+        assert digest(payload) == expected
+
+    def test_equal_iff_payload_equal(self):
+        a = range_answer_payload(make_range_answer())
+        b = range_answer_payload(make_range_answer())
+        assert digest(a) == digest(b)
+        c = range_answer_payload(make_range_answer(must=("a", "b")))
+        assert digest(a) != digest(c)
+
+    def test_member_order_does_not_matter(self):
+        a = range_answer_payload(make_range_answer(may=("a", "b")))
+        b = range_answer_payload(make_range_answer(may=("b", "a")))
+        assert digest(a) == digest(b)
+
+
+class TestAnswerDigest:
+    def test_range_answer_dispatch(self):
+        answer = make_range_answer()
+        assert answer_digest(answer) == digest(range_answer_payload(answer))
+
+    def test_nearest_list_dispatch(self):
+        entries = [SimpleNamespace(object_id="t-1", min_distance=0.5,
+                                   max_distance=1.0, certain=True)]
+        assert answer_digest(entries) == digest(
+            nearest_answer_payload(entries)
+        )
+
+    def test_empty_nearest_list_digests(self):
+        assert answer_digest([]) == digest(nearest_answer_payload([]))
+
+    def test_undigestable_raises(self):
+        with pytest.raises(TraceError):
+            answer_digest(42)
+
+
+class TestTraceEvent:
+    def test_schema_id(self):
+        assert SCHEMA == "repro-trace/1"
+        assert QUERY in KINDS and UPDATE in KINDS
+
+    def test_negative_seq_rejected(self):
+        with pytest.raises(TraceError):
+            TraceEvent(-1, QUERY)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TraceError):
+            TraceEvent(0, "teleport")
+
+    def test_to_dict_has_stable_field_set(self):
+        event = TraceEvent(3, UPDATE, time=5.0, object_id="t-1",
+                           data={"x": 1.0})
+        assert event.to_dict() == {
+            "seq": 3, "kind": UPDATE, "time": 5.0,
+            "object_id": "t-1", "data": {"x": 1.0},
+        }

@@ -1,0 +1,184 @@
+"""Unit tests for the flight recorder and its JSONL serialization."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.events import CACHE, QUERY, SCHEMA, UPDATE
+from repro.trace.recorder import (
+    NullRecorder,
+    TraceRecorder,
+    get_recorder,
+    read_trace,
+    record_index_digest,
+    set_recorder,
+    use_recorder,
+    write_trace,
+)
+
+
+class TestRecorder:
+    def test_sequence_numbers_are_monotone(self):
+        recorder = TraceRecorder()
+        events = [recorder.record(UPDATE, time=float(i), object_id="t")
+                  for i in range(5)]
+        assert [e.seq for e in events] == list(range(5))
+        assert len(recorder) == 5
+
+    def test_record_query_payload(self):
+        recorder = TraceRecorder()
+        event = recorder.record_query(
+            "range", "abc123", time=8.0, engine="batch", batch=2, index=7,
+            polygon=[[0, 0], [1, 0], [1, 1]],
+        )
+        assert event.kind == QUERY
+        assert event.time == 8.0
+        assert event.data["kind"] == "range"
+        assert event.data["digest"] == "abc123"
+        assert event.data["engine"] == "batch"
+        assert event.data["batch"] == 2
+        assert event.data["index"] == 7
+        assert event.data["polygon"] == [[0, 0], [1, 0], [1, 1]]
+
+    def test_batch_ids_increment(self):
+        recorder = TraceRecorder()
+        assert [recorder.next_batch_id() for _ in range(3)] == [0, 1, 2]
+        recorder.clear()
+        assert recorder.next_batch_id() == 0
+
+    def test_meta_is_copied(self):
+        meta = {"command": "test"}
+        recorder = TraceRecorder(meta=meta)
+        meta["command"] = "mutated"
+        assert recorder.meta == {"command": "test"}
+
+
+class TestNullRecorder:
+    def test_default_recorder_is_disabled(self):
+        recorder = get_recorder()
+        assert isinstance(recorder, NullRecorder)
+        assert recorder.enabled is False
+
+    def test_records_nothing(self):
+        recorder = NullRecorder()
+        assert recorder.record(UPDATE, time=1.0) is None
+        assert recorder.record_query("range", "d", time=1.0) is None
+        assert recorder.next_batch_id() == 0
+        assert len(recorder) == 0
+
+
+class TestAmbientInstallation:
+    def test_use_recorder_scopes_installation(self):
+        before = get_recorder()
+        with use_recorder() as recorder:
+            assert get_recorder() is recorder
+            assert recorder.enabled
+        assert get_recorder() is before
+
+    def test_set_recorder_none_restores_null(self):
+        recorder = TraceRecorder()
+        previous = set_recorder(recorder)
+        try:
+            assert get_recorder() is recorder
+        finally:
+            set_recorder(None)
+        assert not get_recorder().enabled
+        assert previous is not None
+
+
+class TestIndexDigestCheckpoint:
+    class FakeIndex:
+        @staticmethod
+        def content_digest():
+            return "deadbeef"
+
+    def test_records_digest_on_explicit_recorder(self):
+        database = type("Db", (), {"_index": self.FakeIndex()})()
+        recorder = TraceRecorder()
+        assert record_index_digest(database, recorder) == "deadbeef"
+        (event,) = recorder.events()
+        assert event.data == {"digest": "deadbeef", "index": "FakeIndex"}
+
+    def test_indexless_database_records_nothing(self):
+        database = type("Db", (), {"_index": None})()
+        recorder = TraceRecorder()
+        assert record_index_digest(database, recorder) is None
+        assert len(recorder) == 0
+
+
+class TestSerialization:
+    def build(self):
+        recorder = TraceRecorder(meta={"seed": 7})
+        recorder.record(UPDATE, time=5.0, object_id="t-0", x=1.0, y=2.0)
+        recorder.record_query("position", "f" * 64, time=8.0,
+                              object_id="t-0")
+        recorder.record(CACHE, hits=1, misses=2)
+        return recorder
+
+    def test_round_trip(self):
+        recorder = self.build()
+        buffer = io.StringIO()
+        assert write_trace(recorder, buffer) == 3
+        meta, events = read_trace(io.StringIO(buffer.getvalue()))
+        assert meta == {"seed": 7}
+        assert list(events) == list(recorder.events())
+
+    def test_file_round_trip(self, tmp_path):
+        recorder = self.build()
+        path = str(tmp_path / "trace.jsonl")
+        write_trace(recorder, path)
+        meta, events = read_trace(path)
+        assert meta == {"seed": 7}
+        assert len(events) == 3
+
+    def test_header_is_sorted_json(self):
+        buffer = io.StringIO()
+        write_trace(self.build(), buffer)
+        header = json.loads(buffer.getvalue().splitlines()[0])
+        assert header["schema"] == SCHEMA
+        assert header["events"] == 3
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceError, match="empty trace"):
+            read_trace(io.StringIO(""))
+
+    def test_bad_header_json_rejected(self):
+        with pytest.raises(TraceError, match="unreadable trace header"):
+            read_trace(io.StringIO("{nope\n"))
+
+    def test_foreign_schema_rejected(self):
+        line = json.dumps({"schema": "other/9", "events": 0, "meta": {}})
+        with pytest.raises(TraceError, match="unsupported trace schema"):
+            read_trace(io.StringIO(line + "\n"))
+
+    def test_bad_event_json_rejected(self):
+        buffer = io.StringIO()
+        write_trace(self.build(), buffer)
+        text = buffer.getvalue() + "{truncated\n"
+        with pytest.raises(TraceError, match="bad JSON on line"):
+            read_trace(io.StringIO(text))
+
+    def test_unknown_event_kind_rejected(self):
+        header = json.dumps({"schema": SCHEMA, "events": 1, "meta": {}})
+        event = json.dumps({"seq": 0, "kind": "teleport", "data": {}})
+        with pytest.raises(TraceError, match="unknown event kind"):
+            read_trace(io.StringIO(header + "\n" + event + "\n"))
+
+    def test_event_count_mismatch_rejected(self):
+        buffer = io.StringIO()
+        write_trace(self.build(), buffer)
+        lines = buffer.getvalue().splitlines()
+        with pytest.raises(TraceError, match="declares 3 events"):
+            read_trace(io.StringIO("\n".join(lines[:-1]) + "\n"))
+
+    def test_missing_trace_file_is_a_trace_error(self, tmp_path):
+        # OSError surfaces as TraceError so the CLI prints `error: ...`
+        # instead of a traceback.
+        with pytest.raises(TraceError, match="cannot read trace"):
+            read_trace(str(tmp_path / "absent.jsonl"))
+
+    def test_unwritable_target_is_a_trace_error(self, tmp_path):
+        with pytest.raises(TraceError, match="cannot write trace"):
+            write_trace(self.build(), str(tmp_path / "no-dir" / "t.jsonl"))
