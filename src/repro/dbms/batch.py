@@ -36,8 +36,18 @@ import math
 from dataclasses import dataclass
 from typing import Any, Union
 
+from repro.core.baselines import (
+    FixedThresholdPolicy,
+    PeriodicPolicy,
+    TraditionalPointPolicy,
+)
 from repro.core.bounds import bounds_for_policy
-from repro.core.uncertainty import uncertainty_interval
+from repro.core.policies import (
+    AverageImmediateLinearPolicy,
+    CurrentImmediateLinearPolicy,
+    DelayedLinearPolicy,
+)
+from repro.core.uncertainty import UncertaintyInterval, uncertainty_interval
 from repro.dbms.database import MovingObjectDatabase, _classification_counters
 from repro.dbms.query import (
     Containment,
@@ -55,6 +65,21 @@ from repro.obs.instrument import time_section
 from repro.obs.registry import get_registry
 from repro.trace.events import CACHE, answer_digest
 from repro.trace.recorder import get_recorder
+from repro.vec import vectorization_default
+
+try:
+    import numpy as np
+
+    from repro.vec import bounds as vec_bounds
+    from repro.vec import geom as vec_geom
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    np = None  # type: ignore[assignment]
+    vec_bounds = vec_geom = None  # type: ignore[assignment]
+_HAVE_VEC = np is not None
+
+#: Below this many candidates (or cache misses) the per-call NumPy
+#: overhead outweighs the loop it replaces; the scalar path runs.
+_MIN_VEC_CANDIDATES = 8
 
 
 @dataclass(frozen=True, slots=True)
@@ -140,14 +165,27 @@ class BatchQueryEngine:
 
     ``max_cache_entries`` bounds the derived-value cache; on overflow
     the cache is cleared wholesale (correct, merely cold).
+
+    ``vectorize`` routes cache-miss interval derivation and the bbox
+    pre-tests through the NumPy kernels of :mod:`repro.vec` when
+    enough candidates are in play; ``None`` defers to the
+    ``REPRO_VECTORIZE`` environment default.  Answers and cache
+    hit/miss counts are identical either way — the kernels evaluate
+    the same float expressions, and records the kernels cannot
+    reproduce exactly (unknown policy families, invalid parameters)
+    fall back to the scalar functions per record.
     """
 
     def __init__(self, database: MovingObjectDatabase,
-                 max_cache_entries: int = 1 << 18) -> None:
+                 max_cache_entries: int = 1 << 18,
+                 vectorize: bool | None = None) -> None:
         if max_cache_entries < 1:
             raise QueryError(
                 f"max_cache_entries must be positive, got {max_cache_entries}"
             )
+        if vectorize is None:
+            vectorize = vectorization_default()
+        self.vectorize = bool(vectorize) and _HAVE_VEC
         self._db = database
         self._max_cache_entries = max_cache_entries
         #: ``(object_id, t) -> (generation, interval, geometry, bbox)``.
@@ -199,17 +237,160 @@ class BatchQueryEngine:
             self.cache_hits += 1
             return entry
         self.cache_misses += 1
+        entry = self._compute_derived(record, t)
+        self._store_derived(key, entry)
+        return entry
+
+    def _compute_derived(self, record, t: float) -> tuple:
+        """One candidate's cache entry, through the scalar functions."""
         route = self._db.routes.get(record.attribute.route_id)
         interval = uncertainty_interval(
             record.attribute, route, self._bounds_for(record), t
         )
         geometry = interval.geometry(route)
-        entry = (record.generation, interval, geometry,
-                 geometry.bounding_rect())
+        return (record.generation, interval, geometry,
+                geometry.bounding_rect())
+
+    def _store_derived(self, key: tuple[str, float], entry: tuple) -> None:
         if len(self._derived) >= self._max_cache_entries:
             self._derived.clear()
         self._derived[key] = entry
-        return entry
+
+    def _entries_for(self, object_ids: list[str], t: float) -> list[tuple]:
+        """Cache entries for all candidates of one query, in id order.
+
+        Counts exactly one hit or miss per candidate, like the
+        per-candidate :meth:`_derived_for` calls it replaces.  When
+        vectorization is on and enough candidates miss, the missing
+        intervals are derived through the array kernels in one pass.
+        """
+        records = self._db._records
+        entries: list[tuple] = [()] * len(object_ids)
+        miss_rows: list[int] = []
+        for i, object_id in enumerate(object_ids):
+            record = records[object_id]
+            entry = self._derived.get((object_id, t))
+            if entry is not None and entry[0] == record.generation:
+                self.cache_hits += 1
+                entries[i] = entry
+            else:
+                self.cache_misses += 1
+                miss_rows.append(i)
+        if not miss_rows:
+            return entries
+        missing = [records[object_ids[i]] for i in miss_rows]
+        if self.vectorize and len(miss_rows) >= _MIN_VEC_CANDIDATES:
+            derived = self._derive_bulk(missing, t)
+        else:
+            derived = [self._compute_derived(record, t)
+                       for record in missing]
+        for i, entry in zip(miss_rows, derived):
+            self._store_derived((object_ids[i], t), entry)
+            entries[i] = entry
+        return entries
+
+    def _derive_bulk(self, records: list, t: float) -> list[tuple]:
+        """Derive cache entries for ``records`` via the array kernels.
+
+        Records are grouped by bound family — Propositions 2-3 for dl,
+        Proposition 4 for the immediate-linear/adaptive policies — and
+        each group's intervals are evaluated in one vectorized pass.
+        Records of other policy families, and records the kernels must
+        not touch (query before last update, negative parameters —
+        the scalar constructors own those errors), go through
+        :meth:`_compute_derived` unchanged.
+        """
+        from repro.core.adaptive import AdaptivePolicy
+
+        rows_dl: list[int] = []
+        rows_imm: list[int] = []
+        rows_scalar: list[int] = []
+        for i, record in enumerate(records):
+            attribute = record.attribute
+            policy = record.policy
+            if (self._db.routes.get(attribute.route_id) is None
+                    or t < attribute.starttime or attribute.speed < 0
+                    or record.max_speed < 0):
+                rows_scalar.append(i)
+            elif isinstance(policy, DelayedLinearPolicy):
+                target = rows_dl if policy.update_cost >= 0 else rows_scalar
+                target.append(i)
+            elif isinstance(policy, (AverageImmediateLinearPolicy,
+                                     CurrentImmediateLinearPolicy,
+                                     AdaptivePolicy)) and not isinstance(
+                    policy, (FixedThresholdPolicy, TraditionalPointPolicy,
+                             PeriodicPolicy)):
+                target = rows_imm if policy.update_cost >= 0 else rows_scalar
+                target.append(i)
+            else:
+                rows_scalar.append(i)
+        entries: list[tuple] = [()] * len(records)
+        if rows_dl:
+            self._derive_family(records, rows_dl, t, True, entries)
+        if rows_imm:
+            self._derive_family(records, rows_imm, t, False, entries)
+        for i in rows_scalar:
+            entries[i] = self._compute_derived(records[i], t)
+        return entries
+
+    def _derive_family(self, records: list, rows: list[int], t: float,
+                       delayed: bool, entries: list[tuple]) -> None:
+        """Vectorized interval derivation for one bound family.
+
+        The array expressions mirror :func:`uncertainty_interval` and
+        the :mod:`repro.core.bounds` closures element for element (see
+        :mod:`repro.vec.bounds`); the per-record pieces that stay
+        scalar — travel-coordinate projection of the start point and
+        interval geometry — are the exact calls the scalar path makes.
+        """
+        n = len(rows)
+        speed = np.empty(n, dtype=np.float64)
+        max_speed = np.empty(n, dtype=np.float64)
+        cost = np.empty(n, dtype=np.float64)
+        starttime = np.empty(n, dtype=np.float64)
+        start_travel = np.empty(n, dtype=np.float64)
+        length = np.empty(n, dtype=np.float64)
+        routes = []
+        get_route = self._db.routes.get
+        for j, i in enumerate(rows):
+            record = records[i]
+            attribute = record.attribute
+            route = get_route(attribute.route_id)
+            routes.append(route)
+            speed[j] = attribute.speed
+            max_speed[j] = record.max_speed
+            cost[j] = record.policy.update_cost
+            starttime[j] = attribute.starttime
+            start_travel[j] = route.travel_distance_of(
+                attribute.start_point, attribute.direction
+            )
+            length[j] = route.length
+        elapsed = t - starttime
+        gap = vec_bounds.speed_gap(speed, max_speed)
+        if delayed:
+            slow, fast = vec_bounds.delayed_slow_fast(
+                speed, gap, cost, elapsed
+            )
+        else:
+            slow, fast = vec_bounds.immediate_slow_fast(
+                speed, gap, cost, elapsed
+            )
+        center = start_travel + speed * elapsed
+        lower, upper = vec_bounds.clamp_travel(
+            center - slow, center + fast, length
+        )
+        for j, i in enumerate(rows):
+            record = records[i]
+            route = routes[j]
+            interval = UncertaintyInterval(
+                route_id=route.route_id,
+                direction=record.attribute.direction,
+                lower=float(lower[j]),
+                upper=float(upper[j]),
+            )
+            geometry = interval.geometry(route)
+            entries[i] = (record.generation, interval, geometry,
+                          geometry.bounding_rect())
 
     # ------------------------------------------------------------------
     # Batch execution
@@ -366,13 +547,23 @@ class BatchQueryEngine:
         t = query.time
         may: set[str] = set()
         must: set[str] = set()
-        for object_id in kept:
-            geometry, bbox = self._derived_for(object_id, t)[2:]
-            if not query_rect.intersects(bbox):
+        ids = list(kept)
+        entries = self._entries_for(ids, t)
+        out_mask = must_mask = None
+        if self.vectorize and len(ids) >= _MIN_VEC_CANDIDATES:
+            out_mask, must_mask = vec_geom.range_pretest(
+                query_rect, rect_region, [entry[3] for entry in entries]
+            )
+        for i, object_id in enumerate(ids):
+            geometry, bbox = entries[i][2:]
+            if (not query_rect.intersects(bbox) if out_mask is None
+                    else out_mask[i]):
                 # Disjoint bboxes: the exact predicate cannot intersect
                 # either, so OUT is decided without materialising it.
                 outcome = Containment.OUT
-            elif rect_region is not None and rect_region.contains_rect(bbox):
+            elif (rect_region is not None
+                  and (rect_region.contains_rect(bbox) if must_mask is None
+                       else must_mask[i])):
                 # The polygon is exactly a closed rectangle holding the
                 # whole geometry bbox, so the exact predicate is MUST.
                 outcome = Containment.MUST
@@ -411,14 +602,26 @@ class BatchQueryEngine:
         center, radius, t = query.center, query.radius, query.time
         may: set[str] = set()
         must: set[str] = set()
-        for object_id in kept:
-            geometry, bbox = self._derived_for(object_id, t)[2:]
+        ids = list(kept)
+        entries = self._entries_for(ids, t)
+        out_mask = must_mask = None
+        if self.vectorize and len(ids) >= _MIN_VEC_CANDIDATES:
+            out_mask, must_mask = vec_geom.within_pretest(
+                center, radius, [entry[3] for entry in entries]
+            )
+        for i, object_id in enumerate(ids):
+            geometry, bbox = entries[i][2:]
             # Bbox distance bounds bracket the exact min/max distances
             # (the geometry lies inside its bbox), so these shortcuts
             # agree with the exact classification whenever they fire.
-            if _rect_min_distance(center, bbox) > radius:
+            # The vectorized screens are a hair conservative, so an
+            # ulp-boundary bbox merely falls through to the exact
+            # classifier; the outcome is the same either way.
+            if (_rect_min_distance(center, bbox) > radius if out_mask is None
+                    else out_mask[i]):
                 outcome = Containment.OUT
-            elif _rect_max_distance(center, bbox) <= radius:
+            elif (_rect_max_distance(center, bbox) <= radius
+                  if must_mask is None else must_mask[i]):
                 outcome = Containment.MUST
             else:
                 outcome = classify_polyline_within_distance(

@@ -36,10 +36,19 @@ from repro.experiments.sweep import (
     build_curves,
 )
 from repro.obs.registry import get_registry, get_tracer, span
-from repro.sim.engine import PolicySimulation
+from repro.sim.engine import PolicySimulation, supports_fast_path
 from repro.sim.metrics import TripMetrics, aggregate_metrics
 from repro.sim.speed_curves import SpeedCurve
 from repro.sim.trip import Trip
+from repro.vec import vectorization_default
+
+try:
+    from repro.vec.batch import VecTripBatch
+    from repro.vec.engine import simulate_batch
+
+    _HAVE_VEC = True
+except ImportError:  # numpy is optional at runtime; scalar path always works
+    _HAVE_VEC = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -102,16 +111,105 @@ def _simulate_cell(spec: SweepSpec, grid: TickGrid,
     return simulation.run().metrics
 
 
+#: Smallest trip block worth dispatching to the vectorized engine.
+#: Below this the per-tick NumPy call overhead outweighs the scalar
+#: loop (the crossover sits around a few dozen vehicles); above it the
+#: batch amortizes that overhead across the whole fleet row.
+_MIN_VEC_TRIPS = 32
+
+
+def _run_cells(spec: SweepSpec, indexed_cells: list[tuple[int, SweepCell]],
+               grids: list[TickGrid],
+               vectorize: bool) -> list[tuple[int, TripMetrics]]:
+    """Run cells (with their aligned grids), vectorizing uniform runs.
+
+    ``_decompose`` orders cells (policy, cost, trip), so consecutive
+    cells sharing a (policy, cost) pair form one sweep cell's trip
+    block.  Each maximal such run is dispatched to the vectorized
+    engine when eligible; everything else takes the scalar engine,
+    cell by cell.  Results keep input order, so the output is
+    positionally identical to a plain per-cell loop.
+    """
+    results: list[tuple[int, TripMetrics]] = []
+    count = len(indexed_cells)
+    start = 0
+    while start < count:
+        head = indexed_cells[start][1]
+        stop = start + 1
+        while stop < count:
+            cell = indexed_cells[stop][1]
+            if (cell.policy_index != head.policy_index
+                    or cell.cost_index != head.cost_index):
+                break
+            stop += 1
+        results.extend(_run_cell_group(
+            spec, indexed_cells[start:stop], grids[start:stop], vectorize
+        ))
+        start = stop
+    return results
+
+
+def _run_cell_group(spec: SweepSpec, run: list[tuple[int, SweepCell]],
+                    run_grids: list[TickGrid],
+                    vectorize: bool) -> list[tuple[int, TripMetrics]]:
+    """One (policy, cost) trip block: vectorized when eligible.
+
+    Eligibility mirrors the scalar engine's own fast-path gate plus
+    the batch layout requirements: a supported policy family, at
+    least :data:`_MIN_VEC_TRIPS` trips to amortize the array setup,
+    and grids that share the spec's tick layout.  Ineligible runs fall back to
+    :func:`_simulate_cell` per cell — same results, scalar speed.
+    """
+    if vectorize and _HAVE_VEC and len(run) >= _MIN_VEC_TRIPS:
+        from repro.core.policies import make_policy
+
+        head = run[0][1]
+        policy_name = spec.policy_names[head.policy_index]
+        policy = make_policy(
+            policy_name,
+            spec.update_costs[head.cost_index],
+            **spec.policy_kwargs.get(policy_name, {}),
+        )
+        if supports_fast_path(policy) and _uniform_grids(run_grids, spec.dt):
+            batch = VecTripBatch.from_grids(run_grids)
+            batch_results = simulate_batch(batch, policy,
+                                           collect_events=False)
+            return [
+                (position, result.metrics)
+                for (position, _), result in zip(run, batch_results)
+            ]
+    return [
+        (position, _simulate_cell(spec, grid, cell))
+        for (position, cell), grid in zip(run, run_grids)
+    ]
+
+
+def _uniform_grids(grids: list[TickGrid], dt: float) -> bool:
+    """Whether every grid shares the spec tick layout (batchable)."""
+    first = grids[0]
+    if first.dt != dt:
+        return False
+    return all(
+        grid.dt == first.dt
+        and grid.num_ticks == first.num_ticks
+        and grid.duration == first.duration
+        for grid in grids
+    )
+
+
 # Worker-process state, installed once per worker by the pool
 # initializer so tasks only carry lightweight cell tuples.
 _WORKER_SPEC: SweepSpec | None = None
 _WORKER_GRIDS: list[TickGrid] | None = None
+_WORKER_VECTORIZE: bool = False
 
 
-def _init_worker(spec: SweepSpec, grids: list[TickGrid]) -> None:
-    global _WORKER_SPEC, _WORKER_GRIDS
+def _init_worker(spec: SweepSpec, grids: list[TickGrid],
+                 vectorize: bool = False) -> None:
+    global _WORKER_SPEC, _WORKER_GRIDS, _WORKER_VECTORIZE
     _WORKER_SPEC = spec
     _WORKER_GRIDS = grids
+    _WORKER_VECTORIZE = vectorize
 
 
 def _run_chunk(
@@ -133,12 +231,8 @@ def _run_chunk(
     traced = get_tracer().enabled
     start = perf_counter()
     if not observed and not traced:
-        results = [
-            (position, _simulate_cell(
-                _WORKER_SPEC, _WORKER_GRIDS[cell.trip_index], cell
-            ))
-            for position, cell in chunk
-        ]
+        grids = [_WORKER_GRIDS[cell.trip_index] for _, cell in chunk]
+        results = _run_cells(_WORKER_SPEC, chunk, grids, _WORKER_VECTORIZE)
         return results, perf_counter() - start, None, None
     from contextlib import ExitStack
 
@@ -183,11 +277,15 @@ class SweepExecutor:
     """
 
     def __init__(self, jobs: int = 1,
-                 cache: TripTickCache | None = None) -> None:
+                 cache: TripTickCache | None = None,
+                 vectorize: bool | None = None) -> None:
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache if cache is not None else TripTickCache()
+        if vectorize is None:
+            vectorize = vectorization_default()
+        self.vectorize = bool(vectorize) and _HAVE_VEC
 
     def run(self, spec: SweepSpec,
             curves: list[SpeedCurve] | None = None,
@@ -221,14 +319,26 @@ class SweepExecutor:
                 # Each cell fetches its grid through the cache, so the
                 # cache's hit rate reflects the actual cross-cell
                 # sharing (all but the first lookup per trip hit).
-                cell_metrics = [
-                    _simulate_cell(
-                        spec,
-                        self.cache.grid_for(trips[cell.trip_index], spec.dt),
-                        cell,
-                    )
+                cell_grids = [
+                    self.cache.grid_for(trips[cell.trip_index], spec.dt)
                     for cell in cells
                 ]
+                if (self.vectorize and not observed
+                        and not get_tracer().enabled):
+                    # The vectorized engine emits one span per batch
+                    # and no per-tick instruments, so it only runs
+                    # when nobody is observing; results are identical
+                    # either way.
+                    cell_metrics = [
+                        metrics for _, metrics in _run_cells(
+                            spec, list(enumerate(cells)), cell_grids, True
+                        )
+                    ]
+                else:
+                    cell_metrics = [
+                        _simulate_cell(spec, grid, cell)
+                        for cell, grid in zip(cells, cell_grids)
+                    ]
             else:
                 # Workers receive prebuilt grids (one cache lookup per
                 # trip here; the sharing happens inside each worker).
@@ -273,7 +383,7 @@ class SweepExecutor:
             max_workers=min(self.jobs, len(chunks)),
             mp_context=_pool_context(),
             initializer=_init_worker,
-            initargs=(spec, grids),
+            initargs=(spec, grids, self.vectorize),
         ) as pool:
             for chunk_index, future in enumerate(
                 [pool.submit(_run_chunk, chunk) for chunk in chunks]

@@ -9,7 +9,9 @@ Code families (see :mod:`repro.lint.rules` for scoping):
 * ``RPR2xx`` **exec safety** — fork/pickle hazards around the
   ``ProcessPoolExecutor`` sweep path.
 * ``RPR3xx`` **numeric hygiene** — float ``==`` and mutable defaults
-  corrupt the §3 cost algebra in ways tests rarely catch.
+  corrupt the §3 cost algebra in ways tests rarely catch; ``vec/``
+  kernels (PR 7) additionally ban per-element loops over arrays and
+  narrower-than-float64 dtypes, which break the byte-identity promise.
 * ``RPR4xx`` **API consistency** — ``__all__`` drift.
 * ``RPR5xx`` **observability discipline** — span pairing and registry
   construction rules from PR 1, plus flight-recorder event discipline
@@ -315,6 +317,87 @@ def check_mutable_defaults(ctx: ModuleContext) -> Iterator[Finding]:
                 )
 
 
+#: Attribute/method names that stream a NumPy array element by element.
+_NUMPY_ELEMENT_ITERS = frozenset({"flat", "tolist", "ravel", "flatten"})
+
+#: dtype spellings narrower than float64; the vec kernels promise
+#: float64 parity with the scalar engines, so these are always wrong.
+_NARROW_FLOAT_DTYPES = frozenset({
+    "float16", "float32", "half", "single", "longdouble", "float128",
+    "f2", "f4", "e",
+})
+
+
+def _iterates_numpy_elements(iter_node: ast.expr,
+                             imports: dict[str, str]) -> bool:
+    """Whether a loop's iterable walks a NumPy array per element."""
+    if isinstance(iter_node, ast.Attribute):
+        # for x in arr.flat: ...
+        return iter_node.attr in _NUMPY_ELEMENT_ITERS
+    if isinstance(iter_node, ast.Call):
+        func = iter_node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in _NUMPY_ELEMENT_ITERS):
+            # for x in arr.tolist() / arr.ravel() / arr.flatten(): ...
+            return True
+        dotted = _dotted(func)
+        if dotted is not None:
+            resolved = _resolve(dotted, imports)
+            # for x in np.nditer(arr) / np.ndenumerate(arr): ...
+            return resolved.startswith("numpy.")
+    return False
+
+
+def _narrow_dtype_spelling(node: ast.expr,
+                           imports: dict[str, str]) -> str | None:
+    """The narrow-float dtype ``node`` names, if it names one."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        spelling = node.value.lstrip("<>=")
+        return node.value if spelling in _NARROW_FLOAT_DTYPES else None
+    dotted = _dotted(node)
+    if dotted is None:
+        return None
+    resolved = _resolve(dotted, imports)
+    tail = resolved.rsplit(".", 1)[-1]
+    return dotted if tail in _NARROW_FLOAT_DTYPES else None
+
+
+@register(
+    "RPR304", "vec-kernel-hygiene", SEVERITY_ERROR, "vec",
+    "vec/ kernels stay array-at-a-time in float64: no per-element "
+    "Python loops over NumPy arrays, no narrower-than-float64 dtypes",
+)
+def check_vec_kernel_hygiene(ctx: ModuleContext) -> Iterator[Finding]:
+    imports = _import_map(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        iter_nodes: list[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iter_nodes.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iter_nodes.extend(gen.iter for gen in node.generators)
+        for iter_node in iter_nodes:
+            if _iterates_numpy_elements(iter_node, imports):
+                yield ctx.finding(
+                    node, "RPR304",
+                    "per-element Python loop over a NumPy array defeats "
+                    "the kernel's vectorization; use an array expression "
+                    "(or np.nonzero + indexed assignment for scatters)",
+                )
+        if isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if keyword.arg != "dtype":
+                    continue
+                spelling = _narrow_dtype_spelling(keyword.value, imports)
+                if spelling is not None:
+                    yield ctx.finding(
+                        keyword.value, "RPR304",
+                        f"dtype {spelling!r} is narrower than float64; vec "
+                        f"kernels promise byte-identical float64 results, "
+                        f"so narrow floats silently break parity",
+                    )
+
+
 def _module_all(tree: ast.Module) -> tuple[ast.AST, list[str]] | None:
     """The module-level ``__all__`` list, if statically resolvable."""
     for stmt in tree.body:
@@ -508,6 +591,7 @@ __all__ = [
     "check_set_iteration",
     "check_span_pairing",
     "check_unseeded_rng",
+    "check_vec_kernel_hygiene",
     "check_wall_clock",
     "check_worker_globals",
 ]

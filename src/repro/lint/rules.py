@@ -8,8 +8,9 @@ path family it applies to, and an AST checker.  Checkers live in
 :mod:`repro.lint.checks` and register themselves via :func:`register`.
 
 Scoping is tag-based.  :func:`classify_path` maps a repo-relative path
-to a set of tags (``deterministic``, ``exec``, ``obs``, ``library``,
-``test``, ``script``) and each scope is a predicate over those tags.
+to a set of tags (``deterministic``, ``exec``, ``vec``, ``obs``,
+``library``, ``test``, ``script``) and each scope is a predicate over
+those tags.
 Paths under ``tests/lint/fixtures/`` have that prefix stripped before
 classification, so a fixture at ``tests/lint/fixtures/sim/bad.py`` is
 scoped exactly like a real ``sim/`` module — fixtures exercise rules
@@ -45,10 +46,13 @@ def classify_path(relpath: str) -> frozenset[str]:
     tags = set()
     if "tests" in parts or stem.startswith("test_") or stem == "conftest":
         tags.add("test")
-    if "sim" in parts or "exec" in parts or rel.endswith("dbms/batch.py"):
+    if ("sim" in parts or "exec" in parts or "vec" in parts
+            or rel.endswith("dbms/batch.py")):
         tags.add("deterministic")
     if "exec" in parts:
         tags.add("exec")
+    if "vec" in parts:
+        tags.add("vec")
     if "obs" in parts:
         tags.add("obs")
     if "dbms" in parts or "index" in parts:
@@ -84,6 +88,10 @@ def _scope_dbms_index(tags: frozenset[str]) -> bool:
     return "dbms" in tags and "test" not in tags
 
 
+def _scope_vec(tags: frozenset[str]) -> bool:
+    return "vec" in tags and "test" not in tags
+
+
 #: Scope name -> predicate over path tags.
 SCOPES: dict[str, Callable[[frozenset[str]], bool]] = {
     "everywhere": _scope_everywhere,
@@ -92,6 +100,7 @@ SCOPES: dict[str, Callable[[frozenset[str]], bool]] = {
     "library": _scope_library,
     "library-not-obs": _scope_library_not_obs,
     "dbms-index": _scope_dbms_index,
+    "vec": _scope_vec,
 }
 
 

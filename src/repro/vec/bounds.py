@@ -1,0 +1,82 @@
+"""Vectorized §3.3 deviation bounds — Propositions 2-4 over arrays.
+
+Each function here is the array form of one closure family in
+:mod:`repro.core.bounds`, written with the *same expressions in the
+same evaluation order* so that every element of the result is
+byte-identical to the scalar bound evaluated on that element's inputs
+(NumPy's float64 elementwise ``+ - * /`` and ``sqrt`` are the same
+IEEE-754 correctly-rounded operations CPython uses).  Any change to
+the scalar closures must be mirrored here; ``tests/vec/`` asserts the
+equivalence with exact float comparisons.
+
+All inputs are float64 arrays (or scalars broadcast against them):
+``declared`` is the declared speed ``v``, ``gap`` the clamped speed
+headroom ``max(V - v, 0)`` from :func:`speed_gap`, ``update_cost`` the
+cost ``C``, and ``elapsed`` the time since the last update.  Input
+validation is the caller's job — the dispatchers in
+:mod:`repro.dbms.batch` route any record with negative parameters to
+the scalar path, which raises the canonical errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "clamp_travel",
+    "delayed_slow_fast",
+    "immediate_slow_fast",
+    "speed_gap",
+]
+
+
+def speed_gap(declared: np.ndarray, max_speed: np.ndarray) -> np.ndarray:
+    """``max(V - v, 0)`` elementwise, as the scalar constructors compute it."""
+    gap = max_speed - declared
+    return np.where(gap < 0.0, 0.0, gap)
+
+
+def delayed_slow_fast(declared: np.ndarray, gap: np.ndarray,
+                      update_cost: np.ndarray,
+                      elapsed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Propositions 2-3 (dl policy): slow/fast bound arrays.
+
+    Mirrors :func:`repro.core.bounds.delayed_linear_bounds`:
+    ``slow = min(sqrt(2 v C), v t)`` and ``fast`` with ``V - v`` for
+    ``v`` — including the ``(2.0 * v) * C`` association order.
+    """
+    slow = np.minimum(np.sqrt(2.0 * declared * update_cost),
+                      declared * elapsed)
+    fast = np.minimum(np.sqrt(2.0 * gap * update_cost), gap * elapsed)
+    return slow, fast
+
+
+def immediate_slow_fast(declared: np.ndarray, gap: np.ndarray,
+                        update_cost: np.ndarray,
+                        elapsed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Proposition 4 (ail/cil/adaptive): slow/fast bound arrays.
+
+    Mirrors :func:`repro.core.bounds.immediate_linear_bounds`: both
+    directions are capped by ``2C/t`` (infinite at ``t <= 0``, where
+    the linear terms are zero anyway).
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cap = 2.0 * update_cost / elapsed
+    cap = np.where(elapsed <= 0.0, np.inf, cap)
+    slow = np.minimum(cap, declared * elapsed)
+    fast = np.minimum(cap, gap * elapsed)
+    return slow, fast
+
+
+def clamp_travel(lower: np.ndarray, upper: np.ndarray,
+                 length: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Clamp interval endpoints to ``[0, route length]`` elementwise.
+
+    Mirrors the tail of :func:`repro.core.uncertainty.uncertainty_interval`:
+    both ends clamp to the route, then float dust that inverts the
+    interval collapses ``lower`` onto ``upper``.
+    """
+    lower = np.minimum(np.maximum(lower, 0.0), length)
+    upper = np.minimum(np.maximum(upper, 0.0), length)
+    lower = np.where(lower > upper, upper, lower)
+    return lower, upper

@@ -1,0 +1,270 @@
+"""The vectorized policy-simulation engine for whole sweep cells.
+
+:func:`simulate_batch` advances every vehicle of a
+:class:`~repro.vec.batch.VecTripBatch` through the dl/ail/cil decision
+algebra in lock step: a Python loop over ticks, NumPy arrays across
+vehicles.  Each per-vehicle arithmetic step — deviation, §3.3 bound,
+Proposition-1 threshold, update resets — uses the same float64
+expressions in the same evaluation order as
+:meth:`repro.sim.engine.PolicySimulation._run_fast`, and each
+vehicle's accumulators receive the same additions in the same tick
+order, so every :class:`~repro.sim.metrics.TripMetrics` field and
+every :class:`~repro.sim.vehicle.UpdateEvent` is byte-identical to the
+scalar fast path (``tests/vec/`` asserts exact equality).
+
+Vehicles are processed in column blocks of :data:`BLOCK_VEHICLES` so
+the per-tick temporaries stay cache-resident at fleet scale; rows are
+independent, so blocking changes nothing about the values.  Update
+firings are rare relative to ticks, so the per-tick work is a fixed
+set of elementwise operations plus an indexed scatter for the
+vehicles whose threshold fired.
+
+Telemetry: the whole batch runs under one ``simulate_trip_batch``
+span; per-tick registry instruments are not replicated here, which is
+why the executor only dispatches to this path when neither the
+metrics registry nor the tracer is enabled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policies import (
+    AverageImmediateLinearPolicy,
+    DelayedLinearPolicy,
+)
+from repro.core.policy import THRESHOLD_TOLERANCE, UpdatePolicy
+from repro.errors import SimulationError
+from repro.obs.registry import span
+from repro.sim.engine import TripResult, supports_fast_path
+from repro.sim.metrics import TripMetrics
+from repro.sim.vehicle import UpdateEvent, ZERO_DEVIATION_TOLERANCE
+from repro.vec.batch import VecTripBatch
+
+__all__ = [
+    "BLOCK_VEHICLES",
+    "simulate_batch",
+]
+
+#: Vehicles advanced together per tick-loop pass.  Large enough to
+#: amortize NumPy call overhead, small enough that the ~20 live
+#: (block,) temporaries fit in cache instead of streaming through RAM
+#: (a block-size scan put the knee at 8k on the reference box).
+BLOCK_VEHICLES = 8192
+
+
+def simulate_batch(batch: VecTripBatch, policy: UpdatePolicy,
+                   collect_events: bool = True) -> list[TripResult]:
+    """Simulate every trip of ``batch`` under ``policy``.
+
+    Returns one :class:`TripResult` per batch row, in row order.  With
+    ``collect_events=False`` the per-update event lists are skipped
+    (the executor only consumes metrics); metrics are identical either
+    way.  Raises :class:`~repro.errors.SimulationError` for policies
+    outside the dl/ail/cil fast-path family.
+    """
+    if not supports_fast_path(policy):
+        raise SimulationError(
+            f"policy {policy.name!r} is not supported by the vectorized "
+            "engine; use the scalar PolicySimulation instead"
+        )
+    results: list[TripResult] = []
+    # One errstate frame for the whole run: the masked divisions
+    # (2C/elapsed at elapsed == 0, distance/elapsed on fire) are
+    # replaced via np.where, so their warnings are pure noise.
+    with span("simulate_trip_batch", policy=policy.name,
+              vehicles=batch.size, duration=batch.duration, dt=batch.dt), \
+            np.errstate(divide="ignore", invalid="ignore"):
+        for start in range(0, batch.size, BLOCK_VEHICLES):
+            stop = min(start + BLOCK_VEHICLES, batch.size)
+            results.extend(
+                _simulate_block(batch, policy, start, stop, collect_events)
+            )
+    return results
+
+
+def _simulate_block(batch: VecTripBatch, policy: UpdatePolicy, start: int,
+                    stop: int, collect_events: bool) -> list[TripResult]:
+    """Run one column block ``[start, stop)`` of the batch."""
+    n = stop - start
+    num_ticks = batch.num_ticks
+    dt = batch.dt
+    duration = batch.duration
+    times = batch.times
+    travel = batch.travel
+    speeds = batch.speeds
+    max_speeds = batch.max_speeds[start:stop]
+    update_cost = policy.update_cost
+    use_delay = isinstance(policy, DelayedLinearPolicy)
+    declare_average = isinstance(policy, AverageImmediateLinearPolicy)
+    send_slack = 1.0 - THRESHOLD_TOLERANCE
+    two_cost = 2.0 * update_cost
+
+    # Per-vehicle onboard/DBMS state, exactly the scalars of _run_fast
+    # widened to (n,) arrays.
+    declared = speeds[0, start:stop].copy()
+    last_update_time = np.zeros(n, dtype=np.float64)
+    last_update_travel = np.zeros(n, dtype=np.float64)
+    last_zero_elapsed = np.zeros(n, dtype=np.float64)
+    gap = max_speeds - declared
+    gap = np.where(gap < 0.0, 0.0, gap)
+    if use_delay:
+        slow_plateau = np.sqrt(2.0 * declared * update_cost)
+        fast_plateau = np.sqrt(2.0 * gap * update_cost)
+    else:
+        slow_plateau = fast_plateau = None
+
+    # The fast path accrues deviation_integral and deviation_cost with
+    # the identical `deviation * dt` addend each tick (uniform cost),
+    # so one accumulator serves both metrics bit-for-bit.
+    deviation_integral = np.zeros(n, dtype=np.float64)
+    uncertainty_integral = np.zeros(n, dtype=np.float64)
+    max_deviation = np.zeros(n, dtype=np.float64)
+    max_uncertainty = np.zeros(n, dtype=np.float64)
+    num_updates = np.zeros(n, dtype=np.int64)
+    events: list[list[UpdateEvent]] = [[] for _ in range(n)]
+
+    # Preallocated per-tick scratch.  Every elementwise op below writes
+    # into one of these via ``out=`` so the hot loop allocates nothing.
+    elapsed = np.empty(n, dtype=np.float64)
+    v_elapsed = np.empty(n, dtype=np.float64)
+    g_elapsed = np.empty(n, dtype=np.float64)
+    deviation = np.empty(n, dtype=np.float64)
+    bound = np.empty(n, dtype=np.float64)
+    slow = np.empty(n, dtype=np.float64)
+    slope = np.empty(n, dtype=np.float64)
+    ab = np.empty(n, dtype=np.float64)
+    threshold = np.empty(n, dtype=np.float64)
+    tmp = np.empty(n, dtype=np.float64)
+    zero = np.empty(n, dtype=np.bool_)
+    positive = np.empty(n, dtype=np.bool_)
+    fire = np.empty(n, dtype=np.bool_)
+
+    for i in range(1, num_ticks + 1):
+        t = float(times[i])
+        # Tick times are strictly increasing and last_update_time only
+        # ever holds an earlier tick's time, so elapsed >= dt > 0 on
+        # every lane: the scalar engine's elapsed <= 0 guards (the inf
+        # bound cap and the 1e-9 slope floor) are unreachable here.
+        np.subtract(t, last_update_time, out=elapsed)
+        actual = travel[i, start:stop]
+        np.multiply(declared, elapsed, out=v_elapsed)
+        np.add(last_update_travel, v_elapsed, out=deviation)
+        np.subtract(actual, deviation, out=deviation)
+        np.fabs(deviation, out=deviation)
+        np.less_equal(deviation, ZERO_DEVIATION_TOLERANCE, out=zero)
+        if zero.any():
+            np.copyto(last_zero_elapsed, elapsed, where=zero)
+            np.copyto(deviation, 0.0, where=zero)
+
+        np.multiply(gap, elapsed, out=g_elapsed)
+        if use_delay:
+            np.minimum(v_elapsed, slow_plateau, out=slow)
+            np.minimum(g_elapsed, fast_plateau, out=bound)
+            np.maximum(slow, bound, out=bound)
+        else:
+            # max(min(vt, cap), min(gap*t, cap)) == min(max(vt, gap*t),
+            # cap): min/max only select inputs, so the fused form picks
+            # the same float the scalar branch picks.
+            np.divide(two_cost, elapsed, out=slow)
+            np.maximum(v_elapsed, g_elapsed, out=bound)
+            np.minimum(bound, slow, out=bound)
+
+        np.multiply(deviation, dt, out=tmp)
+        deviation_integral += tmp
+        np.multiply(bound, dt, out=tmp)
+        uncertainty_integral += tmp
+        np.maximum(max_deviation, deviation, out=max_deviation)
+        np.maximum(max_uncertainty, bound, out=max_uncertainty)
+
+        np.greater(deviation, 0.0, out=positive)
+        if not positive.any():
+            continue
+        # Inlined SimpleFitting.fit + Proposition 1, over all lanes.
+        # Lanes with zero deviation can never fire: under dl their
+        # slope is 0/0 = NaN (delay was set to this very elapsed), so
+        # the fire comparison is False; otherwise their threshold is 0
+        # and `positive` gates them out.  Positive lanes always have
+        # effective >= dt > 0 (a zero tick can only be an earlier,
+        # smaller elapsed), so the scalar 1e-9 floor is unreachable.
+        if use_delay:
+            np.subtract(elapsed, last_zero_elapsed, out=slope)
+            np.divide(deviation, slope, out=slope)
+            np.multiply(slope, last_zero_elapsed, out=ab)
+            np.multiply(ab, ab, out=threshold)
+            np.multiply(2.0, slope, out=tmp)
+            np.multiply(tmp, update_cost, out=tmp)
+            np.add(threshold, tmp, out=threshold)
+            np.sqrt(threshold, out=threshold)
+            np.subtract(threshold, ab, out=threshold)
+        else:
+            np.divide(deviation, elapsed, out=slope)
+            np.multiply(2.0, slope, out=tmp)
+            np.multiply(tmp, update_cost, out=tmp)
+            np.sqrt(tmp, out=threshold)
+        np.multiply(threshold, send_slack, out=tmp)
+        np.greater_equal(deviation, tmp, out=fire)
+        np.logical_and(fire, positive, out=fire)
+        if not fire.any():
+            continue
+
+        idx = np.nonzero(fire)[0]
+        fired_travel = actual[idx]
+        if declare_average:
+            fired_elapsed = elapsed[idx]
+            distance = fired_travel - last_update_travel[idx]
+            distance = np.where(distance < 0.0, 0.0, distance)
+            ratio = distance / fired_elapsed
+            new_speed = np.where(fired_elapsed > 0.0, ratio, declared[idx])
+        else:
+            new_speed = speeds[i, start:stop][idx]
+        new_speed = np.where(new_speed < 0.0, 0.0, new_speed)
+
+        if collect_events:
+            fired_threshold = threshold[idx]
+            fired_deviation = deviation[idx]
+            rows = idx.tolist()
+            for pos, row in enumerate(rows):
+                events[row].append(UpdateEvent(
+                    time=t,
+                    travel=float(fired_travel[pos]),
+                    declared_speed=float(new_speed[pos]),
+                    threshold=float(fired_threshold[pos]),
+                    deviation_at_update=float(fired_deviation[pos]),
+                ))
+        num_updates[idx] += 1
+        last_update_time[idx] = t
+        last_update_travel[idx] = fired_travel
+        declared[idx] = new_speed
+        last_zero_elapsed[idx] = 0.0
+        fired_gap = max_speeds[idx] - new_speed
+        fired_gap = np.where(fired_gap < 0.0, 0.0, fired_gap)
+        gap[idx] = fired_gap
+        if use_delay:
+            slow_plateau[idx] = np.sqrt(2.0 * new_speed * update_cost)
+            fast_plateau[idx] = np.sqrt(2.0 * fired_gap * update_cost)
+
+    results: list[TripResult] = []
+    for row in range(n):
+        updates = int(num_updates[row])
+        dev_integral = float(deviation_integral[row])
+        unc_integral = float(uncertainty_integral[row])
+        metrics = TripMetrics(
+            policy=policy.name,
+            update_cost=update_cost,
+            duration=duration,
+            num_updates=updates,
+            deviation_integral=dev_integral,
+            deviation_cost=dev_integral,
+            total_cost=update_cost * updates + dev_integral,
+            avg_deviation=dev_integral / duration,
+            max_deviation=float(max_deviation[row]),
+            avg_uncertainty=unc_integral / duration,
+            max_uncertainty=float(max_uncertainty[row]),
+        )
+        results.append(TripResult(
+            metrics=metrics,
+            updates=events[row] if collect_events else [],
+            series=None,
+        ))
+    return results

@@ -1,0 +1,101 @@
+"""Batched bbox pre-tests for the batch query engine.
+
+The scalar engine screens each candidate's geometry bbox against the
+query region before paying for exact classification
+(:mod:`repro.dbms.batch`).  These helpers evaluate the same screens
+over every candidate of a query in one array pass.
+
+The rectangle/rectangle screens (:func:`range_pretest`) are pure
+float comparisons and therefore decide exactly the elements the
+scalar screens decide.  The distance screens (:func:`within_pretest`)
+use :func:`numpy.hypot`, which may differ from :func:`math.hypot` by
+an ulp on some platforms, so they are deliberately a hair
+conservative (:data:`DISTANCE_SLACK`): an ulp-boundary candidate is
+routed to exact classification instead of being screened, and since
+the screens only ever decide an outcome the exact classifier agrees
+with, answers are identical to the scalar path; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.bbox import Rect2D
+from repro.geometry.point import Point
+
+__all__ = [
+    "DISTANCE_SLACK",
+    "pack_rects",
+    "range_pretest",
+    "within_pretest",
+]
+
+#: Relative margin by which the distance screens under-reach.  Far
+#: larger than the sub-ulp disagreement possible between
+#: :func:`numpy.hypot` and :func:`math.hypot`, far smaller than any
+#: meaningful geometric tolerance.
+DISTANCE_SLACK = 1e-12
+
+
+def pack_rects(
+    rects: Sequence[Rect2D],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """``(min_x, min_y, max_x, max_y)`` column arrays for ``rects``."""
+    coords = np.empty((4, len(rects)), dtype=np.float64)
+    for i, rect in enumerate(rects):
+        coords[0, i] = rect.min_x
+        coords[1, i] = rect.min_y
+        coords[2, i] = rect.max_x
+        coords[3, i] = rect.max_y
+    return coords[0], coords[1], coords[2], coords[3]
+
+
+def range_pretest(
+    query_rect: Rect2D, rect_region: Rect2D | None,
+    rects: Sequence[Rect2D],
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """``(out, must)`` masks for a range query's candidate bboxes.
+
+    ``out[i]`` is ``not query_rect.intersects(rects[i])`` and ``must``
+    (when the query polygon is exactly ``rect_region``) is
+    ``rect_region.contains_rect(rects[i])`` — the same closed-interval
+    comparisons as :class:`~repro.geometry.bbox.Rect2D`, so the masks
+    match the scalar screens bit for bit.
+    """
+    min_x, min_y, max_x, max_y = pack_rects(rects)
+    out = ~(
+        (query_rect.min_x <= max_x) & (min_x <= query_rect.max_x)
+        & (query_rect.min_y <= max_y) & (min_y <= query_rect.max_y)
+    )
+    if rect_region is None:
+        return out, None
+    must = (
+        (rect_region.min_x <= min_x) & (max_x <= rect_region.max_x)
+        & (rect_region.min_y <= min_y) & (max_y <= rect_region.max_y)
+    )
+    return out, must
+
+
+def within_pretest(
+    center: Point, radius: float, rects: Sequence[Rect2D],
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(out, must)`` masks for a within-distance query's bboxes.
+
+    ``out`` marks bboxes whose minimum distance to ``center`` exceeds
+    ``radius`` (mirrors ``_rect_min_distance``); ``must`` marks bboxes
+    whose maximum distance is within it (``_rect_max_distance``).
+    Both screens pull back by :data:`DISTANCE_SLACK` so a hypot
+    rounding difference can only send a candidate to exact
+    classification, never decide one the scalar screen would not.
+    Consumers must give ``out`` precedence, as the scalar branch does.
+    """
+    min_x, min_y, max_x, max_y = pack_rects(rects)
+    near_dx = np.maximum(np.maximum(min_x - center.x, 0.0), center.x - max_x)
+    near_dy = np.maximum(np.maximum(min_y - center.y, 0.0), center.y - max_y)
+    out = np.hypot(near_dx, near_dy) > radius * (1.0 + DISTANCE_SLACK)
+    far_dx = np.maximum(center.x - min_x, max_x - center.x)
+    far_dy = np.maximum(center.y - min_y, max_y - center.y)
+    must = np.hypot(far_dx, far_dy) <= radius * (1.0 - DISTANCE_SLACK)
+    return out, must

@@ -1,0 +1,21 @@
+"""Bad vec kernel: per-element loops and narrow dtypes (RPR304 x5)."""
+
+import numpy as np
+
+__all__ = ["accumulate", "pack"]
+
+
+def accumulate(values):
+    total = 0.0
+    for value in np.nditer(values):
+        total += float(value)
+    squares = [float(v) ** 2 for v in values.tolist()]
+    for v in values.flat:
+        total += v
+    return total, squares
+
+
+def pack(xs):
+    out = np.asarray(xs, dtype=np.float32)
+    mask = np.zeros(4, dtype="f4")
+    return out, mask

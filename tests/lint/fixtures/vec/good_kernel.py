@@ -1,0 +1,18 @@
+"""Good vec kernel: array-at-a-time float64 work, wide dtypes only."""
+
+import numpy as np
+
+__all__ = ["simulate"]
+
+
+def simulate(travel, dt):
+    deviation = np.fabs(travel[1:] - travel[:-1])
+    counts = np.zeros(deviation.shape[0], dtype=np.int64)
+    flags = np.empty(deviation.shape[0], dtype=np.bool_)
+    np.greater(deviation, 0.0, out=flags)
+    for start in range(0, deviation.shape[0], 64):
+        block = deviation[start:start + 64]
+        counts[start // 64] = block.shape[0]
+    rows = np.nonzero(flags)[0].tolist()
+    scattered = [deviation[row] * dt for row in rows]
+    return deviation, counts, flags, scattered

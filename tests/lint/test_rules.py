@@ -21,6 +21,7 @@ BAD_FIXTURES = [
     ("exec/bad_worker_global.py", "RPR202", 1),
     ("src/repro/core/bad_float_eq.py", "RPR301", 2),
     ("anywhere/bad_mutable_default.py", "RPR302", 3),
+    ("vec/bad_kernel.py", "RPR304", 5),
     ("anywhere/bad_all_unresolved.py", "RPR401", 1),
     ("src/repro/dbms/bad_missing_all.py", "RPR402", 1),
     ("src/repro/sim/bad_span.py", "RPR501", 1),
@@ -40,6 +41,7 @@ GOOD_FIXTURES = [
     ("exec/good_worker_global.py", "RPR202"),
     ("src/repro/core/good_float_eq.py", "RPR301"),
     ("anywhere/good_mutable_default.py", "RPR302"),
+    ("vec/good_kernel.py", "RPR304"),
     ("anywhere/good_all.py", "RPR401"),
     ("src/repro/sim/good_span.py", "RPR501"),
     ("src/repro/obs/good_registry.py", "RPR502"),

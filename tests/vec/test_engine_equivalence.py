@@ -1,0 +1,115 @@
+"""Scalar-vs-vectorized engine equivalence: exact floats, not almost.
+
+The vectorized engine's whole contract is that it is invisible: every
+metric field and every update event must be byte-identical to the
+scalar fast path (and therefore, transitively, to the generic tick
+loop).  Equality below is frozen-dataclass equality — exact float
+comparison, field by field.
+"""
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.policies import make_policy
+from repro.errors import SimulationError
+from repro.exec import GridTrip, TickGrid
+from repro.sim.engine import PolicySimulation, simulate_trip
+from repro.sim.speed_curves import CityCurve, HighwayCurve, RushHourCurve
+from repro.sim.trip import Trip
+from repro.vec.batch import VecTripBatch
+from repro.vec.engine import simulate_batch
+
+DT = 1.0 / 30.0
+CURVES = {
+    "city": CityCurve,
+    "highway": HighwayCurve,
+    "rush-hour": RushHourCurve,
+}
+
+
+def build_grid(kind="city", duration=20.0, seed=11, dt=DT):
+    trip = Trip.synthetic(CURVES[kind](duration, random.Random(seed)))
+    return TickGrid.build(trip, dt)
+
+
+@pytest.mark.parametrize("policy_name", ["dl", "ail", "cil"])
+@pytest.mark.parametrize("kind", sorted(CURVES))
+def test_batch_of_one_matches_scalar_fast_path(policy_name, kind):
+    grid = build_grid(kind)
+    policy = make_policy(policy_name, 5.0)
+    scalar = PolicySimulation(GridTrip(grid), policy, dt=DT, grid=grid).run()
+    vec = simulate_batch(VecTripBatch.from_grids([grid]), policy)[0]
+    assert vec.metrics == scalar.metrics
+    assert vec.updates == scalar.updates
+
+
+@pytest.mark.parametrize("policy_name", ["dl", "ail", "cil"])
+def test_randomized_mixed_batch_matches_generic_engine(policy_name):
+    rng = random.Random(77)
+    trips = [
+        Trip.synthetic(CURVES[kind](15.0, random.Random(rng.randrange(1 << 20))))
+        for kind in ("city", "highway", "rush-hour", "city", "highway")
+    ]
+    grids = [TickGrid.build(trip, DT) for trip in trips]
+    for cost in (0.5, 2.0, 10.0):
+        policy = make_policy(policy_name, cost)
+        vec = simulate_batch(VecTripBatch.from_grids(grids), policy)
+        for trip, row in zip(trips, vec):
+            generic = simulate_trip(trip, make_policy(policy_name, cost),
+                                    dt=DT)
+            assert row.metrics == generic.metrics
+            assert row.updates == generic.updates
+
+
+def test_repeated_grids_match_distinct_conversion():
+    base = [build_grid("city", seed=s) for s in range(3)]
+    cycled = [base[i % 3] for i in range(24)]
+    policy = make_policy("dl", 5.0)
+    rows = simulate_batch(VecTripBatch.from_grids(cycled), policy)
+    singles = [simulate_batch(VecTripBatch.from_grids([g]), policy)[0]
+               for g in base]
+    for i, row in enumerate(rows):
+        assert row.metrics == singles[i % 3].metrics
+        assert row.updates == singles[i % 3].updates
+
+
+def test_collect_events_off_keeps_metrics_identical():
+    grid = build_grid("rush-hour")
+    policy = make_policy("ail", 2.0)
+    with_events = simulate_batch(VecTripBatch.from_grids([grid]), policy)[0]
+    without = simulate_batch(VecTripBatch.from_grids([grid]), policy,
+                             collect_events=False)[0]
+    assert without.metrics == with_events.metrics
+    assert without.updates == []
+
+
+def test_unsupported_policy_is_rejected():
+    grid = build_grid()
+    batch = VecTripBatch.from_grids([grid])
+    with pytest.raises(SimulationError):
+        simulate_batch(batch, make_policy("periodic", 5.0))
+
+
+def test_empty_batch_is_rejected():
+    with pytest.raises(SimulationError):
+        VecTripBatch.from_grids([])
+
+
+def test_mismatched_tick_layouts_are_rejected():
+    coarse = build_grid(dt=0.1)
+    fine = build_grid(dt=DT)
+    with pytest.raises(SimulationError):
+        VecTripBatch.from_grids([coarse, fine])
+
+
+def test_batch_arrays_are_bitwise_the_grid_columns():
+    grids = [build_grid("highway", seed=s) for s in range(4)]
+    batch = VecTripBatch.from_grids(grids)
+    assert batch.travel.dtype == np.float64
+    assert batch.speeds.dtype == np.float64
+    for j, grid in enumerate(grids):
+        assert batch.travel[:, j].tolist() == list(grid.travel)
+        assert batch.speeds[:, j].tolist() == list(grid.speeds)

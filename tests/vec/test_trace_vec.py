@@ -1,0 +1,63 @@
+"""Record -> replay byte-identity through the vectorized query path.
+
+A workload recorded while the vectorized engine answers queries must
+produce the exact event stream of a scalar recording (same answer
+digests, same cache event), and must replay cleanly in every mode.
+"""
+
+import io
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.dbms import batch as batch_module
+from repro.dbms.batch import BatchQueryEngine
+from repro.index.timespace import TimeSpaceIndex
+from repro.trace.recorder import (
+    TraceRecorder,
+    read_trace,
+    record_index_digest,
+    use_recorder,
+    write_trace,
+)
+from repro.trace.replay import MODES, TraceReplayer
+
+from tests.dbms.test_batch import build_database, build_workload
+
+
+def record_batch_session(vectorize):
+    with use_recorder(TraceRecorder(meta={"suite": "vec-trace"})) as rec:
+        database, network, object_ids = build_database(
+            TimeSpaceIndex(slab_minutes=5.0)
+        )
+        queries = build_workload(network, object_ids, count=30)
+        BatchQueryEngine(database, vectorize=vectorize).run(queries)
+        record_index_digest(database)
+    return rec
+
+
+def dump_events(recorder):
+    buffer = io.StringIO()
+    write_trace(recorder, buffer)
+    return read_trace(io.StringIO(buffer.getvalue()))[1]
+
+
+@pytest.fixture
+def low_floor(monkeypatch):
+    monkeypatch.setattr(batch_module, "_MIN_VEC_CANDIDATES", 1)
+
+
+def test_vectorized_recording_matches_scalar_stream(low_floor):
+    scalar = dump_events(record_batch_session(False))
+    vec = dump_events(record_batch_session(True))
+    assert [(e.kind, e.data) for e in vec] \
+        == [(e.kind, e.data) for e in scalar]
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_vectorized_recording_replays_in_every_mode(mode, low_floor):
+    events = dump_events(record_batch_session(True))
+    report = TraceReplayer(mode=mode).replay(events)
+    assert report.ok, report.mismatches[:3]
+    assert report.queries_checked >= 30
