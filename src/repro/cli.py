@@ -110,7 +110,8 @@ def _cmd_report(args: argparse.Namespace, out: TextIO) -> int:
                 from repro.trace import use_recorder
 
                 recorder = stack.enter_context(use_recorder())
-            run_all(fast=args.fast, out=out, jobs=args.jobs)
+            run_all(fast=args.fast, out=out, jobs=args.jobs,
+                    shards=args.shards)
         if registry is not None:
             write_jsonl(registry, args.metrics_out)
             print(f"metrics snapshot written to {args.metrics_out}",
@@ -169,7 +170,46 @@ def _cmd_simulate(args: argparse.Namespace, out: TextIO) -> int:
     return 0
 
 
-def _build_scenario(name: str, size: int, duration: float, seed: int):
+def _shard_factory(shards: int | None, shard_plan: str | None):
+    """A scenario ``database_factory`` building a sharded facade.
+
+    ``--shard-plan`` loads a saved partitioning verbatim; ``--shards``
+    lays a uniform grid over the scenario network's extent.
+    """
+    if shards is not None and shard_plan is not None:
+        raise ReproError("--shards and --shard-plan are mutually exclusive")
+    if shards is not None and shards < 1:
+        raise ReproError(f"--shards must be >= 1, got {shards}")
+    from repro.geometry.bbox import Rect2D
+    from repro.index.timespace import TimeSpaceIndex
+    from repro.shard import ShardedDatabase, load_plan, uniform_grid_for
+
+    def factory(network):
+        if shard_plan is not None:
+            partitioning = load_plan(shard_plan)
+        else:
+            partitioning = uniform_grid_for(
+                Rect2D(*network.bounding_extent()), shards
+            )
+        return ShardedDatabase(partitioning, index_factory=TimeSpaceIndex)
+
+    return factory
+
+
+def _batch_engine(database, jobs: int = 1):
+    """The batch engine matching the database flavour."""
+    if hasattr(database, "shards_for_window"):
+        from repro.shard import ShardedBatchQueryEngine
+
+        return ShardedBatchQueryEngine(database, jobs=jobs)
+    from repro.dbms.batch import BatchQueryEngine
+
+    return BatchQueryEngine(database)
+
+
+def _build_scenario(name: str, size: int, duration: float, seed: int,
+                    shards: int | None = None,
+                    shard_plan: str | None = None):
     from repro.workloads import (
         battlefield_scenario,
         taxi_fleet_scenario,
@@ -191,9 +231,10 @@ def _build_scenario(name: str, size: int, duration: float, seed: int):
         "taxi": "num_taxis", "trucking": "num_trucks",
         "battlefield": "num_units",
     }[name]
-    return builder(**{
-        "duration": duration, "seed": seed, size_param: size,
-    })
+    kwargs = {"duration": duration, "seed": seed, size_param: size}
+    if shards is not None or shard_plan is not None:
+        kwargs["database_factory"] = _shard_factory(shards, shard_plan)
+    return builder(**kwargs)
 
 
 def _cmd_scenario(args: argparse.Namespace, out: TextIO) -> int:
@@ -250,7 +291,8 @@ def _cmd_stats(args: argparse.Namespace, out: TextIO) -> int:
     with use_registry() as registry, use_tracer(tracer), record_ctx, \
             root_span:
         scenario = _build_scenario(
-            args.name, args.size, args.duration, args.seed
+            args.name, args.size, args.duration, args.seed,
+            shards=args.shards, shard_plan=args.shard_plan,
         )
         polygons = polygon_query_workload(
             scenario.network, random.Random(args.seed + 1), count=args.queries
@@ -258,13 +300,14 @@ def _cmd_stats(args: argparse.Namespace, out: TextIO) -> int:
         engine = None
         if args.batch:
             # Batched serving mode: run the fleet, then answer the
-            # whole query workload in one BatchQueryEngine pass (shared
-            # R-tree traversal + uncertainty cache) against the final
-            # database state.
-            from repro.dbms.batch import BatchQueryEngine, RangeQuery
+            # whole query workload in one batch pass (shared R-tree
+            # traversal + uncertainty cache) against the final
+            # database state.  Sharded databases get the fan-out
+            # engine, which parallelizes over --jobs.
+            from repro.dbms.batch import RangeQuery
 
             counts = scenario.fleet.run()
-            engine = BatchQueryEngine(scenario.database)
+            engine = _batch_engine(scenario.database, jobs=args.jobs)
             t_end = scenario.database.clock_time
             engine.run([RangeQuery(polygon, t_end) for polygon in polygons])
             queries_issued = len(polygons)
@@ -300,6 +343,8 @@ def _cmd_stats(args: argparse.Namespace, out: TextIO) -> int:
                 num_curves=max(args.jobs, 2),
                 duration=min(args.duration, 10.0), seed=args.seed,
             ))
+        if hasattr(scenario.database, "publish_shard_gauges"):
+            scenario.database.publish_shard_gauges()
         if recorder is not None:
             from repro.trace import record_index_digest
 
@@ -509,7 +554,6 @@ def _issue_sequential(database, queries) -> None:
 
 def _cmd_trace_record(args: argparse.Namespace, out: TextIO) -> int:
     """Record a fleet scenario plus query workload as a JSONL trace."""
-    from repro.dbms.batch import BatchQueryEngine
     from repro.geometry.point import Point
     from repro.trace import (
         TraceRecorder,
@@ -524,10 +568,12 @@ def _cmd_trace_record(args: argparse.Namespace, out: TextIO) -> int:
         "command": "trace record", "scenario": args.name,
         "size": args.size, "duration": args.duration, "seed": args.seed,
         "queries": args.queries, "batch": args.batch,
+        "shards": args.shards,
     })
     with use_recorder(recorder):
         scenario = _build_scenario(
-            args.name, args.size, args.duration, args.seed
+            args.name, args.size, args.duration, args.seed,
+            shards=args.shards,
         )
         scenario.fleet.run()
         database = scenario.database
@@ -538,7 +584,7 @@ def _cmd_trace_record(args: argparse.Namespace, out: TextIO) -> int:
             args.queries, object_ids, (t_end,),
         )
         if args.batch:
-            BatchQueryEngine(database).run(queries)
+            _batch_engine(database).run(queries)
         else:
             _issue_sequential(database, queries)
         # Cover the db-only query kinds too, then checkpoint the index.
@@ -558,10 +604,13 @@ def _cmd_trace_replay(args: argparse.Namespace, out: TextIO) -> int:
     """Re-drive a recorded trace and verify every answer digest."""
     from repro.trace import TraceReplayer
 
-    report = TraceReplayer(mode=args.mode).replay_file(args.trace)
+    report = TraceReplayer(
+        mode=args.mode, shards=args.shards
+    ).replay_file(args.trace)
     print(f"replayed {report.events_total} events: "
           f"{report.queries_checked} query digest(s), "
-          f"{report.index_checks} index checkpoint(s)", file=out)
+          f"{report.index_checks} index checkpoint(s), "
+          f"{report.shard_checks} shard routing check(s)", file=out)
     if report.ok:
         print("replay OK: all digests byte-identical", file=out)
         return 0
@@ -630,6 +679,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--trace-out", default=None,
                         help="record the run's DBMS workload as a JSONL "
                              "flight-recorder trace at this path")
+    report.add_argument("--shards", type=int, default=4,
+                        help="shard count for the sharding experiment "
+                             "(E20); answers are shard-count invariant")
     report.set_defaults(func=_cmd_report)
 
     simulate = sub.add_parser("simulate", help="simulate one trip")
@@ -690,10 +742,18 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--trace-out", default=None,
                        help="record the run's DBMS workload as a JSONL "
                             "flight-recorder trace at this path")
+    stats.add_argument("--shards", type=int, default=None,
+                       help="serve the scenario through a spatially "
+                            "sharded database with this many shards "
+                            "(uniform grid over the network extent)")
+    stats.add_argument("--shard-plan", default=None,
+                       help="load a saved partitioning plan (JSON) instead "
+                            "of a uniform --shards grid")
     stats.add_argument("--jobs", type=int, default=1,
                        help="also run a small parallel sweep with this many "
-                            "workers; their telemetry is merged into the "
-                            "snapshot under worker=\"chunk-N\" labels")
+                            "workers (and fan sharded --batch queries over "
+                            "this many processes); telemetry is merged "
+                            "under worker=\"chunk-N\" labels")
     stats.add_argument("--profile", action="store_true",
                        help="record spans under a root span and print a "
                             "flame summary after the snapshot")
@@ -792,6 +852,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace_record.add_argument("--batch", action="store_true",
                               help="issue the query workload through the "
                                    "batched query engine")
+    trace_record.add_argument("--shards", type=int, default=None,
+                              help="record the run through a sharded "
+                                   "database with this many shards")
     trace_record.add_argument("--out", default="trace.jsonl",
                               help="trace output path")
     trace_record.set_defaults(func=_cmd_trace_record)
@@ -801,6 +864,10 @@ def build_parser() -> argparse.ArgumentParser:
                        "verify byte-identical answer digests"
     )
     trace_replay.add_argument("trace", help="JSONL trace path")
+    trace_replay.add_argument("--shards", type=int, default=None,
+                              help="replay over this many shards instead "
+                                   "of the recorded layout; answer digests "
+                                   "must still match")
     trace_replay.add_argument("--mode", default="auto",
                               choices=("auto", "sequential", "batch"),
                               help="query path: as recorded (auto), or "

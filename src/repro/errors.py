@@ -53,6 +53,10 @@ class IndexError_(ReproError):
 SpatialIndexError = IndexError_
 
 
+class ShardError(ReproError):
+    """A sharding partitioning, plan, or cost-model input is invalid."""
+
+
 class SimulationError(ReproError):
     """The simulation engine was driven into an invalid state."""
 
@@ -80,6 +84,7 @@ __all__ = [
     "ReproError",
     "RouteError",
     "SchemaError",
+    "ShardError",
     "SimulationError",
     "SpatialIndexError",
     "TraceError",

@@ -36,6 +36,7 @@ from repro.experiments.indexing import (
     experiment_index_sublinearity,
     experiment_may_must_correctness,
 )
+from repro.experiments.sharding import table_sharding
 from repro.experiments.sweep import SweepSpec
 from repro.experiments.tables import (
     example1_threshold_trace,
@@ -58,14 +59,15 @@ def fast_spec() -> SweepSpec:
 
 
 def run_all(fast: bool = False, out: TextIO | None = None,
-            jobs: int = 1) -> None:
-    """Execute E1–E19 and write the report to ``out`` (default stdout).
+            jobs: int = 1, shards: int = 4) -> None:
+    """Execute E1–E20 and write the report to ``out`` (default stdout).
 
     ``out`` defaults to *the current* ``sys.stdout`` at call time, so
     stream redirection (e.g. under test capture) behaves as expected.
     ``jobs`` fans the sweep-shaped experiments (E1–E3, E4, the ablation
     tables) over worker processes; every number in the report is
-    invariant under the job count.
+    invariant under the job count.  ``shards`` sets the shard budget
+    for the E20 shard-plan search.
     """
     if out is None:
         out = sys.stdout
@@ -192,6 +194,16 @@ def run_all(fast: bool = False, out: TextIO | None = None,
     emit(tuning.render())
     emit()
 
+    sharding = table_sharding(
+        num_shards=shards,
+        num_objects=12 if fast else 24,
+        num_updates=8 if fast else 12,
+        num_queries=60 if fast else 160,
+    )
+    emit(f"[{sharding.experiment_id}]")
+    emit(sharding.render())
+    emit()
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
@@ -211,15 +223,19 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for the sweep-shaped experiments "
              "(results are identical for any value)",
     )
+    parser.add_argument(
+        "--shards", type=int, default=4,
+        help="shard budget for the E20 shard-plan search",
+    )
     args = parser.parse_args(argv)
     if args.metrics_out is not None:
         from repro.obs import use_registry, write_jsonl
 
         with use_registry() as registry:
-            run_all(fast=args.fast, jobs=args.jobs)
+            run_all(fast=args.fast, jobs=args.jobs, shards=args.shards)
         write_jsonl(registry, args.metrics_out)
     else:
-        run_all(fast=args.fast, jobs=args.jobs)
+        run_all(fast=args.fast, jobs=args.jobs, shards=args.shards)
     return 0
 
 

@@ -8,9 +8,9 @@ path family it applies to, and an AST checker.  Checkers live in
 :mod:`repro.lint.checks` and register themselves via :func:`register`.
 
 Scoping is tag-based.  :func:`classify_path` maps a repo-relative path
-to a set of tags (``deterministic``, ``exec``, ``vec``, ``obs``,
-``library``, ``test``, ``script``) and each scope is a predicate over
-those tags.
+to a set of tags (``deterministic``, ``exec``, ``vec``, ``shard``,
+``obs``, ``library``, ``test``, ``script``) and each scope is a
+predicate over those tags.
 Paths under ``tests/lint/fixtures/`` have that prefix stripped before
 classification, so a fixture at ``tests/lint/fixtures/sim/bad.py`` is
 scoped exactly like a real ``sim/`` module — fixtures exercise rules
@@ -51,6 +51,8 @@ def classify_path(relpath: str) -> frozenset[str]:
         tags.add("deterministic")
     if "exec" in parts:
         tags.add("exec")
+    if "shard" in parts:
+        tags.add("shard")
     if "vec" in parts:
         tags.add("vec")
     if "obs" in parts:
@@ -92,6 +94,10 @@ def _scope_vec(tags: frozenset[str]) -> bool:
     return "vec" in tags and "test" not in tags
 
 
+def _scope_shard(tags: frozenset[str]) -> bool:
+    return "shard" in tags and "test" not in tags
+
+
 #: Scope name -> predicate over path tags.
 SCOPES: dict[str, Callable[[frozenset[str]], bool]] = {
     "everywhere": _scope_everywhere,
@@ -101,6 +107,7 @@ SCOPES: dict[str, Callable[[frozenset[str]], bool]] = {
     "library-not-obs": _scope_library_not_obs,
     "dbms-index": _scope_dbms_index,
     "vec": _scope_vec,
+    "shard": _scope_shard,
 }
 
 

@@ -1,0 +1,305 @@
+"""Cost model scoring a partitioning against a recorded workload.
+
+Follows the mongodb-d4 ``CostModel`` shape: a weighted sum
+
+    ``alpha * update_fanout + beta * query_fanin + gamma * temporal_skew``
+
+evaluated over a workload extracted from a flight-recorder trace
+(:mod:`repro.trace`):
+
+* **update fan-out** — every insert/update routes to one shard; an
+  update whose position falls in a different cell than the object's
+  previous one adds a migration penalty (cross-shard hand-off).
+* **query fan-in** — the number of shards each query's window
+  intersects, summed over the workload (queries without a window —
+  k-nearest — touch every shard).
+* **temporal skew** — the workload's time span is cut into
+  ``skew_segments`` segments (the d4 snippet's ``skew_segments``); the
+  per-segment load vector across shards is reduced to its population
+  variance and averaged over segments, so a partitioning that funnels
+  any time slice's traffic into few shards scores worse even when the
+  total load is balanced.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ShardError
+from repro.geometry.bbox import Rect2D
+from repro.shard.partition import Partitioning
+from repro.trace import events as ev
+from repro.trace.events import TraceEvent
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateOp:
+    """One position write (insert or update) at ``(x, y)``."""
+
+    time: float
+    x: float
+    y: float
+    object_id: str
+
+
+@dataclass(frozen=True, slots=True)
+class QueryOp:
+    """One query; ``window`` is ``None`` when every shard is touched."""
+
+    time: float
+    window: Rect2D | None
+
+
+@dataclass(frozen=True, slots=True)
+class TraceWorkload:
+    """The shard-relevant skeleton of a recorded trace."""
+
+    updates: tuple[UpdateOp, ...]
+    queries: tuple[QueryOp, ...]
+    #: Bounding rectangle of every recorded route vertex and position —
+    #: the region candidate partitionings should cover.
+    bounds: Rect2D
+
+    @property
+    def empty(self) -> bool:
+        return not self.updates and not self.queries
+
+
+@dataclass(frozen=True, slots=True)
+class CostBreakdown:
+    """One scored partitioning: the three components and their sum."""
+
+    update_fanout: float
+    query_fanin: float
+    temporal_skew: float
+    total: float
+
+
+class _BoundsTracker:
+    """Running min/max over every coordinate seen in the trace."""
+
+    def __init__(self) -> None:
+        self.min_x = math.inf
+        self.min_y = math.inf
+        self.max_x = -math.inf
+        self.max_y = -math.inf
+
+    def add(self, x: float, y: float) -> None:
+        self.min_x = min(self.min_x, x)
+        self.min_y = min(self.min_y, y)
+        self.max_x = max(self.max_x, x)
+        self.max_y = max(self.max_y, y)
+
+    def rect(self) -> Rect2D:
+        if self.min_x > self.max_x:
+            return Rect2D(0.0, 0.0, 1.0, 1.0)
+        if self.min_x == self.max_x or self.min_y == self.max_y:
+            return Rect2D(self.min_x, self.min_y,
+                          self.max_x, self.max_y).expanded(0.5)
+        return Rect2D(self.min_x, self.min_y, self.max_x, self.max_y)
+
+
+def _polygon_window(vertices: Sequence[Sequence[float]]) -> Rect2D | None:
+    xs = [float(v[0]) for v in vertices]
+    ys = [float(v[1]) for v in vertices]
+    if not xs:
+        return None
+    return Rect2D(min(xs), min(ys), max(xs), max(ys))
+
+
+def workload_from_events(trace_events: Sequence[TraceEvent]) -> TraceWorkload:
+    """Extract the shard-relevant workload from recorded events.
+
+    Update positions come straight off insert/update events.  Query
+    windows use each query's recorded parameters: range queries their
+    polygon bbox, within-distance queries ``center +- radius``,
+    position and proximity queries the issuing object's last recorded
+    position (grown by the radius for proximity), nearest queries no
+    window (they touch every shard).
+    """
+    updates: list[UpdateOp] = []
+    queries: list[QueryOp] = []
+    bounds = _BoundsTracker()
+    last_position: dict[str, tuple[float, float]] = {}
+    for event in trace_events:
+        data = event.data
+        if event.kind == ev.ROUTE_REGISTER:
+            for vertex in data.get("vertices", []):
+                bounds.add(float(vertex[0]), float(vertex[1]))
+        elif event.kind in (ev.INSERT_MOBILE, ev.UPDATE):
+            if event.kind == ev.INSERT_MOBILE:
+                position = data.get("position", [0.0, 0.0])
+                x, y = float(position[0]), float(position[1])
+            else:
+                x, y = float(data["x"]), float(data["y"])
+            time = float(event.time or 0.0)
+            object_id = str(event.object_id)
+            updates.append(UpdateOp(time=time, x=x, y=y,
+                                    object_id=object_id))
+            last_position[object_id] = (x, y)
+            bounds.add(x, y)
+        elif event.kind == ev.INSERT_STATIONARY:
+            position = data.get("position", [0.0, 0.0])
+            bounds.add(float(position[0]), float(position[1]))
+        elif event.kind == ev.QUERY:
+            time = float(event.time or 0.0)
+            kind = data.get("kind")
+            window: Rect2D | None = None
+            if kind == "range":
+                window = _polygon_window(data.get("polygon", []))
+            elif kind == "within":
+                center = data.get("center", [0.0, 0.0])
+                radius = float(data.get("radius", 0.0))
+                window = Rect2D(
+                    float(center[0]) - radius, float(center[1]) - radius,
+                    float(center[0]) + radius, float(center[1]) + radius,
+                )
+            elif kind in ("position", "proximity"):
+                known = last_position.get(str(event.object_id))
+                if known is not None:
+                    radius = float(data.get("radius", 0.0))
+                    window = Rect2D(known[0] - radius, known[1] - radius,
+                                    known[0] + radius, known[1] + radius)
+            queries.append(QueryOp(time=time, window=window))
+    return TraceWorkload(updates=tuple(updates), queries=tuple(queries),
+                         bounds=bounds.rect())
+
+
+def workload_from_trace(path: str) -> TraceWorkload:
+    """Load a flight-recorder trace file and extract its workload."""
+    from repro.trace.recorder import read_trace
+
+    _, trace_events = read_trace(path)
+    return workload_from_events(trace_events)
+
+
+class ShardCostModel:
+    """The d4-style weighted objective over a :class:`TraceWorkload`."""
+
+    def __init__(self, alpha: float = 1.0, beta: float = 1.0,
+                 gamma: float = 1.0, skew_segments: int = 10) -> None:
+        if alpha < 0 or beta < 0 or gamma < 0:
+            raise ShardError(
+                f"cost weights must be nonnegative, got "
+                f"alpha={alpha}, beta={beta}, gamma={gamma}"
+            )
+        if skew_segments < 1:
+            raise ShardError(
+                f"skew_segments must be positive, got {skew_segments}"
+            )
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+        self.skew_segments = skew_segments
+
+    def score(self, partitioning: Partitioning,
+              workload: TraceWorkload) -> CostBreakdown:
+        """Evaluate ``partitioning`` on ``workload``; lower is better."""
+        num_shards = partitioning.num_shards
+        segments = self._segment_edges(workload)
+        load = [[0.0] * num_shards for _ in segments]
+
+        update_fanout = 0.0
+        owner: dict[str, int] = {}
+        for op in workload.updates:
+            shard = partitioning.shard_of_point(op.x, op.y)
+            update_fanout += 1.0
+            previous = owner.get(op.object_id)
+            if previous is not None and previous != shard:
+                # Cross-cell hand-off: the old owner must be informed
+                # too, so a migration costs one extra message.
+                update_fanout += 1.0
+            owner[op.object_id] = shard
+            load[self._segment_of(op.time, segments)][shard] += 1.0
+
+        query_fanin = 0.0
+        for op in workload.queries:
+            if op.window is None:
+                fanned: tuple[int, ...] = tuple(range(num_shards))
+            else:
+                fanned = partitioning.shards_for_rect(op.window)
+            query_fanin += float(len(fanned))
+            segment = self._segment_of(op.time, segments)
+            for shard in fanned:
+                load[segment][shard] += 1.0
+
+        temporal_skew = _mean(
+            [_population_variance(row) for row in load]
+        )
+        total = (self.alpha * update_fanout + self.beta * query_fanin
+                 + self.gamma * temporal_skew)
+        return CostBreakdown(
+            update_fanout=update_fanout,
+            query_fanin=query_fanin,
+            temporal_skew=temporal_skew,
+            total=total,
+        )
+
+    def _segment_edges(self, workload: TraceWorkload) -> list[float]:
+        times = [op.time for op in workload.updates]
+        times.extend(op.time for op in workload.queries)
+        if not times:
+            return [0.0]
+        lo, hi = min(times), max(times)
+        if hi <= lo:
+            return [lo]
+        step = (hi - lo) / self.skew_segments
+        return [lo + i * step for i in range(self.skew_segments)]
+
+    @staticmethod
+    def _segment_of(time: float, edges: list[float]) -> int:
+        # Edges are ascending segment start times; binary search is
+        # overkill for <= a few dozen segments.
+        for i in range(len(edges) - 1, -1, -1):
+            if time >= edges[i]:
+                return i
+        return 0
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _population_variance(values: list[float]) -> float:
+    if not values:
+        return 0.0
+    mean = _mean(values)
+    return sum((value - mean) ** 2 for value in values) / len(values)
+
+
+def measured_fanouts(partitioning: Partitioning,
+                     workload: TraceWorkload) -> list[int]:
+    """Per-query shard fan-out counts under the cell model, in order."""
+    fanouts: list[int] = []
+    for op in workload.queries:
+        if op.window is None:
+            fanouts.append(partitioning.num_shards)
+        else:
+            fanouts.append(len(partitioning.shards_for_rect(op.window)))
+    return fanouts
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) by the nearest-rank method."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ShardError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    rank = max(0, math.ceil(q * len(ordered)) - 1)
+    return float(ordered[rank])
+
+
+__all__ = [
+    "CostBreakdown",
+    "QueryOp",
+    "ShardCostModel",
+    "TraceWorkload",
+    "UpdateOp",
+    "measured_fanouts",
+    "percentile",
+    "workload_from_events",
+    "workload_from_trace",
+]

@@ -1,0 +1,436 @@
+"""Spatial partitionings: mapping positions and extents to shard ids.
+
+A :class:`Partitioning` divides the plane's bounding region into
+``num_shards`` disjoint cells and assigns every point to exactly one
+shard id.  Two families are provided:
+
+* :class:`UniformGridPartitioning` — an ``nx x ny`` grid of equal
+  cells over the bounding rectangle (the classic static choice);
+* :class:`BinarySplitPartitioning` — a recursive binary split of the
+  bounding rectangle.  :meth:`BinarySplitPartitioning.build` splits
+  load-weighted: each node cuts its wider axis at the coordinate
+  quantile that sends ``k // 2`` of the remaining shard budget to the
+  low side, so dense regions receive proportionally more shards.
+
+Points outside the bounding region clamp to the nearest cell, so every
+position always has exactly one owner — a partitioning chosen from a
+recorded trace stays total when live objects drift past the recorded
+extent ("Evolving Distributions Under Local Motion": objects migrate
+between cells over time).
+
+Partitionings round-trip through JSON specs (:meth:`Partitioning.
+to_spec` / :func:`partitioning_from_spec`) and shard-plan files
+(:func:`save_plan` / :func:`load_plan`, schema ``repro-shard-plan/1``)
+so a searched plan can be handed to ``repro stats --shard-plan``.
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import ShardError
+from repro.geometry.bbox import Rect2D
+
+#: Shard-plan file schema identifier.
+PLAN_SCHEMA = "repro-shard-plan/1"
+
+
+def _bounds_to_spec(bounds: Rect2D) -> list[float]:
+    return [bounds.min_x, bounds.min_y, bounds.max_x, bounds.max_y]
+
+
+def _bounds_from_spec(raw: Any) -> Rect2D:
+    if not isinstance(raw, (list, tuple)) or len(raw) != 4:
+        raise ShardError(f"bounds spec must be [min_x, min_y, max_x, max_y], got {raw!r}")
+    return Rect2D(float(raw[0]), float(raw[1]), float(raw[2]), float(raw[3]))
+
+
+class Partitioning(ABC):
+    """A total assignment of plane positions to shard ids ``0..n-1``."""
+
+    #: Spec discriminator; subclasses override.
+    kind: str = "abstract"
+
+    def __init__(self, bounds: Rect2D, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ShardError(f"num_shards must be positive, got {num_shards}")
+        self.bounds = bounds
+        self.num_shards = num_shards
+
+    @abstractmethod
+    def shard_of_point(self, x: float, y: float) -> int:
+        """The owning shard of ``(x, y)`` (clamped into the bounds)."""
+
+    @abstractmethod
+    def shards_for_rect(self, rect: Rect2D) -> tuple[int, ...]:
+        """Every shard whose cell intersects ``rect``, ascending.
+
+        Conservative for rects beyond the bounds: they clamp onto the
+        boundary cells, mirroring :meth:`shard_of_point` ownership.
+        """
+
+    @abstractmethod
+    def region_of(self, shard: int) -> Rect2D:
+        """The cell rectangle of one shard."""
+
+    @abstractmethod
+    def to_spec(self) -> dict[str, Any]:
+        """A JSON-safe spec that :func:`partitioning_from_spec` accepts."""
+
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.num_shards:
+            raise ShardError(
+                f"shard id {shard} out of range [0, {self.num_shards})"
+            )
+
+
+class UniformGridPartitioning(Partitioning):
+    """An ``nx x ny`` grid of equal cells; ids are row-major."""
+
+    kind = "uniform"
+
+    def __init__(self, bounds: Rect2D, nx: int, ny: int) -> None:
+        if nx < 1 or ny < 1:
+            raise ShardError(f"grid shape must be positive, got {nx}x{ny}")
+        super().__init__(bounds, nx * ny)
+        self.nx = nx
+        self.ny = ny
+
+    def _column_of(self, x: float) -> int:
+        width = self.bounds.width
+        if width <= 0.0:
+            return 0
+        col = int((x - self.bounds.min_x) / width * self.nx)
+        return min(max(col, 0), self.nx - 1)
+
+    def _row_of(self, y: float) -> int:
+        height = self.bounds.height
+        if height <= 0.0:
+            return 0
+        row = int((y - self.bounds.min_y) / height * self.ny)
+        return min(max(row, 0), self.ny - 1)
+
+    def shard_of_point(self, x: float, y: float) -> int:
+        return self._row_of(y) * self.nx + self._column_of(x)
+
+    def shards_for_rect(self, rect: Rect2D) -> tuple[int, ...]:
+        col_lo = self._column_of(rect.min_x)
+        col_hi = self._column_of(rect.max_x)
+        row_lo = self._row_of(rect.min_y)
+        row_hi = self._row_of(rect.max_y)
+        return tuple(
+            row * self.nx + col
+            for row in range(row_lo, row_hi + 1)
+            for col in range(col_lo, col_hi + 1)
+        )
+
+    def region_of(self, shard: int) -> Rect2D:
+        self._check_shard(shard)
+        row, col = divmod(shard, self.nx)
+        cell_w = self.bounds.width / self.nx
+        cell_h = self.bounds.height / self.ny
+        return Rect2D(
+            self.bounds.min_x + col * cell_w,
+            self.bounds.min_y + row * cell_h,
+            self.bounds.min_x + (col + 1) * cell_w,
+            self.bounds.min_y + (row + 1) * cell_h,
+        )
+
+    def to_spec(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "bounds": _bounds_to_spec(self.bounds),
+            "nx": self.nx,
+            "ny": self.ny,
+        }
+
+    def __repr__(self) -> str:
+        return f"UniformGridPartitioning({self.nx}x{self.ny})"
+
+
+@dataclass(frozen=True, slots=True)
+class _SplitNode:
+    """One internal node of a binary split: cut ``axis`` at ``cut``.
+
+    ``low``/``high`` are either child nodes or leaf shard ids (ints).
+    Points with coordinate strictly below the cut go low; the cut line
+    itself belongs to the high side, keeping ownership deterministic.
+    """
+
+    axis: int
+    cut: float
+    low: "_SplitNode | int"
+    high: "_SplitNode | int"
+
+
+class BinarySplitPartitioning(Partitioning):
+    """A recursive binary split of the bounding rectangle.
+
+    Leaf ids are assigned in low-before-high depth-first order, so a
+    spec round-trip reproduces the identical id assignment.
+    """
+
+    kind = "binary_split"
+
+    def __init__(self, bounds: Rect2D, root: "_SplitNode | int") -> None:
+        regions: dict[int, Rect2D] = {}
+        _collect_regions(root, bounds, regions)
+        leaf_ids = sorted(regions)
+        if leaf_ids != list(range(len(leaf_ids))):
+            raise ShardError(
+                f"binary split leaves must be ids 0..n-1, got {leaf_ids}"
+            )
+        super().__init__(bounds, len(leaf_ids))
+        self.root = root
+        self._regions = regions
+
+    @classmethod
+    def build(cls, bounds: Rect2D, points: Sequence[tuple[float, float]],
+              num_shards: int) -> "BinarySplitPartitioning":
+        """Greedy load-weighted split of ``bounds`` into ``num_shards``.
+
+        ``points`` is the load sample (e.g. recorded update positions).
+        Each node sends ``k // 2`` of its shard budget to the low side
+        and cuts its wider axis at the matching load quantile, falling
+        back to the spatial midpoint when the sample is empty or
+        degenerate there.
+        """
+        if num_shards < 1:
+            raise ShardError(f"num_shards must be positive, got {num_shards}")
+        counter = _LeafCounter()
+        root = _build_split(bounds, [(float(x), float(y)) for x, y in points],
+                            num_shards, counter, midpoint=False)
+        return cls(bounds, root)
+
+    @classmethod
+    def build_midpoint(cls, bounds: Rect2D,
+                       num_shards: int) -> "BinarySplitPartitioning":
+        """A load-agnostic variant: every cut is the spatial midpoint."""
+        if num_shards < 1:
+            raise ShardError(f"num_shards must be positive, got {num_shards}")
+        counter = _LeafCounter()
+        root = _build_split(bounds, [], num_shards, counter, midpoint=True)
+        return cls(bounds, root)
+
+    def shard_of_point(self, x: float, y: float) -> int:
+        node: _SplitNode | int = self.root
+        while isinstance(node, _SplitNode):
+            coordinate = x if node.axis == 0 else y
+            node = node.low if coordinate < node.cut else node.high
+        return node
+
+    def shards_for_rect(self, rect: Rect2D) -> tuple[int, ...]:
+        found: list[int] = []
+        stack: list[_SplitNode | int] = [self.root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, int):
+                found.append(node)
+                continue
+            lo = rect.min_x if node.axis == 0 else rect.min_y
+            hi = rect.max_x if node.axis == 0 else rect.max_y
+            # The cut line belongs to the high side; a rect touching it
+            # from below still only reaches low cells, but coverage at
+            # the line itself must fan both ways to stay conservative.
+            if lo <= node.cut:
+                stack.append(node.low)
+            if hi >= node.cut:
+                stack.append(node.high)
+        return tuple(sorted(found))
+
+    def region_of(self, shard: int) -> Rect2D:
+        self._check_shard(shard)
+        return self._regions[shard]
+
+    def to_spec(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "bounds": _bounds_to_spec(self.bounds),
+            "root": _node_to_spec(self.root),
+        }
+
+    def __repr__(self) -> str:
+        return f"BinarySplitPartitioning(num_shards={self.num_shards})"
+
+
+class _LeafCounter:
+    """Depth-first leaf id assignment for :func:`_build_split`."""
+
+    def __init__(self) -> None:
+        self.next_id = 0
+
+    def take(self) -> int:
+        leaf = self.next_id
+        self.next_id += 1
+        return leaf
+
+
+def _build_split(rect: Rect2D, points: list[tuple[float, float]], k: int,
+                 counter: _LeafCounter, midpoint: bool) -> "_SplitNode | int":
+    if k == 1:
+        return counter.take()
+    axis = 0 if rect.width >= rect.height else 1
+    lo_edge = rect.min_x if axis == 0 else rect.min_y
+    hi_edge = rect.max_x if axis == 0 else rect.max_y
+    k_low = k // 2
+    cut = (lo_edge + hi_edge) / 2.0
+    if not midpoint and points:
+        coords = sorted(p[axis] for p in points)
+        quantile = coords[min(len(coords) - 1,
+                              (len(coords) * k_low) // k)]
+        if lo_edge < quantile < hi_edge:
+            cut = quantile
+    low_points = [p for p in points if p[axis] < cut]
+    high_points = [p for p in points if p[axis] >= cut]
+    if axis == 0:
+        low_rect = Rect2D(rect.min_x, rect.min_y, cut, rect.max_y)
+        high_rect = Rect2D(cut, rect.min_y, rect.max_x, rect.max_y)
+    else:
+        low_rect = Rect2D(rect.min_x, rect.min_y, rect.max_x, cut)
+        high_rect = Rect2D(rect.min_x, cut, rect.max_x, rect.max_y)
+    low = _build_split(low_rect, low_points, k_low, counter, midpoint)
+    high = _build_split(high_rect, high_points, k - k_low, counter, midpoint)
+    return _SplitNode(axis=axis, cut=cut, low=low, high=high)
+
+
+def _collect_regions(node: "_SplitNode | int", rect: Rect2D,
+                     regions: dict[int, Rect2D]) -> None:
+    if isinstance(node, int):
+        if node in regions:
+            raise ShardError(f"binary split leaf id {node} appears twice")
+        regions[node] = rect
+        return
+    if node.axis not in (0, 1):
+        raise ShardError(f"split axis must be 0 or 1, got {node.axis!r}")
+    if node.axis == 0:
+        if not rect.min_x <= node.cut <= rect.max_x:
+            raise ShardError(
+                f"split cut {node.cut} outside cell x-range "
+                f"[{rect.min_x}, {rect.max_x}]"
+            )
+        low_rect = Rect2D(rect.min_x, rect.min_y, node.cut, rect.max_y)
+        high_rect = Rect2D(node.cut, rect.min_y, rect.max_x, rect.max_y)
+    else:
+        if not rect.min_y <= node.cut <= rect.max_y:
+            raise ShardError(
+                f"split cut {node.cut} outside cell y-range "
+                f"[{rect.min_y}, {rect.max_y}]"
+            )
+        low_rect = Rect2D(rect.min_x, rect.min_y, rect.max_x, node.cut)
+        high_rect = Rect2D(rect.min_x, node.cut, rect.max_x, rect.max_y)
+    _collect_regions(node.low, low_rect, regions)
+    _collect_regions(node.high, high_rect, regions)
+
+
+def _node_to_spec(node: "_SplitNode | int") -> Any:
+    if isinstance(node, int):
+        return node
+    return {
+        "axis": node.axis,
+        "cut": node.cut,
+        "low": _node_to_spec(node.low),
+        "high": _node_to_spec(node.high),
+    }
+
+
+def _node_from_spec(raw: Any) -> "_SplitNode | int":
+    if isinstance(raw, bool):
+        raise ShardError(f"malformed split node {raw!r}")
+    if isinstance(raw, int):
+        return raw
+    if not isinstance(raw, dict):
+        raise ShardError(f"malformed split node {raw!r}")
+    try:
+        return _SplitNode(
+            axis=int(raw["axis"]),
+            cut=float(raw["cut"]),
+            low=_node_from_spec(raw["low"]),
+            high=_node_from_spec(raw["high"]),
+        )
+    except KeyError as exc:
+        raise ShardError(f"split node missing key {exc}") from None
+
+
+def partitioning_from_spec(spec: dict[str, Any]) -> Partitioning:
+    """Rebuild a partitioning from its :meth:`~Partitioning.to_spec`."""
+    if not isinstance(spec, dict):
+        raise ShardError(f"partitioning spec must be a dict, got {spec!r}")
+    kind = spec.get("kind")
+    bounds = _bounds_from_spec(spec.get("bounds"))
+    if kind == UniformGridPartitioning.kind:
+        return UniformGridPartitioning(
+            bounds, int(spec["nx"]), int(spec["ny"])
+        )
+    if kind == BinarySplitPartitioning.kind:
+        return BinarySplitPartitioning(bounds, _node_from_spec(spec["root"]))
+    raise ShardError(f"unknown partitioning kind {kind!r}")
+
+
+def uniform_grid_for(bounds: Rect2D, num_shards: int) -> UniformGridPartitioning:
+    """The squarest ``nx x ny`` uniform grid with ``nx * ny == num_shards``."""
+    if num_shards < 1:
+        raise ShardError(f"num_shards must be positive, got {num_shards}")
+    best_nx = 1
+    for nx in range(1, num_shards + 1):
+        if num_shards % nx == 0:
+            ny = num_shards // nx
+            if abs(nx - ny) <= abs(best_nx - num_shards // best_nx):
+                best_nx = nx
+    return UniformGridPartitioning(bounds, best_nx, num_shards // best_nx)
+
+
+def grid_shapes(num_shards: int) -> list[tuple[int, int]]:
+    """Every ``(nx, ny)`` factorisation of ``num_shards``, ascending nx."""
+    if num_shards < 1:
+        raise ShardError(f"num_shards must be positive, got {num_shards}")
+    return [(nx, num_shards // nx) for nx in range(1, num_shards + 1)
+            if num_shards % nx == 0]
+
+
+def save_plan(partitioning: Partitioning, path: str,
+              meta: dict[str, Any] | None = None) -> None:
+    """Write a shard-plan file (:data:`PLAN_SCHEMA`) for ``--shard-plan``."""
+    document = {
+        "schema": PLAN_SCHEMA,
+        "partitioning": partitioning.to_spec(),
+        "meta": dict(meta or {}),
+    }
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+    except OSError as exc:
+        raise ShardError(f"cannot write shard plan {path!r}: {exc}") from exc
+
+
+def load_plan(path: str) -> Partitioning:
+    """Load a shard-plan file written by :func:`save_plan`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise ShardError(f"cannot read shard plan {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ShardError(f"malformed shard plan {path!r}: {exc}") from exc
+    if not isinstance(document, dict) or document.get("schema") != PLAN_SCHEMA:
+        raise ShardError(
+            f"unsupported shard-plan schema in {path!r}; "
+            f"this build reads {PLAN_SCHEMA}"
+        )
+    return partitioning_from_spec(document["partitioning"])
+
+
+__all__ = [
+    "BinarySplitPartitioning",
+    "PLAN_SCHEMA",
+    "Partitioning",
+    "UniformGridPartitioning",
+    "grid_shapes",
+    "load_plan",
+    "partitioning_from_spec",
+    "save_plan",
+    "uniform_grid_for",
+]

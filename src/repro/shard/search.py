@@ -1,0 +1,97 @@
+"""Greedy search for the cheapest partitioning of a recorded workload.
+
+The searcher enumerates a small, deterministic candidate family —
+every uniform grid factorization of the shard count plus two recursive
+binary splits (load-weighted over the recorded update points, and the
+load-agnostic midpoint variant) — scores each with
+:class:`~repro.shard.cost.ShardCostModel`, and returns them ranked.
+Ties break toward the earlier candidate label, so the result is stable
+across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ShardError
+from repro.shard.cost import CostBreakdown, ShardCostModel, TraceWorkload
+from repro.shard.partition import (
+    BinarySplitPartitioning,
+    Partitioning,
+    UniformGridPartitioning,
+    grid_shapes,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ScoredPartitioning:
+    """One candidate with its label and cost breakdown."""
+
+    label: str
+    partitioning: Partitioning
+    cost: CostBreakdown
+
+
+class PartitionSearcher:
+    """Pick the cheapest partitioning for a workload at a shard count."""
+
+    def __init__(self, num_shards: int,
+                 cost_model: ShardCostModel | None = None) -> None:
+        if num_shards < 1:
+            raise ShardError(
+                f"num_shards must be positive, got {num_shards}"
+            )
+        self.num_shards = num_shards
+        self.cost_model = cost_model if cost_model is not None \
+            else ShardCostModel()
+
+    def candidates(self, workload: TraceWorkload) -> list[
+            tuple[str, Partitioning]]:
+        """The deterministic candidate family for ``workload``."""
+        bounds = workload.bounds
+        found: list[tuple[str, Partitioning]] = []
+        for nx, ny in grid_shapes(self.num_shards):
+            found.append((
+                f"uniform-{nx}x{ny}",
+                UniformGridPartitioning(bounds, nx, ny),
+            ))
+        points = [(op.x, op.y) for op in workload.updates]
+        if points:
+            found.append((
+                "binary-split",
+                BinarySplitPartitioning.build(bounds, points,
+                                              self.num_shards),
+            ))
+        found.append((
+            "binary-split-midpoint",
+            BinarySplitPartitioning.build_midpoint(bounds,
+                                                   self.num_shards),
+        ))
+        return found
+
+    def rank(self, workload: TraceWorkload) -> list[ScoredPartitioning]:
+        """All candidates scored, cheapest first (stable on ties)."""
+        scored = [
+            ScoredPartitioning(
+                label=label,
+                partitioning=partitioning,
+                cost=self.cost_model.score(partitioning, workload),
+            )
+            for label, partitioning in self.candidates(workload)
+        ]
+        # Stable sort: candidate order is the deterministic tiebreak.
+        scored.sort(key=lambda entry: entry.cost.total)
+        return scored
+
+    def best(self, workload: TraceWorkload) -> ScoredPartitioning:
+        """The cheapest candidate under the cost model."""
+        ranked = self.rank(workload)
+        if not ranked:
+            raise ShardError("no partitioning candidates generated")
+        return ranked[0]
+
+
+__all__ = [
+    "PartitionSearcher",
+    "ScoredPartitioning",
+]

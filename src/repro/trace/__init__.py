@@ -1,5 +1,6 @@
 """Workload flight recorder: record, serialize, summarize, and replay
-every DBMS-visible event of a run (schema ``repro-trace/1``).
+every DBMS-visible event of a run (schema ``repro-trace/2``; traces
+written by the ``repro-trace/1`` builds still read and replay).
 
 Typical use::
 

@@ -25,7 +25,15 @@ from typing import Any, Iterable, Mapping
 from repro.errors import TraceError
 
 #: Trace schema identifier; bump on any incompatible event change.
-SCHEMA = "repro-trace/1"
+#: ``repro-trace/2`` adds sharding: ``shard_route`` events and the
+#: ``shards``/``partitioning`` keys on ``db_config``.
+SCHEMA = "repro-trace/2"
+
+#: Prior schema; ``/2`` is a strict superset, so v1 traces still read.
+SCHEMA_V1 = "repro-trace/1"
+
+#: Every schema id :func:`repro.trace.recorder.read_trace` accepts.
+READABLE_SCHEMAS = (SCHEMA, SCHEMA_V1)
 
 DB_CONFIG = "db_config"
 CLASS_DEFINE = "class_define"
@@ -41,8 +49,9 @@ INDEX_REPLACE = "index_replace"
 INDEX_REMOVE = "index_remove"
 INDEX_DIGEST = "index_digest"
 INDEX_CONFIG = "index_config"
+SHARD_ROUTE = "shard_route"
 
-#: Every event kind the ``repro-trace/1`` schema admits.
+#: Every event kind the ``repro-trace/2`` schema admits.
 KINDS = frozenset({
     DB_CONFIG,
     CLASS_DEFINE,
@@ -58,6 +67,7 @@ KINDS = frozenset({
     INDEX_REMOVE,
     INDEX_DIGEST,
     INDEX_CONFIG,
+    SHARD_ROUTE,
 })
 
 
@@ -174,9 +184,12 @@ __all__ = [
     "INSERT_STATIONARY",
     "KINDS",
     "QUERY",
+    "READABLE_SCHEMAS",
     "REMOVE_OBJECT",
     "ROUTE_REGISTER",
     "SCHEMA",
+    "SCHEMA_V1",
+    "SHARD_ROUTE",
     "TraceEvent",
     "UPDATE",
     "answer_digest",

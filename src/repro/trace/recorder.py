@@ -18,7 +18,13 @@ from contextlib import contextmanager
 from typing import IO, Any, Iterator, Mapping
 
 from repro.errors import TraceError
-from repro.trace.events import KINDS, QUERY, SCHEMA, TraceEvent
+from repro.trace.events import (
+    KINDS,
+    QUERY,
+    READABLE_SCHEMAS,
+    SCHEMA,
+    TraceEvent,
+)
 
 
 class TraceRecorder:
@@ -148,16 +154,28 @@ def record_index_digest(database: Any,
     an index without :meth:`content_digest`).  The event is appended to
     ``recorder`` if given, else to the active recorder when enabled.
     """
-    from repro.trace.events import INDEX_DIGEST
+    from repro.trace.events import INDEX_DIGEST, digest as _digest
 
-    index = getattr(database, "_index", None)
-    if index is None or not hasattr(index, "content_digest"):
-        return None
-    value = index.content_digest()
+    shard_indexes = getattr(database, "shard_indexes", None)
+    if callable(shard_indexes):
+        # Sharded facade: one combined checkpoint over the per-shard
+        # index digests, in shard order.
+        parts = []
+        for index in shard_indexes():
+            if index is None or not hasattr(index, "content_digest"):
+                return None
+            parts.append(index.content_digest())
+        value = _digest(parts)
+        name = f"sharded[{len(parts)}]"
+    else:
+        index = getattr(database, "_index", None)
+        if index is None or not hasattr(index, "content_digest"):
+            return None
+        value = index.content_digest()
+        name = type(index).__name__
     target = recorder if recorder is not None else get_recorder()
     if target.enabled:
-        target.record(INDEX_DIGEST, digest=value,
-                      index=type(index).__name__)
+        target.record(INDEX_DIGEST, digest=value, index=name)
     return value
 
 
@@ -205,10 +223,11 @@ def read_trace(source: str | IO[str]) -> tuple[dict[str, Any], list[TraceEvent]]
         header = json.loads(lines[0])
     except json.JSONDecodeError as exc:
         raise TraceError(f"unreadable trace header: {exc}") from exc
-    if not isinstance(header, dict) or header.get("schema") != SCHEMA:
+    if (not isinstance(header, dict)
+            or header.get("schema") not in READABLE_SCHEMAS):
         raise TraceError(
             f"unsupported trace schema {header.get('schema') if isinstance(header, dict) else header!r}; "
-            f"this build reads {SCHEMA}"
+            f"this build reads {', '.join(READABLE_SCHEMAS)}"
         )
     events: list[TraceEvent] = []
     for lineno, line in enumerate(lines[1:], start=2):

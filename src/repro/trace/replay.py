@@ -48,6 +48,7 @@ class ReplayReport:
     events_total: int = 0
     queries_checked: int = 0
     index_checks: int = 0
+    shard_checks: int = 0
     mismatches: list[ReplayMismatch] = field(default_factory=list)
 
     @property
@@ -67,14 +68,24 @@ class TraceReplayer:
     byte-equivalent by construction.
     """
 
-    def __init__(self, mode: str = "auto") -> None:
+    def __init__(self, mode: str = "auto",
+                 shards: int | None = None) -> None:
         if mode not in MODES:
             raise TraceError(
                 f"unknown replay mode {mode!r}; expected one of {MODES}"
             )
+        if shards is not None and shards < 1:
+            raise TraceError(f"shards must be >= 1, got {shards}")
         self.mode = mode
+        #: Shard-count override: replay the workload over this many
+        #: shards regardless of how it was recorded.  Answer digests
+        #: must still match (sharding is answer-invariant); index
+        #: content and shard-routing checks are skipped because the
+        #: physical layout legitimately differs.
+        self.shards = shards
         self._db: Any = None
         self._engine: Any = None
+        self._events: Sequence[TraceEvent] = ()
 
     def replay_file(self, path: str) -> ReplayReport:
         """Load a JSONL trace from ``path`` and replay it."""
@@ -83,6 +94,7 @@ class TraceReplayer:
 
     def replay(self, trace_events: Sequence[TraceEvent]) -> ReplayReport:
         """Replay ``trace_events`` in order; returns the report."""
+        self._events = trace_events
         report = ReplayReport(events_total=len(trace_events))
         position = 0
         while position < len(trace_events):
@@ -152,45 +164,91 @@ class TraceReplayer:
                 min_entries=data.get("min_entries", 3),
             )
             self._engine = None  # the swap invalidates cached traversals
+        elif event.kind == ev.SHARD_ROUTE:
+            db = self._require_db(event)
+            if self.shards is None and hasattr(db, "owner_of"):
+                report.shard_checks += 1
+                actual_shard = db.owner_of(event.object_id)
+                if actual_shard != data.get("shard"):
+                    report.mismatches.append(ReplayMismatch(
+                        seq=event.seq, kind=event.kind,
+                        expected=str(data.get("shard")),
+                        actual=str(actual_shard),
+                        detail="shard routing diverged",
+                    ))
+            # Under a --shards override the layout legitimately differs.
         elif event.kind == ev.INDEX_DIGEST:
-            actual = record_index_digest(self._require_db(event))
-            report.index_checks += 1
-            if actual != data.get("digest"):
-                report.mismatches.append(ReplayMismatch(
-                    seq=event.seq, kind=event.kind,
-                    expected=str(data.get("digest")), actual=str(actual),
-                    detail="index content digest diverged",
-                ))
+            if self.shards is not None:
+                pass  # override changes the physical index layout
+            else:
+                actual = record_index_digest(self._require_db(event))
+                report.index_checks += 1
+                if actual != data.get("digest"):
+                    report.mismatches.append(ReplayMismatch(
+                        seq=event.seq, kind=event.kind,
+                        expected=str(data.get("digest")),
+                        actual=str(actual),
+                        detail="index content digest diverged",
+                    ))
         elif event.kind in (ev.CACHE, ev.INDEX_INSERT, ev.INDEX_REPLACE,
                             ev.INDEX_REMOVE):
             pass  # derived events; the re-driven machinery re-emits them
         else:  # pragma: no cover - KINDS is closed in events.py
             raise TraceError(f"unreplayable event kind {event.kind!r}")
 
-    @staticmethod
-    def _build_database(data: dict[str, Any]) -> Any:
+    def _build_database(self, data: dict[str, Any]) -> Any:
         from repro.dbms.database import MovingObjectDatabase
 
         index_name = data.get("index", "none")
+        slab_minutes = data.get("slab_minutes", 5.0)
+        index_factory: Any
         if index_name in (None, "none", "NoneType"):
-            index = None
+            index_factory = None
         elif index_name == "TimeSpaceIndex":
             from repro.index.timespace import TimeSpaceIndex
 
-            index = TimeSpaceIndex(
-                slab_minutes=data.get("slab_minutes", 5.0)
-            )
+            def index_factory() -> Any:
+                return TimeSpaceIndex(slab_minutes=slab_minutes)
         elif index_name == "LinearScanIndex":
             from repro.index.scan import LinearScanIndex
 
-            index = LinearScanIndex()
+            index_factory = LinearScanIndex
         else:
             raise TraceError(
                 f"trace was recorded with unknown index {index_name!r}"
             )
-        return MovingObjectDatabase(
-            index=index, horizon=data.get("horizon", 120.0)
+        if data.get("shards") is None and self.shards is None:
+            return MovingObjectDatabase(
+                index=index_factory() if index_factory else None,
+                horizon=data.get("horizon", 120.0),
+            )
+        from repro.shard.partition import (
+            partitioning_from_spec,
+            uniform_grid_for,
         )
+        from repro.shard.sharded import ShardedDatabase
+
+        if self.shards is not None:
+            partitioning = uniform_grid_for(
+                self._trace_bounds(), self.shards
+            )
+        else:
+            partitioning = partitioning_from_spec(data["partitioning"])
+        return ShardedDatabase(
+            partitioning, index_factory=index_factory,
+            horizon=data.get("horizon", 120.0),
+        )
+
+    def _trace_bounds(self) -> Any:
+        """Spatial extent of the trace, for --shards override grids.
+
+        Any bounds yield correct answers (partitionings clamp
+        out-of-range points to the nearest cell); tight bounds just
+        make the override grid meaningful.
+        """
+        from repro.shard.cost import workload_from_events
+
+        return workload_from_events(self._events).bounds
 
     @staticmethod
     def _define_class(db: Any, data: dict[str, Any]) -> None:
@@ -307,7 +365,12 @@ class TraceReplayer:
 
         db = self._require_db(group[0])
         if self._engine is None:
-            self._engine = BatchQueryEngine(db)
+            if hasattr(db, "shards_for_window"):
+                from repro.shard.parallel import ShardedBatchQueryEngine
+
+                self._engine = ShardedBatchQueryEngine(db)
+            else:
+                self._engine = BatchQueryEngine(db)
         queries: list[Any] = []
         for event in group:
             data = event.data

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Any, Callable
 
 from repro.core.policies import make_policy
 from repro.dbms.database import MovingObjectDatabase
@@ -35,13 +36,20 @@ from repro.sim.trip import Trip
 from repro.units import DEFAULT_TICK_MINUTES
 
 
+#: Builds the scenario's database from its network.  Lets callers swap
+#: in a :class:`~repro.shard.sharded.ShardedDatabase` (or any facade
+#: with the same surface) without the scenario layer importing the
+#: shard package.
+DatabaseFactory = Callable[[RouteNetwork], Any]
+
+
 @dataclass
 class FleetScenario:
     """A fully wired scenario ready to ``fleet.run()``."""
 
     name: str
     network: RouteNetwork
-    database: MovingObjectDatabase
+    database: Any
     fleet: FleetSimulation
 
 
@@ -61,9 +69,15 @@ def _scenario(name: str, network: RouteNetwork, curves: list[SpeedCurve],
               attributes: tuple[AttributeDef, ...] = (),
               attribute_maker=None,
               use_index: bool = True,
-              dt: float = DEFAULT_TICK_MINUTES) -> FleetScenario:
-    index = TimeSpaceIndex() if use_index else None
-    database = MovingObjectDatabase(index=index)
+              dt: float = DEFAULT_TICK_MINUTES,
+              database_factory: DatabaseFactory | None = None) -> FleetScenario:
+    if database_factory is not None:
+        # The factory decides indexing for itself; use_index is the
+        # default-database knob only.
+        database = database_factory(network)
+    else:
+        index = TimeSpaceIndex() if use_index else None
+        database = MovingObjectDatabase(index=index)
     database.schema.define_mobile_point_class(class_name, attributes)
     fleet = FleetSimulation(database, dt=dt)
     for i, curve in enumerate(curves):
@@ -81,7 +95,9 @@ def taxi_fleet_scenario(num_taxis: int = 20, duration: float = 30.0,
                         seed: int = 7, policy: str = "ail",
                         update_cost: float = 5.0,
                         use_index: bool = True,
-                        dt: float = DEFAULT_TICK_MINUTES) -> FleetScenario:
+                        dt: float = DEFAULT_TICK_MINUTES,
+                        database_factory: DatabaseFactory | None = None,
+                        ) -> FleetScenario:
     """City cabs on a Manhattan grid, stop-and-go speed curves.
 
     Cabs carry a ``free`` flag so the introduction's "retrieve the free
@@ -106,7 +122,7 @@ def taxi_fleet_scenario(num_taxis: int = 20, duration: float = 30.0,
         policy_name=policy, update_cost=update_cost,
         attributes=(AttributeDef("free", "bool"),),
         attribute_maker=lambda i, r: {"free": r.random() < 0.5},
-        use_index=use_index, dt=dt,
+        use_index=use_index, dt=dt, database_factory=database_factory,
     )
 
 
@@ -114,7 +130,9 @@ def trucking_scenario(num_trucks: int = 15, duration: float = 45.0,
                       seed: int = 11, policy: str = "dl",
                       update_cost: float = 5.0,
                       use_index: bool = True,
-                      dt: float = DEFAULT_TICK_MINUTES) -> FleetScenario:
+                      dt: float = DEFAULT_TICK_MINUTES,
+                      database_factory: DatabaseFactory | None = None,
+                      ) -> FleetScenario:
     """Long-haul trucks on a radial highway network.
 
     Mostly steady highway curves with occasional jams — the regime
@@ -136,7 +154,7 @@ def trucking_scenario(num_trucks: int = 15, duration: float = 45.0,
         policy_name=policy, update_cost=update_cost,
         attributes=(AttributeDef("carrier", "string"),),
         attribute_maker=lambda i, r: {"carrier": f"carrier-{i % 3}"},
-        use_index=use_index, dt=dt,
+        use_index=use_index, dt=dt, database_factory=database_factory,
     )
 
 
@@ -144,7 +162,9 @@ def battlefield_scenario(num_units: int = 25, duration: float = 30.0,
                          seed: int = 23, policy: str = "cil",
                          update_cost: float = 2.0,
                          use_index: bool = True,
-                         dt: float = DEFAULT_TICK_MINUTES) -> FleetScenario:
+                         dt: float = DEFAULT_TICK_MINUTES,
+                         database_factory: DatabaseFactory | None = None,
+                         ) -> FleetScenario:
     """Ground units on an irregular network, mixed speed regimes.
 
     Units carry an ``allegiance`` attribute ("retrieve the *friendly*
@@ -175,5 +195,5 @@ def battlefield_scenario(num_units: int = 25, duration: float = 30.0,
         attribute_maker=lambda i, r: {
             "allegiance": "friendly" if i % 2 == 0 else "hostile"
         },
-        use_index=use_index, dt=dt,
+        use_index=use_index, dt=dt, database_factory=database_factory,
     )

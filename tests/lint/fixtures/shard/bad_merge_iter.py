@@ -1,0 +1,16 @@
+"""Shard merge paths building ordered output from unsorted views."""
+
+
+def merge_answers(answers_by_shard: dict[int, list[str]]) -> list[str]:
+    merged: list[str] = []
+    for piece in answers_by_shard.values():
+        merged.extend(piece)
+    return merged
+
+
+def labels(owner_by_shard: dict[int, str]) -> list[str]:
+    return [name for name in owner_by_shard.values()]
+
+
+def pairs(shard_sizes: dict[int, int]) -> list[tuple[int, int]]:
+    return list(shard_sizes.items())

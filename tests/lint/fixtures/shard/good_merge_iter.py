@@ -1,0 +1,20 @@
+"""Sorted shard-view merges and order-insensitive folds stay quiet."""
+
+
+def merge_answers(answers_by_shard: dict[int, list[str]]) -> list[str]:
+    merged: list[str] = []
+    for _, piece in sorted(answers_by_shard.items()):
+        merged.extend(piece)
+    return merged
+
+
+def shard_counts(owner_of: dict[str, int], num_shards: int) -> list[int]:
+    # Index arithmetic is order-insensitive; no sort needed.
+    sizes = [0] * num_shards
+    for shard in owner_of.values():
+        sizes[shard] += 1
+    return sizes
+
+
+def total_load(shard_sizes: dict[int, int]) -> int:
+    return sum(shard_sizes.values())

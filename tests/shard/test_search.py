@@ -1,0 +1,56 @@
+"""The partition searcher must beat the default grid on a skewed trace.
+
+E20's acceptance bar: on the corridor workload (all traffic in a
+narrow horizontal band), the searcher's best candidate has BOTH a
+lower cost-model score and a lower measured p95 query fan-out than
+the squarest uniform grid a shard count defaults to.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.sharding import record_corridor_trace, table_sharding
+from repro.shard import (
+    PartitionSearcher,
+    ShardCostModel,
+    measured_fanouts,
+    percentile,
+    uniform_grid_for,
+    workload_from_events,
+)
+
+
+@pytest.fixture(scope="module")
+def corridor_workload():
+    return workload_from_events(record_corridor_trace(
+        num_objects=12, num_updates=8, num_queries=60,
+    ))
+
+
+def test_searcher_beats_default_grid(corridor_workload):
+    model = ShardCostModel()
+    best = PartitionSearcher(4, model).best(corridor_workload)
+    default = uniform_grid_for(corridor_workload.bounds, 4)
+    assert f"uniform-{default.nx}x{default.ny}" != best.label
+
+    default_cost = model.score(default, corridor_workload)
+    assert best.cost.total < default_cost.total
+
+    def p95(partitioning):
+        return percentile(
+            measured_fanouts(partitioning, corridor_workload), 0.95
+        )
+
+    assert p95(best.partitioning) < p95(default)
+
+
+def test_sharding_table_marks_the_default_row(corridor_workload):
+    table = table_sharding(num_objects=12, num_updates=8, num_queries=60)
+    assert table.experiment_id == "E20"
+    default_rows = [row for row in table.rows if "(default)" in row[0]]
+    assert len(default_rows) == 1
+    assert "p95 query fan-out" in table.headers
+    # Rows are ranked by total cost, so the winner leads the table and
+    # the marked default must not be it (the searcher found better).
+    assert "(default)" not in table.rows[0][0]

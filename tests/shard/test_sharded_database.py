@@ -1,0 +1,187 @@
+"""Sharded facade correctness: ownership, fan-out, byte-identical merges.
+
+The contract under test is the one the benchmark gates: a
+:class:`ShardedDatabase` behind any ``(shards, jobs)`` combination
+answers every query byte-identically to a single
+:class:`MovingObjectDatabase` fed the identical workload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+import pytest
+
+from repro.core.policies import make_policy
+from repro.dbms.batch import BatchQueryEngine
+from repro.dbms.database import MovingObjectDatabase
+from repro.dbms.update_log import PositionUpdateMessage
+from repro.geometry.bbox import Rect2D
+from repro.geometry.point import Point
+from repro.geometry.polyline import Polyline
+from repro.index.timespace import TimeSpaceIndex
+from repro.routes.generators import grid_city_network
+from repro.routes.route import Route
+from repro.shard import (
+    ShardedBatchQueryEngine,
+    ShardedDatabase,
+    UniformGridPartitioning,
+    uniform_grid_for,
+)
+from repro.trace.events import answer_digest
+from repro.workloads.query_workloads import mixed_query_workload
+
+QUERY_TIMES = (6.0, 8.0)
+
+#: A 4x2 corridor split into a left and a right shard at x = 2.
+CORRIDOR_BOUNDS = Rect2D(0.0, 0.0, 4.0, 2.0)
+
+
+def populate_corridor(database):
+    """One car near the boundary, one anchor car deep in each half."""
+    database.schema.define_mobile_point_class("car")
+    route = Route("corridor", Polyline([Point(0.0, 1.0), Point(4.0, 1.0)]))
+    database.register_route(route)
+    for object_id, x in (("car-edge", 1.9), ("car-left", 0.3),
+                         ("car-right", 3.6)):
+        database.insert_moving_object(
+            object_id, "car", "corridor", 0.0, Point(x, 1.0), 0, 0.3,
+            make_policy("dl", 5.0), max_speed=0.6,
+        )
+    return database
+
+
+class TestBoundaryStraddle:
+    @pytest.fixture
+    def pair(self):
+        single = populate_corridor(
+            MovingObjectDatabase(index=TimeSpaceIndex())
+        )
+        sharded = populate_corridor(ShardedDatabase(
+            UniformGridPartitioning(CORRIDOR_BOUNDS, 2, 1),
+            index_factory=TimeSpaceIndex,
+        ))
+        return single, sharded
+
+    def test_exactly_one_owner(self, pair):
+        _, sharded = pair
+        assert sharded.owner_of("car-edge") == 0
+        holders = [
+            shard for shard, db in enumerate(sharded.shard_databases)
+            if "car-edge" in db.object_ids()
+        ]
+        assert holders == [0]
+
+    def test_straddling_window_fans_to_both_shards(self, pair):
+        _, sharded = pair
+        straddle = Rect2D(1.5, 0.5, 2.5, 1.5)
+        assert sharded.shards_for_window(straddle) == (0, 1)
+
+    @pytest.mark.parametrize("center_x", [1.6, 2.6])
+    def test_visible_from_both_sides_of_the_boundary(self, pair,
+                                                     center_x):
+        # At t=2 the edge car's predicted position is x = 2.5 and its
+        # uncertainty region straddles x = 2: a query window on either
+        # side intersects it.  The single database is the premise
+        # check; the sharded merge must then match it byte for byte.
+        single, sharded = pair
+        expected = single.within_distance(Point(center_x, 1.0), 0.5, 2.0)
+        assert "car-edge" in expected.may | expected.must
+        assert sharded.within_distance(
+            Point(center_x, 1.0), 0.5, 2.0
+        ) == expected
+
+    def test_position_answers_match(self, pair):
+        single, sharded = pair
+        for object_id in ("car-edge", "car-left", "car-right"):
+            assert (sharded.position_of(object_id, 2.0)
+                    == single.position_of(object_id, 2.0))
+
+
+def populate_fleet(database, num_objects=14, seed=5):
+    """An identical small city fleet for any database facade."""
+    rng = random.Random(seed)
+    network = grid_city_network(6, 6, 0.5)
+    database.schema.define_mobile_point_class("taxi")
+    object_ids = []
+    for i in range(num_objects):
+        route = network.random_route(rng, min_length=0.5)
+        database.register_route(route)
+        direction = rng.randrange(2)
+        object_id = f"taxi-{i}"
+        database.insert_moving_object(
+            object_id, "taxi", route.route_id, 0.0,
+            route.travel_point(0.0, direction), direction,
+            rng.uniform(0.1, 0.4), make_policy("ail", 5.0),
+            max_speed=0.8,
+        )
+        object_ids.append(object_id)
+    for object_id in object_ids[::2]:
+        record = database.record(object_id)
+        route = database.routes.get(record.attribute.route_id)
+        position = record.database_position(route, 4.0)
+        database.process_update(PositionUpdateMessage(
+            object_id, 4.0, position.x, position.y, speed=0.3,
+        ))
+    return network, object_ids
+
+
+def fleet_bounds():
+    return Rect2D(*grid_city_network(6, 6, 0.5).bounding_extent())
+
+
+def build_queries(network, object_ids, count=40, seed=9):
+    return mixed_query_workload(
+        network, random.Random(seed), count, object_ids, QUERY_TIMES,
+    )
+
+
+def digest(answers) -> str:
+    rollup = hashlib.sha256()
+    for answer in answers:
+        rollup.update(answer_digest(answer).encode("ascii"))
+    return rollup.hexdigest()
+
+
+class TestDegenerateSingleShard:
+    def test_one_shard_equals_single_database(self):
+        single = MovingObjectDatabase(index=TimeSpaceIndex())
+        network, object_ids = populate_fleet(single)
+        sharded = ShardedDatabase(
+            uniform_grid_for(fleet_bounds(), 1),
+            index_factory=TimeSpaceIndex,
+        )
+        populate_fleet(sharded)
+        assert sharded.num_shards == 1
+        assert sorted(sharded.object_ids()) == sorted(single.object_ids())
+
+        queries = build_queries(network, object_ids)
+        expected = BatchQueryEngine(single).run(queries)
+        assert ShardedBatchQueryEngine(sharded).run(queries) == expected
+        assert (sharded.nearest(Point(1.5, 1.5), 3, 8.0)
+                == single.nearest(Point(1.5, 1.5), 3, 8.0))
+        assert (sharded.within_distance_of_object("taxi-0", 1.0, 8.0)
+                == single.within_distance_of_object("taxi-0", 1.0, 8.0))
+
+
+class TestShardJobsInvariance:
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 7])
+    def test_answer_digests_invariant(self, num_shards):
+        single = MovingObjectDatabase(index=TimeSpaceIndex())
+        network, object_ids = populate_fleet(single)
+        queries = build_queries(network, object_ids)
+        expected = BatchQueryEngine(single).run(queries)
+        expected_digest = digest(expected)
+
+        sharded = ShardedDatabase(
+            uniform_grid_for(fleet_bounds(), num_shards),
+            index_factory=TimeSpaceIndex,
+        )
+        populate_fleet(sharded)
+        for jobs in (1, 4):
+            answers = ShardedBatchQueryEngine(
+                sharded, jobs=jobs
+            ).run(queries)
+            assert answers == expected, (num_shards, jobs)
+            assert digest(answers) == expected_digest, (num_shards, jobs)

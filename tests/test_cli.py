@@ -149,7 +149,7 @@ class TestStats:
         assert "# TYPE" in open(prom).read()
         assert open(jsonl).read().strip()
         assert "fleet_run" in open(spans).read()
-        assert '"schema": "repro-trace/1"' in open(trace).readline()
+        assert '"schema": "repro-trace/2"' in open(trace).readline()
 
     def test_same_seed_same_snapshot(self):
         """Counters/gauges of two same-seed stats runs are identical
@@ -186,7 +186,7 @@ class TestTrace:
         assert "replay OK: all digests byte-identical" in output
         code, output = run_cli(["trace", "summary", path])
         assert code == 0
-        assert "repro-trace/1" in output
+        assert "repro-trace/2" in output
         assert "update" in output  # duration 12 sends real updates
 
     def test_batch_trace_replays_in_forced_modes(self, tmp_path):

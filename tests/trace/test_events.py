@@ -86,7 +86,7 @@ class TestAnswerDigest:
 
 class TestTraceEvent:
     def test_schema_id(self):
-        assert SCHEMA == "repro-trace/1"
+        assert SCHEMA == "repro-trace/2"
         assert QUERY in KINDS and UPDATE in KINDS
 
     def test_negative_seq_rejected(self):
