@@ -20,7 +20,13 @@ Six commands cover the library's day-one workflows:
 * ``trace`` — the workload flight recorder (:mod:`repro.trace`):
   ``record`` a scenario + query workload as schema-versioned JSONL,
   ``replay`` it against a fresh database verifying byte-identical
-  answer digests, ``summary`` its event counts.
+  answer digests, ``summary`` its event counts,
+* ``monitor`` — the live telemetry service (:mod:`repro.obs.live`):
+  ``serve`` a scenario with sliding-window metrics over HTTP
+  (``/metrics``, ``/health``, ``/snapshot``) while appending collector
+  snapshots, ``check`` a collector file offline against an SLO spec
+  (verdicts byte-identical to the live ``/health`` bodies), ``tail``
+  a collector file as a human-readable table.
 
 ``report``, ``scenario``, and ``stats`` accept ``--profile``, which
 records the run's spans and prints a flame summary (per-span-name
@@ -33,6 +39,7 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+import time
 from contextlib import contextmanager, nullcontext
 from typing import Iterator, TextIO
 
@@ -98,24 +105,59 @@ def _cmd_report(args: argparse.Namespace, out: TextIO) -> int:
 
     from repro.experiments.runner import run_all
 
+    telemetry = None
+    spec = None
     with _profiled(args.profile, "report", out):
         with ExitStack() as stack:
             registry = None
             recorder = None
-            if args.metrics_out is not None:
+            if args.live_port is not None or args.slo is not None:
+                # Report runs on the wall clock, so the live windows do
+                # too: 60 s fast / 12 min slow burn windows.
+                from repro.obs.live import (
+                    LiveTelemetry,
+                    SLOSpec,
+                    load_slo,
+                    use_live,
+                )
+
+                telemetry = LiveTelemetry(
+                    fast_window=60.0, slow_window=720.0, bucket=5.0,
+                    clock=time.monotonic,
+                )
+                stack.enter_context(use_live(telemetry))
+                spec = (load_slo(args.slo) if args.slo is not None
+                        else SLOSpec(slos=()))
+            if args.metrics_out is not None or args.live_port is not None:
                 from repro.obs import use_registry, write_jsonl
 
                 registry = stack.enter_context(use_registry())
+            if args.live_port is not None:
+                from repro.obs.live import LiveServer
+
+                server = LiveServer(
+                    registry, telemetry, spec, port=args.live_port
+                )
+                stack.callback(server.stop)
+                print(f"# live endpoint: http://127.0.0.1:"
+                      f"{server.start()} (/metrics /health /snapshot)",
+                      file=out, flush=True)
             if args.trace_out is not None:
                 from repro.trace import use_recorder
 
                 recorder = stack.enter_context(use_recorder())
             run_all(fast=args.fast, out=out, jobs=args.jobs,
                     shards=args.shards)
-        if registry is not None:
+        if registry is not None and args.metrics_out is not None:
             write_jsonl(registry, args.metrics_out)
             print(f"metrics snapshot written to {args.metrics_out}",
                   file=out)
+        if telemetry is not None and args.slo is not None:
+            from repro.obs.live import evaluate, verdict_json
+
+            verdict = evaluate(spec, telemetry.window_state())
+            print(f"# slo status: {verdict['status']}", file=out)
+            print(verdict_json(verdict), file=out)
         if recorder is not None:
             from repro.trace import write_trace
 
@@ -259,6 +301,25 @@ def _cmd_scenario(args: argparse.Namespace, out: TextIO) -> int:
     return 0
 
 
+@contextmanager
+def _served(registry, telemetry, spec, port: int | None,
+            out: TextIO) -> Iterator[None]:
+    """Serve the live endpoint for the enclosed block (no-op sans port)."""
+    if port is None or telemetry is None:
+        yield
+        return
+    from repro.obs.live import LiveServer
+
+    server = LiveServer(registry, telemetry, spec, port=port)
+    bound = server.start()
+    print(f"# live endpoint: http://127.0.0.1:{bound} "
+          f"(/metrics /health /snapshot)", file=out, flush=True)
+    try:
+        yield
+    finally:
+        server.stop()
+
+
 def _cmd_stats(args: argparse.Namespace, out: TextIO) -> int:
     """Run a fleet scenario under full observability and emit telemetry."""
     from repro.obs import (
@@ -288,8 +349,24 @@ def _cmd_stats(args: argparse.Namespace, out: TextIO) -> int:
             "duration": args.duration, "seed": args.seed,
         })
         record_ctx = use_recorder(recorder)
+    telemetry = None
+    spec = None
+    live_ctx = nullcontext()
+    if args.live_port is not None or args.slo is not None:
+        from repro.obs.live import (
+            LiveTelemetry,
+            SLOSpec,
+            load_slo,
+            use_live,
+        )
+
+        telemetry = LiveTelemetry()
+        live_ctx = use_live(telemetry)
+        spec = (load_slo(args.slo) if args.slo is not None
+                else SLOSpec(slos=()))
     with use_registry() as registry, use_tracer(tracer), record_ctx, \
-            root_span:
+            root_span, live_ctx, \
+            _served(registry, telemetry, spec, args.live_port, out):
         scenario = _build_scenario(
             args.name, args.size, args.duration, args.seed,
             shards=args.shards, shard_plan=args.shard_plan,
@@ -306,7 +383,9 @@ def _cmd_stats(args: argparse.Namespace, out: TextIO) -> int:
             # engine, which parallelizes over --jobs.
             from repro.dbms.batch import RangeQuery
 
-            counts = scenario.fleet.run()
+            tick_hook = (telemetry.advance if telemetry is not None
+                         else None)
+            counts = scenario.fleet.run(on_tick=tick_hook)
             engine = _batch_engine(scenario.database, jobs=args.jobs)
             t_end = scenario.database.clock_time
             engine.run([RangeQuery(polygon, t_end) for polygon in polygons])
@@ -319,6 +398,8 @@ def _cmd_stats(args: argparse.Namespace, out: TextIO) -> int:
             progress = {"tick": 0, "query": 0}
 
             def on_tick(t: float) -> None:
+                if telemetry is not None:
+                    telemetry.advance(t)
                 progress["tick"] += 1
                 if (progress["tick"] % stride == 0
                         and progress["query"] < len(polygons)):
@@ -378,10 +459,193 @@ def _cmd_stats(args: argparse.Namespace, out: TextIO) -> int:
         count = write_trace(recorder, args.trace_out)
         print(f"# workload trace ({count} events) written to "
               f"{args.trace_out}", file=out)
+    if telemetry is not None and args.slo is not None:
+        from repro.obs.live import evaluate, verdict_json
+
+        verdict = evaluate(spec, telemetry.window_state())
+        print(f"# slo status: {verdict['status']}", file=out)
+        print(verdict_json(verdict), file=out)
     if args.profile:
         from repro.obs import print_flame_summary
 
         print_flame_summary(tracer, out)
+    return 0
+
+
+def _parse_spike(spec: str | None) -> tuple[float, float] | None:
+    """``--spike START:SECONDS`` -> (sim start time, injected latency)."""
+    if spec is None:
+        return None
+    try:
+        start_text, value_text = spec.split(":", 1)
+        return float(start_text), float(value_text)
+    except ValueError:
+        raise ReproError(
+            f"--spike must be START:SECONDS (e.g. 10:0.5), got {spec!r}"
+        ) from None
+
+
+def _cmd_monitor_serve(args: argparse.Namespace, out: TextIO) -> int:
+    """Run a scenario under live telemetry and serve it over HTTP."""
+    from repro.dbms.batch import RangeQuery
+    from repro.obs import use_registry
+    from repro.obs.live import (
+        LiveCollector,
+        LiveServer,
+        LiveTelemetry,
+        SLOSpec,
+        evaluate,
+        load_slo,
+        use_live,
+        verdict_json,
+    )
+    from repro.workloads.query_workloads import polygon_query_workload
+
+    spec = load_slo(args.slo) if args.slo is not None else SLOSpec(slos=())
+    spike = _parse_spike(args.spike)
+    random.seed(args.seed)
+    telemetry = LiveTelemetry(
+        fast_window=args.fast_window, slow_window=args.slow_window,
+        bucket=args.bucket,
+    )
+    collector = None
+    if args.collector_out is not None:
+        collector = LiveCollector(
+            telemetry, args.collector_out, interval=args.interval
+        )
+        collector.open()
+    with use_registry() as registry, use_live(telemetry):
+        server = LiveServer(
+            registry, telemetry, spec, port=args.port
+        )
+        port = server.start()
+        if args.port_file is not None:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{port}\n")
+        print(f"# serving http://127.0.0.1:{port} "
+              f"(/metrics /health /snapshot)", file=out, flush=True)
+        try:
+            scenario = _build_scenario(
+                args.name, args.size, args.duration, args.seed,
+                shards=args.shards, shard_plan=args.shard_plan,
+            )
+            polygons = polygon_query_workload(
+                scenario.network, random.Random(args.seed + 1),
+                count=args.queries,
+            )
+            num_ticks = max(
+                int(args.duration / scenario.fleet.dt + 1e-9), 1
+            )
+            stride = max(num_ticks // max(args.queries, 1), 1)
+            progress = {"tick": 0, "query": 0}
+
+            def on_tick(t: float) -> None:
+                telemetry.advance(t)
+                progress["tick"] += 1
+                if (progress["tick"] % stride == 0
+                        and progress["query"] < len(polygons)):
+                    # A fresh one-query batch per sampled tick: the
+                    # engine's run() feeds dbms_batch_seconds /
+                    # dbms_batch_queries into the live windows.
+                    engine = _batch_engine(scenario.database)
+                    engine.run([RangeQuery(
+                        polygons[progress["query"]], t
+                    )])
+                    progress["query"] += 1
+                if spike is not None and t >= spike[0]:
+                    telemetry.observe("dbms_batch_seconds", spike[1])
+                if collector is not None:
+                    collector.sample(now=t)
+
+            counts = scenario.fleet.run(on_tick=on_tick)
+            telemetry.advance(args.duration)
+            if collector is not None:
+                collector.sample(force=True)
+            verdict = evaluate(spec, telemetry.window_state())
+            total = sum(counts.values())
+            print(f"# run complete: {scenario.name}, "
+                  f"{len(scenario.database)} objects, {total} update "
+                  f"messages, {progress['query']} batched queries",
+                  file=out, flush=True)
+            if collector is not None:
+                print(f"# collector: {collector.rows} snapshots -> "
+                      f"{collector.path}", file=out, flush=True)
+            print(f"# slo status: {verdict['status']}", file=out,
+                  flush=True)
+            if args.slo is not None:
+                print(verdict_json(verdict), file=out, flush=True)
+            if args.hold > 0:
+                print(f"# holding the endpoint for {args.hold}s",
+                      file=out, flush=True)
+                time.sleep(args.hold)
+        finally:
+            server.stop()
+            if collector is not None:
+                collector.close()
+    return 0
+
+
+def _cmd_monitor_check(args: argparse.Namespace, out: TextIO) -> int:
+    """Replay a collector file through the SLO evaluator offline."""
+    from repro.obs.live import (
+        STATUS_BURNING,
+        check_file,
+        load_slo,
+        verdict_json,
+    )
+
+    spec = load_slo(args.slo)
+    worst_burning = False
+    rows = 0
+    for verdict in check_file(spec, args.collector):
+        rows += 1
+        print(verdict_json(verdict), file=out)
+        if verdict["status"] == STATUS_BURNING:
+            worst_burning = True
+    if rows == 0:
+        raise ReproError(
+            f"collector file {args.collector!r} holds no snapshots"
+        )
+    return 1 if worst_burning and args.strict else 0
+
+
+def _cmd_monitor_tail(args: argparse.Namespace, out: TextIO) -> int:
+    """Print a collector file as a per-snapshot table."""
+    from repro.obs.exporters import quantile_from_buckets
+    from repro.obs.live import evaluate, load_slo, read_collector
+
+    spec = load_slo(args.slo) if args.slo is not None else None
+    header, rows = read_collector(args.collector)
+    print(f"# {args.collector}: {len(rows)} snapshots, fast window "
+          f"{header['fast_window']}, slow window {header['slow_window']}",
+          file=out)
+    print(f"{'now':>8}  {'updates/fast':>12}  {'batch p95':>10}  "
+          f"{'max aoi':>8}  status", file=out)
+    for state in rows:
+        series = state["series"]
+        updates = series.get("update_messages", {})
+        fast_updates = updates.get("windows", {}).get(
+            "fast", {}).get("total", 0.0)
+        p95 = 0.0
+        batch = series.get("dbms_batch_seconds")
+        if batch is not None:
+            block = batch["windows"]["fast"]
+            cumulative = []
+            running = 0
+            for bound, count in zip(batch["bounds"],
+                                    block["bucket_counts"]):
+                running += count
+                cumulative.append({"le": bound, "count": running})
+            cumulative.append(
+                {"le": float("inf"), "count": block["count"]}
+            )
+            p95 = quantile_from_buckets(cumulative, 0.95)
+        status = "-"
+        if spec is not None:
+            status = evaluate(spec, state)["status"]
+        print(f"{state['now']:>8.2f}  {fast_updates:>12.0f}  "
+              f"{p95:>10.4f}  {state['aoi']['max_age']:>8.2f}  {status}",
+              file=out)
     return 0
 
 
@@ -682,6 +946,15 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--shards", type=int, default=4,
                         help="shard count for the sharding experiment "
                              "(E20); answers are shard-count invariant")
+    report.add_argument("--live-port", type=int, default=None,
+                        help="serve /metrics, /health, /snapshot on this "
+                             "port for the duration of the report "
+                             "(0 binds an ephemeral port; wall-clock "
+                             "windows)")
+    report.add_argument("--slo", default=None,
+                        help="repro-slo/1 spec evaluated over the live "
+                             "windows; the verdict is printed after the "
+                             "report")
     report.set_defaults(func=_cmd_report)
 
     simulate = sub.add_parser("simulate", help="simulate one trip")
@@ -757,6 +1030,14 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--profile", action="store_true",
                        help="record spans under a root span and print a "
                             "flame summary after the snapshot")
+    stats.add_argument("--live-port", type=int, default=None,
+                       help="serve /metrics, /health, /snapshot on this "
+                            "port during the run (0 binds an ephemeral "
+                            "port; sim-time windows)")
+    stats.add_argument("--slo", default=None,
+                       help="repro-slo/1 spec evaluated over the live "
+                            "windows; the verdict is printed after the "
+                            "snapshot")
     stats.set_defaults(func=_cmd_stats)
 
     lint = sub.add_parser(
@@ -879,6 +1160,86 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_summary.add_argument("trace", help="JSONL trace path")
     trace_summary.set_defaults(func=_cmd_trace_summary)
+
+    monitor = sub.add_parser(
+        "monitor", help="live telemetry: serve/check/tail windowed "
+                        "metrics and SLO burn rates"
+    )
+    monitor_sub = monitor.add_subparsers(dest="monitor_command",
+                                         required=True)
+
+    monitor_serve = monitor_sub.add_parser(
+        "serve", help="run a scenario under live telemetry and serve "
+                      "/metrics, /health, /snapshot over HTTP"
+    )
+    monitor_serve.add_argument("--name", default="taxi",
+                               choices=("taxi", "trucking", "battlefield"))
+    monitor_serve.add_argument("--size", type=int, default=10)
+    monitor_serve.add_argument("--duration", type=float, default=15.0)
+    monitor_serve.add_argument("--seed", type=int, default=7)
+    monitor_serve.add_argument("--queries", type=int, default=20,
+                               help="batched range queries spread over "
+                                    "the run's ticks")
+    monitor_serve.add_argument("--shards", type=int, default=None,
+                               help="serve through a sharded database "
+                                    "with this many shards")
+    monitor_serve.add_argument("--shard-plan", default=None,
+                               help="load a saved partitioning plan "
+                                    "instead of a uniform --shards grid")
+    monitor_serve.add_argument("--port", type=int, default=0,
+                               help="HTTP port (0 binds an ephemeral "
+                                    "port; it is printed and optionally "
+                                    "written to --port-file)")
+    monitor_serve.add_argument("--port-file", default=None,
+                               help="write the bound port here (for "
+                                    "scripts racing a backgrounded serve)")
+    monitor_serve.add_argument("--hold", type=float, default=0.0,
+                               help="keep serving this many wall-clock "
+                                    "seconds after the run finishes")
+    monitor_serve.add_argument("--slo", default=None,
+                               help="repro-slo/1 JSON spec driving "
+                                    "/health (absent: always healthy)")
+    monitor_serve.add_argument("--collector-out", default=None,
+                               help="append windowed snapshots to this "
+                                    "JSONL file (repro-live-collector/1)")
+    monitor_serve.add_argument("--interval", type=float, default=1.0,
+                               help="collector cadence in sim minutes")
+    monitor_serve.add_argument("--fast-window", type=float, default=5.0,
+                               help="fast window width (sim minutes)")
+    monitor_serve.add_argument("--slow-window", type=float, default=60.0,
+                               help="slow window width (sim minutes)")
+    monitor_serve.add_argument("--bucket", type=float, default=0.5,
+                               help="ring-buffer bucket width "
+                                    "(sim minutes)")
+    monitor_serve.add_argument("--spike", default=None,
+                               help="inject a latency spike: START:SECONDS "
+                                    "observes SECONDS into "
+                                    "dbms_batch_seconds on every tick from "
+                                    "sim time START (burn-rate demo/tests)")
+    monitor_serve.set_defaults(func=_cmd_monitor_serve)
+
+    monitor_check = monitor_sub.add_parser(
+        "check", help="replay a collector JSONL through the SLO "
+                      "evaluator; verdicts are byte-identical to the "
+                      "live /health bodies"
+    )
+    monitor_check.add_argument("collector",
+                               help="repro-live-collector/1 JSONL path")
+    monitor_check.add_argument("--slo", required=True,
+                               help="repro-slo/1 JSON spec")
+    monitor_check.add_argument("--strict", action="store_true",
+                               help="exit 1 if any snapshot is burning")
+    monitor_check.set_defaults(func=_cmd_monitor_check)
+
+    monitor_tail = monitor_sub.add_parser(
+        "tail", help="print a collector JSONL as a per-snapshot table"
+    )
+    monitor_tail.add_argument("collector",
+                              help="repro-live-collector/1 JSONL path")
+    monitor_tail.add_argument("--slo", default=None,
+                              help="also evaluate each snapshot against "
+                                   "this repro-slo/1 spec")
+    monitor_tail.set_defaults(func=_cmd_monitor_tail)
     return parser
 
 

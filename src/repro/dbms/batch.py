@@ -33,6 +33,7 @@ guaranteed to agree.  ``tests/dbms/test_batch.py`` and
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Any, Union
 
@@ -62,6 +63,7 @@ from repro.geometry.point import Point
 from repro.geometry.polygon import Polygon
 from repro.index.rtree import SearchStats
 from repro.obs.instrument import time_section
+from repro.obs.live.windows import get_live
 from repro.obs.registry import get_registry
 from repro.trace.events import CACHE, answer_digest
 from repro.trace.recorder import get_recorder
@@ -408,6 +410,8 @@ class BatchQueryEngine:
         """
         hits_before = self.cache_hits
         misses_before = self.cache_misses
+        live = get_live()
+        started = time.perf_counter() if live.enabled else 0.0
         with time_section("dbms_batch_seconds",
                           help="Wall-clock latency of one query batch."):
             self._validate(queries)
@@ -425,6 +429,10 @@ class BatchQueryEngine:
                     answers.append(self._answer_within(
                         query, candidates[i], eligible
                     ))
+        if live.enabled:
+            live.observe("dbms_batch_seconds",
+                         time.perf_counter() - started)
+            live.inc("dbms_batch_queries", float(len(queries)))
         self._publish(queries, hits_before, misses_before)
         rec = get_recorder()
         if rec.enabled and queries:

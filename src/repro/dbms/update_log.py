@@ -14,6 +14,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 
 from repro.errors import QueryError
+from repro.obs.live.windows import get_live
 from repro.obs.registry import get_registry
 from repro.trace.events import UPDATE
 from repro.trace.recorder import get_recorder
@@ -71,6 +72,9 @@ class UpdateLog:
                 "dbms_update_messages_total",
                 help="Position-update messages received by the database.",
             ).inc()
+        live = get_live()
+        if live.enabled:
+            live.record_update(message.object_id, message.time)
         rec = get_recorder()
         if rec.enabled:
             rec.record(

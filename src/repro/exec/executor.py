@@ -35,6 +35,7 @@ from repro.experiments.sweep import (
     SweepSpec,
     build_curves,
 )
+from repro.obs.live.windows import get_live
 from repro.obs.registry import get_registry, get_tracer, span
 from repro.sim.engine import PolicySimulation, supports_fast_path
 from repro.sim.metrics import TripMetrics, aggregate_metrics
@@ -347,6 +348,14 @@ class SweepExecutor:
                 cell_metrics = self._run_parallel(spec, grids, cells)
         elapsed = perf_counter() - start
 
+        live = get_live()
+        if live.enabled:
+            if self.jobs == 1:
+                # Parallel runs feed progress per finished chunk in
+                # _run_parallel; serial runs land it here in one go.
+                live.inc("exec_cells_completed", float(len(cells)))
+            live.observe("exec_sweep_seconds", elapsed)
+
         if observed:
             registry.counter(
                 "exec_tasks_total",
@@ -401,6 +410,10 @@ class SweepExecutor:
                 tracer = get_tracer()
                 if tracer.enabled and span_dicts:
                     tracer.adopt_spans(span_dicts, worker=worker)
+                live = get_live()
+                if live.enabled:
+                    live.inc("exec_cells_completed",
+                             float(len(chunk_results)))
                 for position, metrics in chunk_results:
                     results[position] = metrics
         missing = [i for i, r in enumerate(results) if r is None]

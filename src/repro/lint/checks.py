@@ -610,6 +610,34 @@ def check_adhoc_event_writes(ctx: ModuleContext) -> Iterator[Finding]:
             )
 
 
+_OBS_WALL_CLOCK = (
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+)
+
+
+@register(
+    "RPR504", "non-monotonic-interval-clock", SEVERITY_ERROR, "obs",
+    "windowed/live obs code must use time.monotonic() (or the injected "
+    "sim clock) for interval math, never time.time(): a wall-clock "
+    "step would corrupt every ring-buffer window",
+)
+def check_obs_interval_clock(ctx: ModuleContext) -> Iterator[Finding]:
+    for call, resolved in _calls(ctx):
+        for banned in _OBS_WALL_CLOCK:
+            if _matches(resolved, banned):
+                yield ctx.finding(
+                    call, "RPR504",
+                    f"{banned}() in obs code; interval math must use "
+                    f"time.monotonic()/time.perf_counter() or the "
+                    f"injected sim clock — wall clocks step under "
+                    f"NTP/suspend and silently corrupt windows",
+                )
+                break
+
+
 register_rule(Rule(
     code="RPR000", name="syntax-error", severity=SEVERITY_ERROR,
     scope="everywhere", check=None,

@@ -98,6 +98,10 @@ def _scope_shard(tags: frozenset[str]) -> bool:
     return "shard" in tags and "test" not in tags
 
 
+def _scope_obs(tags: frozenset[str]) -> bool:
+    return "obs" in tags and "test" not in tags
+
+
 #: Scope name -> predicate over path tags.
 SCOPES: dict[str, Callable[[frozenset[str]], bool]] = {
     "everywhere": _scope_everywhere,
@@ -108,6 +112,7 @@ SCOPES: dict[str, Callable[[frozenset[str]], bool]] = {
     "dbms-index": _scope_dbms_index,
     "vec": _scope_vec,
     "shard": _scope_shard,
+    "obs": _scope_obs,
 }
 
 

@@ -32,6 +32,7 @@ from repro.obs.exporters import (
 )
 from repro.obs.instrument import time_section, timed
 from repro.obs.perf import (
+    FlameSummary,
     SpanStats,
     flame_summary,
     print_flame_summary,
@@ -84,6 +85,7 @@ __all__ = [
     "use_tracer",
     "timed",
     "time_section",
+    "FlameSummary",
     "SpanStats",
     "flame_summary",
     "render_flame_summary",

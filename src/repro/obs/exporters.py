@@ -20,7 +20,9 @@ import math
 from repro.obs.metrics import MetricsRegistry
 
 
-def _escape(value: str) -> str:
+def _escape_label(value: str) -> str:
+    # Label values escape backslash, line feed AND double-quote (they
+    # sit inside quotes in the sample line).
     return (
         str(value)
         .replace("\\", "\\\\")
@@ -29,11 +31,17 @@ def _escape(value: str) -> str:
     )
 
 
+def _escape_help(value: str) -> str:
+    # HELP text escapes only backslash and line feed per the exposition
+    # format; a quote in HELP is emitted verbatim.
+    return str(value).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
     pairs = [(k, str(v)) for k, v in sorted(labels.items())] + list(extra)
     if not pairs:
         return ""
-    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
     return "{" + inner + "}"
 
 
@@ -87,7 +95,7 @@ def prometheus_text(registry: MetricsRegistry) -> str:
         seen_headers.add(name)
         help_text = registry.help_text(name)
         if help_text:
-            lines.append(f"# HELP {name} {_escape(help_text)}")
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
         lines.append(f"# TYPE {name} {kind}")
 
     for sample in snapshot["counters"]:

@@ -1,0 +1,163 @@
+"""Append-only JSONL collector for windowed telemetry snapshots.
+
+A :class:`LiveCollector` periodically captures
+:meth:`LiveTelemetry.window_state` and appends each snapshot as one
+JSON line, so a finished run can be replayed into the *same* SLO
+evaluator offline (``repro monitor check``).  File layout
+(``repro-live-collector/1``):
+
+* line 1 — a header row ``{"schema": "repro-live-collector/1",
+  "state_schema": "repro-live/1", ...}``,
+* every later line — one ``window_state`` dict, exactly as the live
+  ``/health`` endpoint saw it.
+
+Because :func:`repro.obs.live.slo.evaluate` is a pure function of the
+state dict and JSON floats round-trip exactly, evaluating a collected
+row reproduces the live verdict byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator, TextIO
+
+from repro.errors import ObservabilityError
+from repro.obs.live.slo import SLOSpec, evaluate
+from repro.obs.live.windows import STATE_SCHEMA, LiveTelemetry
+
+#: Schema tag on the collector file's header line.
+COLLECTOR_SCHEMA = "repro-live-collector/1"
+
+
+class LiveCollector:
+    """Append window-state snapshots from one telemetry instance."""
+
+    def __init__(self, telemetry: LiveTelemetry, path: str,
+                 interval: float = 1.0) -> None:
+        if interval <= 0:
+            raise ObservabilityError(
+                f"collector interval must be positive, got {interval}"
+            )
+        self._telemetry = telemetry
+        self._path = path
+        self._interval = float(interval)
+        self._handle: TextIO | None = None
+        self._last_sample: float | None = None
+        self.rows = 0
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def open(self) -> "LiveCollector":
+        if self._handle is not None:
+            raise ObservabilityError("collector already open")
+        self._handle = open(self._path, "w", encoding="utf-8")
+        header = {
+            "schema": COLLECTOR_SCHEMA,
+            "state_schema": STATE_SCHEMA,
+            "interval": self._interval,
+            "fast_window": self._telemetry.fast_window,
+            "slow_window": self._telemetry.slow_window,
+            "bucket": self._telemetry.bucket,
+        }
+        self._handle.write(json.dumps(header, sort_keys=True) + "\n")
+        self._handle.flush()
+        return self
+
+    def sample(self, now: float | None = None, force: bool = False) -> bool:
+        """Append a snapshot if ``interval`` has elapsed (or ``force``).
+
+        ``now`` is the telemetry clock reading driving the cadence; in
+        sim mode callers pass the tick time they just advanced to.
+        Returns True when a row was written.
+        """
+        if self._handle is None:
+            raise ObservabilityError("collector is not open")
+        stamp = self._telemetry.now() if now is None else float(now)
+        if not force and self._last_sample is not None and (
+                stamp - self._last_sample < self._interval):
+            return False
+        self._last_sample = stamp
+        state = self._telemetry.window_state(now=stamp)
+        self._handle.write(json.dumps(state, sort_keys=True) + "\n")
+        self._handle.flush()
+        self.rows += 1
+        return True
+
+    def close(self) -> None:
+        if self._handle is None:
+            return
+        self._handle.close()
+        self._handle = None
+
+    def __enter__(self) -> "LiveCollector":
+        return self.open()
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
+
+
+def read_collector(path: str) -> tuple[dict, list[dict]]:
+    """``(header, rows)`` from one collector file, schema-checked."""
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        raise ObservabilityError(
+            f"cannot read collector file {path!r}: {exc}"
+        ) from exc
+    def decode(line: str, lineno: int) -> dict:
+        try:
+            document = json.loads(line)
+        except ValueError as exc:
+            raise ObservabilityError(
+                f"collector file {path!r} line {lineno} is not JSON: {exc}"
+            ) from exc
+        if not isinstance(document, dict):
+            raise ObservabilityError(
+                f"collector file {path!r} line {lineno} is not an object"
+            )
+        return document
+
+    with handle:
+        first = handle.readline()
+        if not first.strip():
+            raise ObservabilityError(f"collector file {path!r} is empty")
+        header = decode(first, 1)
+        if header.get("schema") != COLLECTOR_SCHEMA:
+            raise ObservabilityError(
+                f"collector file {path!r} schema "
+                f"{header.get('schema')!r} != {COLLECTOR_SCHEMA!r}"
+            )
+        rows = []
+        for lineno, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            row = decode(line, lineno)
+            if row.get("schema") != STATE_SCHEMA:
+                raise ObservabilityError(
+                    f"collector row schema {row.get('schema')!r} != "
+                    f"{STATE_SCHEMA!r}"
+                )
+            rows.append(row)
+    return header, rows
+
+
+def check_file(spec: SLOSpec, path: str) -> Iterator[dict]:
+    """Replay every collected snapshot through the SLO evaluator.
+
+    Yields one verdict dict per row, in file order — the exact dicts
+    the live ``/health`` endpoint produced at those instants.
+    """
+    _, rows = read_collector(path)
+    for row in rows:
+        yield evaluate(spec, row)
+
+
+__all__ = [
+    "COLLECTOR_SCHEMA",
+    "LiveCollector",
+    "check_file",
+    "read_collector",
+]

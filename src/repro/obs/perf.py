@@ -38,17 +38,43 @@ class SpanStats:
         return self.total_s / self.calls if self.calls else 0.0
 
 
+class FlameSummary(list):
+    """The flame-summary rows, plus how many spans were still open.
+
+    A plain list of :class:`SpanStats` (every existing consumer keeps
+    working) carrying ``open_spans``: the count of spans whose ``end``
+    was still ``None`` when the summary was taken — a live tracer's
+    in-flight stack, or unfinished records in an imported buffer.
+    """
+
+    __slots__ = ("open_spans",)
+
+    def __init__(self, rows: Iterable[SpanStats] = (),
+                 open_spans: int = 0) -> None:
+        super().__init__(rows)
+        self.open_spans = open_spans
+
+
 def flame_summary(
     source: Tracer | Iterable[SpanRecord],
-) -> list[SpanStats]:
+) -> FlameSummary:
     """Per-name call/total/self-time rows, sorted by self time (desc).
 
-    ``source`` is a tracer or any iterable of finished
-    :class:`SpanRecord` entries.  Still-open spans (``end is None``)
-    are skipped — their time is not yet attributable.
+    ``source`` is a tracer or any iterable of :class:`SpanRecord`
+    entries.  Still-open spans (``end is None``) are tolerated, not
+    assumed away: their time is not yet attributable, so they are
+    excluded from the rows and counted on the result's ``open_spans``
+    field instead.  For a live tracer that includes the spans currently
+    on its stack.
     """
-    records = source.spans if isinstance(source, Tracer) else list(source)
+    if isinstance(source, Tracer):
+        records = source.spans
+        open_spans = len(source.open_spans())
+    else:
+        records = list(source)
+        open_spans = 0
     finished = [r for r in records if r.end is not None]
+    open_spans += len(records) - len(finished)
 
     child_time: dict[int, float] = {}
     for record in finished:
@@ -73,8 +99,9 @@ def flame_summary(
             entry.self_s += self_s
             entry.min_s = min(entry.min_s, duration)
             entry.max_s = max(entry.max_s, duration)
-    return sorted(
-        stats.values(), key=lambda s: (-s.self_s, s.name)
+    return FlameSummary(
+        sorted(stats.values(), key=lambda s: (-s.self_s, s.name)),
+        open_spans=open_spans,
     )
 
 
@@ -130,5 +157,7 @@ def print_flame_summary(
         note = f", {tracer.dropped} spans dropped (attribution coarsened)"
     if tracer.mismatched:
         note += f", {tracer.mismatched} mismatched span exits"
+    if rows.open_spans:
+        note += f", {rows.open_spans} span(s) still open (excluded)"
     print(f"\n# span flame summary: {len(tracer)} spans{note}", file=out)
     render_flame_summary(rows, out, top=top, root_s=root_s)

@@ -708,8 +708,14 @@ class ShardedDatabase:
             ).set(sizes[shard])
 
     def _publish_fanout(self, kind: str, fanned: int) -> None:
+        from repro.obs.live.windows import get_live
         from repro.obs.registry import get_registry
 
+        live = get_live()
+        if live.enabled:
+            live.observe("shard_fanout", float(fanned),
+                         buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0))
+            live.inc("shard_queries")
         registry = get_registry()
         if not registry.enabled:
             return

@@ -1,0 +1,15 @@
+"""Bad: wall-clock reads driving interval math in live obs code."""
+import time
+from datetime import datetime
+
+
+def bucket_epoch(width: float) -> int:
+    return int(time.time() // width)
+
+
+def stamp_ns() -> int:
+    return time.time_ns()
+
+
+def window_label() -> str:
+    return datetime.now().isoformat()

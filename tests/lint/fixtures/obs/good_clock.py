@@ -1,0 +1,15 @@
+"""Good: monotonic or injected clocks for interval math in obs code."""
+import time
+from typing import Callable
+
+
+def bucket_epoch(width: float) -> int:
+    return int(time.monotonic() // width)
+
+
+def elapsed(started: float) -> float:
+    return time.perf_counter() - started
+
+
+def sim_epoch(clock: Callable[[], float], width: float) -> int:
+    return int(clock() // width)

@@ -28,6 +28,7 @@ BAD_FIXTURES = [
     ("src/repro/sim/bad_span.py", "RPR501", 1),
     ("src/repro/dbms/bad_registry.py", "RPR502", 1),
     ("src/repro/dbms/bad_jsonl_write.py", "RPR503", 2),
+    ("obs/bad_wall_clock.py", "RPR504", 3),
     ("anywhere/bad_noqa.py", "RPR901", 1),
     ("anywhere/bad_noqa.py", "RPR902", 1),
     ("anywhere/bad_syntax.py", "RPR000", 1),
@@ -48,6 +49,7 @@ GOOD_FIXTURES = [
     ("src/repro/sim/good_span.py", "RPR501"),
     ("src/repro/obs/good_registry.py", "RPR502"),
     ("src/repro/dbms/good_recorder.py", "RPR503"),
+    ("obs/good_clock.py", "RPR504"),
     ("anywhere/good_noqa.py", "RPR901"),
     ("anywhere/good_noqa.py", "RPR902"),
 ]

@@ -1,0 +1,101 @@
+"""Tests for the JSONL collector and offline SLO replay."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.live.collector import (
+    COLLECTOR_SCHEMA,
+    LiveCollector,
+    check_file,
+    read_collector,
+)
+from repro.obs.live.slo import SLO_SCHEMA, evaluate, parse_slo, verdict_json
+from repro.obs.live.windows import STATE_SCHEMA, LiveTelemetry
+
+
+def spec():
+    return parse_slo({"schema": SLO_SCHEMA, "slos": [
+        {"name": "lat", "kind": "latency_quantile",
+         "series": "lat_seconds", "q": 0.9, "threshold": 1.0},
+    ]})
+
+
+class TestCollector:
+    def test_header_then_state_rows(self, tmp_path):
+        t = LiveTelemetry()
+        path = str(tmp_path / "c.jsonl")
+        with LiveCollector(t, path, interval=1.0) as collector:
+            t.observe("lat_seconds", 0.5, buckets=(1.0,), now=0.0)
+            collector.sample(now=0.0)
+            t.observe("lat_seconds", 2.0, buckets=(1.0,), now=2.0)
+            collector.sample(now=2.0)
+        header, rows = read_collector(path)
+        assert header["schema"] == COLLECTOR_SCHEMA
+        assert header["state_schema"] == STATE_SCHEMA
+        assert header["fast_window"] == t.fast_window
+        assert [row["now"] for row in rows] == [0.0, 2.0]
+        assert all(row["schema"] == STATE_SCHEMA for row in rows)
+
+    def test_interval_gates_sampling(self, tmp_path):
+        t = LiveTelemetry()
+        path = str(tmp_path / "c.jsonl")
+        with LiveCollector(t, path, interval=2.0) as collector:
+            assert collector.sample(now=0.0) is True
+            assert collector.sample(now=1.0) is False
+            assert collector.sample(now=2.0) is True
+            assert collector.sample(now=2.5, force=True) is True
+            assert collector.rows == 3
+
+    def test_invalid_interval_and_reopen_guards(self, tmp_path):
+        t = LiveTelemetry()
+        path = str(tmp_path / "c.jsonl")
+        with pytest.raises(ObservabilityError):
+            LiveCollector(t, path, interval=0.0)
+        collector = LiveCollector(t, path)
+        with pytest.raises(ObservabilityError):
+            collector.sample()  # not open
+        collector.open()
+        with pytest.raises(ObservabilityError):
+            collector.open()
+        collector.close()
+
+    def test_read_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text(json.dumps({"schema": "other/1"}) + "\n")
+        with pytest.raises(ObservabilityError):
+            read_collector(str(path))
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ObservabilityError):
+            read_collector(str(empty))
+
+    def test_read_errors_are_domain_errors(self, tmp_path):
+        # Missing files and malformed lines surface as
+        # ObservabilityError (the CLI renders those as `error: ...`),
+        # never as raw OSError/JSONDecodeError tracebacks.
+        with pytest.raises(ObservabilityError, match="cannot read"):
+            read_collector(str(tmp_path / "missing.jsonl"))
+        garbled = tmp_path / "garbled.jsonl"
+        garbled.write_text("{not json\n")
+        with pytest.raises(ObservabilityError, match="line 1"):
+            read_collector(str(garbled))
+
+
+class TestOfflineReplay:
+    def test_check_file_reproduces_live_verdicts_byte_identically(
+            self, tmp_path):
+        t = LiveTelemetry()
+        path = str(tmp_path / "c.jsonl")
+        live_verdicts = []
+        with LiveCollector(t, path, interval=1.0) as collector:
+            for tick in range(5):
+                t.observe("lat_seconds", 0.5 if tick < 3 else 5.0,
+                          buckets=(1.0, 4.0), now=float(tick))
+                collector.sample(now=float(tick))
+                live_verdicts.append(verdict_json(
+                    evaluate(spec(), t.window_state(now=float(tick)))
+                ))
+        offline = [verdict_json(v) for v in check_file(spec(), path)]
+        assert offline == live_verdicts

@@ -1,0 +1,130 @@
+"""Tests for the live HTTP exporter: endpoints, 503 flip, byte-identity."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.live.server import LiveServer, live_prometheus_lines
+from repro.obs.live.slo import SLO_SCHEMA, parse_slo, verdict_json
+from repro.obs.live.windows import LiveTelemetry
+from repro.obs.registry import use_registry
+
+
+def fed_telemetry() -> LiveTelemetry:
+    t = LiveTelemetry()
+    for i in range(10):
+        t.record_update(f"obj{i % 3}", float(i))
+        t.observe("dbms_batch_seconds", 0.01, now=float(i))
+        t.inc("dbms_batch_queries", 5.0, now=float(i))
+    return t
+
+
+def latency_spec(threshold: float = 0.25, fast_burn: float = 2.0,
+                 slow_burn: float = 1.0):
+    return parse_slo({"schema": SLO_SCHEMA, "slos": [
+        {"name": "batch-latency", "kind": "latency_quantile",
+         "series": "dbms_batch_seconds", "q": 0.95,
+         "threshold": threshold, "fast_burn": fast_burn,
+         "slow_burn": slow_burn},
+    ]})
+
+
+def get(url: str):
+    try:
+        response = urllib.request.urlopen(url, timeout=10)
+        return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8")
+
+
+class TestEndpoints:
+    def test_metrics_health_snapshot_on_port_zero(self):
+        telemetry = fed_telemetry()
+        with use_registry() as registry:
+            registry.counter("queries_total", help="Total queries.").inc(3)
+            with LiveServer(registry, telemetry,
+                            latency_spec()) as server:
+                assert server.port > 0
+                status, body = get(server.url("/metrics"))
+                assert status == 200
+                assert "queries_total 3" in body
+                assert 'repro_live_window_total{series="update_messages"' \
+                    in body
+                assert 'repro_live_window_quantile{' \
+                    'series="dbms_batch_seconds"' in body
+                assert 'repro_live_aoi{stat="objects"} 3' in body
+
+                status, body = get(server.url("/health"))
+                assert status == 200
+                verdict = json.loads(body)
+                assert verdict["status"] == "ok"
+
+                status, body = get(server.url("/snapshot"))
+                assert status == 200
+                snapshot = json.loads(body)
+                assert snapshot["live"]["schema"] == "repro-live/1"
+                assert snapshot["metrics"]["counters"]
+
+                status, _ = get(server.url("/nope"))
+                assert status == 404
+
+    def test_health_flips_to_503_on_latency_spike(self):
+        telemetry = fed_telemetry()
+        with use_registry() as registry:
+            with LiveServer(registry, telemetry,
+                            latency_spec()) as server:
+                status, _ = get(server.url("/health"))
+                assert status == 200
+                # Inject a latency spike well above the 0.25 s
+                # threshold: every new observation is bad, burning the
+                # fast-window budget past both burn thresholds.
+                for i in range(40):
+                    telemetry.observe(
+                        "dbms_batch_seconds", 2.0, now=10.0 + i * 0.1
+                    )
+                status, body = get(server.url("/health"))
+                assert status == 503
+                verdict = json.loads(body)
+                assert verdict["status"] == "burning"
+                assert verdict["slos"][0]["windows"]["fast"]["exceeded"]
+
+    def test_health_body_is_canonical_verdict_json(self):
+        from repro.obs.live.slo import evaluate
+
+        telemetry = fed_telemetry()
+        spec = latency_spec()
+        with use_registry() as registry:
+            with LiveServer(registry, telemetry, spec) as server:
+                frozen = telemetry.window_state()
+                _, body = get(server.url("/health"))
+        assert body == verdict_json(evaluate(spec, frozen)) + "\n"
+
+    def test_lifecycle_guards(self):
+        telemetry = fed_telemetry()
+        with use_registry() as registry:
+            server = LiveServer(registry, telemetry)
+            with pytest.raises(ObservabilityError):
+                _ = server.port
+            server.start()
+            with pytest.raises(ObservabilityError):
+                server.start()
+            server.stop()
+            server.stop()  # idempotent
+
+
+class TestPrometheusLines:
+    def test_rates_and_quantiles_rendered(self):
+        telemetry = fed_telemetry()
+        lines = live_prometheus_lines(telemetry.window_state(now=9.0))
+        text = "\n".join(lines)
+        fast_rate = [ln for ln in lines if ln.startswith(
+            'repro_live_window_rate{series="dbms_batch_queries",'
+            'window="fast"}')]
+        assert len(fast_rate) == 1
+        # 5 queries per tick over the 5-tick fast window / 5 min = 5/min.
+        assert fast_rate[0].endswith(" 5")
+        assert 'quantile="0.95"' in text
+        assert 'repro_live_aoi{stat="max_age"}' in text

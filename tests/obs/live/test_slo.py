@@ -1,0 +1,185 @@
+"""Unit tests for repro.obs.live.slo — burn-rate SLO evaluation."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.live.slo import (
+    SLO_SCHEMA,
+    STATUS_BURNING,
+    STATUS_NO_DATA,
+    STATUS_OK,
+    STATUS_WARN,
+    VERDICT_SCHEMA,
+    evaluate,
+    healthy,
+    load_slo,
+    parse_slo,
+    verdict_json,
+)
+from repro.obs.live.windows import LiveTelemetry
+
+
+def spec_for(**overrides):
+    entry = {
+        "name": "lat", "kind": "latency_quantile",
+        "series": "lat_seconds", "q": 0.9, "threshold": 1.0,
+    }
+    entry.update(overrides)
+    return parse_slo({"schema": SLO_SCHEMA, "slos": [entry]})
+
+
+def state_with_latency(good: int, bad: int,
+                       fast=5.0, slow=60.0) -> dict:
+    t = LiveTelemetry(fast_window=fast, slow_window=slow, bucket=0.5)
+    for _ in range(good):
+        t.observe("lat_seconds", 0.5, buckets=(1.0, 2.0), now=1.0)
+    for _ in range(bad):
+        t.observe("lat_seconds", 1.5, buckets=(1.0, 2.0), now=1.0)
+    return t.window_state(now=1.0)
+
+
+class TestParse:
+    def test_round_trip_via_file(self, tmp_path):
+        path = tmp_path / "slo.json"
+        document = {"schema": SLO_SCHEMA, "slos": [
+            {"name": "e", "kind": "error_rate", "total_series": "t",
+             "error_series": "err", "ceiling": 0.05},
+            {"name": "s", "kind": "staleness", "bound": 2.0,
+             "max_stale_fraction": 0.1, "fast_burn": 10.0},
+        ]}
+        path.write_text(json.dumps(document))
+        spec = load_slo(str(path))
+        assert [slo.name for slo in spec.slos] == ["e", "s"]
+        assert spec.slos[1].fast_burn == 10.0
+
+    @pytest.mark.parametrize("mutation", [
+        {"schema": "other/1"},
+        {"slos": []},
+        {"slos": [{"name": "x", "kind": "nope"}]},
+        {"slos": [{"name": "x", "kind": "latency_quantile",
+                   "series": "s", "q": 1.5, "threshold": 1.0}]},
+        {"slos": [{"name": "x", "kind": "error_rate",
+                   "total_series": "t", "error_series": "e",
+                   "ceiling": 0.0}]},
+        {"slos": [{"name": "x", "kind": "staleness", "bound": 1.0,
+                   "max_stale_fraction": 2.0}]},
+        {"slos": [{"name": "dup", "kind": "staleness", "bound": 1.0,
+                   "max_stale_fraction": 0.1},
+                  {"name": "dup", "kind": "staleness", "bound": 1.0,
+                   "max_stale_fraction": 0.1}]},
+    ])
+    def test_invalid_documents_rejected(self, mutation):
+        document = {"schema": SLO_SCHEMA,
+                    "slos": [{"name": "x", "kind": "staleness",
+                              "bound": 1.0, "max_stale_fraction": 0.1}]}
+        document.update(mutation)
+        with pytest.raises(ObservabilityError):
+            parse_slo(document)
+
+    def test_load_errors_are_domain_errors(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="cannot read"):
+            load_slo(str(tmp_path / "missing.json"))
+        garbled = tmp_path / "garbled.json"
+        garbled.write_text("{not json")
+        with pytest.raises(ObservabilityError, match="not valid JSON"):
+            load_slo(str(garbled))
+
+
+class TestEvaluate:
+    def test_no_data_before_any_sample(self):
+        spec = spec_for()
+        verdict = evaluate(spec, LiveTelemetry().window_state())
+        assert verdict["schema"] == VERDICT_SCHEMA
+        assert verdict["status"] == STATUS_NO_DATA
+        assert healthy(verdict)
+
+    def test_ok_within_budget(self):
+        verdict = evaluate(spec_for(), state_with_latency(99, 0))
+        assert verdict["status"] == STATUS_OK
+        (slo,) = verdict["slos"]
+        assert slo["windows"]["fast"]["burn_rate"] == 0.0
+        assert slo["budget"]["remaining_fraction"] == 1.0
+
+    def test_burning_when_both_windows_exceed(self):
+        # q=0.9 -> budget 0.1; all-bad -> burn rate 10 in both windows.
+        # fast_burn/slow_burn of 8/4 are both exceeded -> burning.
+        spec = spec_for(fast_burn=8.0, slow_burn=4.0)
+        verdict = evaluate(spec, state_with_latency(0, 10))
+        assert verdict["status"] == STATUS_BURNING
+        assert not healthy(verdict)
+
+    def test_warn_when_only_slow_budget_overspent(self):
+        # 2 bad / 10 total = 0.2 bad fraction = burn rate 2.0: above
+        # 1.0 (overspending) but below both page thresholds -> warn.
+        verdict = evaluate(spec_for(), state_with_latency(8, 2))
+        assert verdict["status"] == STATUS_WARN
+        assert healthy(verdict)
+
+    def test_threshold_snaps_down_to_bucket_edge(self):
+        # Threshold 1.5 sits between edges 1.0 and 2.0; observations in
+        # the (1.0, 2.0] bucket *might* exceed 1.5, so they count bad.
+        spec = spec_for(threshold=1.5, fast_burn=1.0, slow_burn=1.0)
+        verdict = evaluate(spec, state_with_latency(0, 5))
+        assert verdict["status"] == STATUS_BURNING
+
+    def test_error_rate_counters(self):
+        t = LiveTelemetry()
+        t.inc("reqs", 100.0, now=1.0)
+        t.inc("errs", 1.0, now=1.0)
+        spec = parse_slo({"schema": SLO_SCHEMA, "slos": [
+            {"name": "e", "kind": "error_rate", "total_series": "reqs",
+             "error_series": "errs", "ceiling": 0.05},
+        ]})
+        verdict = evaluate(spec, t.window_state(now=1.0))
+        (slo,) = verdict["slos"]
+        assert slo["status"] == STATUS_OK
+        assert slo["windows"]["fast"]["bad_fraction"] == 0.01
+        assert slo["budget"]["allowed_bad"] == 5.0
+
+    def test_staleness_over_aoi(self):
+        t = LiveTelemetry()
+        t.record_update("fresh", 10.0)
+        t.record_update("stale", 0.0)
+        t.advance(10.0)
+        spec = parse_slo({"schema": SLO_SCHEMA, "slos": [
+            {"name": "s", "kind": "staleness", "bound": 5.0,
+             "max_stale_fraction": 0.6, "fast_burn": 1.0,
+             "slow_burn": 1.0},
+        ]})
+        verdict = evaluate(spec, t.window_state())
+        (slo,) = verdict["slos"]
+        # 1 of 2 objects older than 5.0 -> 0.5 stale, under the 0.6
+        # budget -> burn rate < 1 on both windows.
+        assert slo["windows"]["fast"]["bad"] == 1.0
+        assert slo["status"] == STATUS_OK
+
+    def test_missing_series_is_no_data(self):
+        verdict = evaluate(spec_for(series="absent"),
+                           state_with_latency(5, 0))
+        assert verdict["slos"][0]["status"] == STATUS_NO_DATA
+
+    def test_worst_slo_drives_the_rollup(self):
+        spec = parse_slo({"schema": SLO_SCHEMA, "slos": [
+            {"name": "ok", "kind": "latency_quantile",
+             "series": "lat_seconds", "q": 0.9, "threshold": 1.0},
+            {"name": "bad", "kind": "latency_quantile",
+             "series": "lat_seconds", "q": 0.9, "threshold": 0.1,
+             "fast_burn": 1.0, "slow_burn": 1.0},
+        ]})
+        verdict = evaluate(spec, state_with_latency(10, 0))
+        statuses = {s["name"]: s["status"] for s in verdict["slos"]}
+        assert statuses == {"ok": STATUS_OK, "bad": STATUS_BURNING}
+        assert verdict["status"] == STATUS_BURNING
+
+
+class TestDeterminism:
+    def test_verdict_json_is_byte_stable_across_round_trips(self):
+        spec = spec_for()
+        state = state_with_latency(7, 3)
+        direct = verdict_json(evaluate(spec, state))
+        round_tripped = verdict_json(
+            evaluate(spec, json.loads(json.dumps(state, sort_keys=True)))
+        )
+        assert direct == round_tripped

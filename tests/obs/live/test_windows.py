@@ -1,0 +1,193 @@
+"""Unit tests for repro.obs.live.windows — ring-buffer sliding windows."""
+
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.live.windows import (
+    AGE_BUCKETS,
+    LiveTelemetry,
+    NullLiveTelemetry,
+    STATE_SCHEMA,
+    get_live,
+    set_live,
+    use_live,
+)
+
+
+def make(fast=5.0, slow=60.0, bucket=0.5, **kwargs):
+    return LiveTelemetry(fast_window=fast, slow_window=slow,
+                         bucket=bucket, **kwargs)
+
+
+class TestCounters:
+    def test_fast_and_slow_totals(self):
+        t = make()
+        for minute in range(10):
+            t.inc("msgs", 2.0, now=float(minute))
+        state = t.window_state(now=9.0)
+        entry = state["series"]["msgs"]
+        # Fast window (5 min, bucket 0.5): minutes 5..9 -> 5 ticks.
+        assert entry["windows"]["fast"]["total"] == 10.0
+        assert entry["windows"]["slow"]["total"] == 20.0
+        assert entry["lifetime"]["total"] == 20.0
+
+    def test_old_buckets_expire_from_the_window(self):
+        t = make(fast=1.0, slow=2.0, bucket=1.0)
+        t.inc("msgs", now=0.5)
+        assert t.window_state(now=0.5)["series"]["msgs"][
+            "windows"]["fast"]["total"] == 1.0
+        # 10 buckets later the ring slot has been reused/invalidated.
+        state = t.window_state(now=10.5)
+        assert state["series"]["msgs"]["windows"]["fast"]["total"] == 0.0
+        assert state["series"]["msgs"]["windows"]["slow"]["total"] == 0.0
+        assert state["series"]["msgs"]["lifetime"]["total"] == 1.0
+
+    def test_ring_reuse_after_wraparound(self):
+        t = make(fast=1.0, slow=2.0, bucket=1.0)  # capacity 3 slots
+        for tick in range(50):
+            t.inc("msgs", now=float(tick))
+        state = t.window_state(now=49.0)
+        assert state["series"]["msgs"]["windows"]["fast"]["total"] == 1.0
+        assert state["series"]["msgs"]["windows"]["slow"]["total"] == 2.0
+        assert state["series"]["msgs"]["lifetime"]["total"] == 50.0
+
+
+class TestHistograms:
+    def test_windowed_bucket_counts_and_sum(self):
+        t = make(fast=2.0, slow=10.0, bucket=1.0)
+        t.observe("lat", 0.05, buckets=(0.1, 1.0), now=0.0)
+        t.observe("lat", 0.5, buckets=(0.1, 1.0), now=5.0)
+        t.observe("lat", 9.0, buckets=(0.1, 1.0), now=9.0)
+        entry = t.window_state(now=9.0)["series"]["lat"]
+        assert entry["bounds"] == [0.1, 1.0]
+        assert entry["windows"]["fast"] == {
+            "count": 1, "sum": 9.0, "bucket_counts": [0, 0, 1],
+        }
+        assert entry["windows"]["slow"] == {
+            "count": 3, "sum": 9.55, "bucket_counts": [1, 1, 1],
+        }
+        assert entry["lifetime"]["count"] == 3
+
+    def test_bucket_edges_fixed_on_first_observation(self):
+        t = make()
+        t.observe("lat", 1.0, buckets=(0.5, 2.0))
+        t.observe("lat", 1.5, buckets=(9.0,))  # ignored: bounds fixed
+        assert t.window_state()["series"]["lat"]["bounds"] == [0.5, 2.0]
+
+    def test_non_increasing_buckets_rejected(self):
+        t = make()
+        with pytest.raises(ObservabilityError):
+            t.observe("lat", 1.0, buckets=(2.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            t.observe("lat2", 1.0, buckets=())
+
+
+class TestAgeOfInformation:
+    def test_ages_and_aoi_block(self):
+        t = make()
+        t.record_update("a", 1.0)
+        t.record_update("b", 3.0)
+        t.record_update("a", 5.0)
+        t.advance(8.0)
+        assert t.ages() == {"a": 3.0, "b": 5.0}
+        aoi = t.window_state()["aoi"]
+        assert aoi["objects"] == 2
+        assert aoi["max_age"] == 5.0
+        assert aoi["sum_age"] == 8.0
+        assert aoi["bounds"] == list(AGE_BUCKETS)
+        assert sum(aoi["bucket_counts"]) == 2
+
+    def test_updates_feed_the_update_messages_counter(self):
+        t = make()
+        for i in range(4):
+            t.record_update("obj", float(i))
+        series = t.window_state(now=3.0)["series"]["update_messages"]
+        assert series["lifetime"]["total"] == 4.0
+
+
+class TestTimeAxis:
+    def test_sim_time_only_moves_forward(self):
+        t = make()
+        t.advance(5.0)
+        t.advance(2.0)
+        assert t.now() == 5.0
+
+    def test_wall_clock_mode_uses_injected_clock(self):
+        ticks = iter([100.0, 101.0, 102.5])
+        t = make(clock=lambda: next(ticks))  # origin reads 100.0
+        assert t.now() == 1.0
+        t.advance(50.0)  # no-op under a wall clock
+        assert t.now() == 2.5
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ObservabilityError):
+            LiveTelemetry(bucket=0.0)
+        with pytest.raises(ObservabilityError):
+            LiveTelemetry(fast_window=10.0, slow_window=5.0)
+
+
+class TestStateShape:
+    def test_schema_and_json_safety(self):
+        import json
+
+        t = make()
+        t.inc("c", now=1.0)
+        t.observe("h", 0.2, now=1.0)
+        t.record_update("o", 1.0)
+        state = t.window_state()
+        assert state["schema"] == STATE_SCHEMA
+        round_tripped = json.loads(json.dumps(state, sort_keys=True))
+        assert round_tripped == state
+
+    def test_series_sorted_for_determinism(self):
+        t = make()
+        t.inc("zeta", now=0.0)
+        t.inc("alpha", now=0.0)
+        t.observe("mid", 1.0, now=0.0)
+        assert list(t.window_state()["series"]) == ["alpha", "zeta", "mid"]
+
+    def test_thread_safe_feeding(self):
+        t = make(fast=1.0, slow=2.0, bucket=0.5)
+
+        def feed():
+            for i in range(500):
+                t.inc("c", now=float(i % 3))
+
+        threads = [threading.Thread(target=feed) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert t.window_state()["series"]["c"]["lifetime"]["total"] == 2000.0
+
+
+class TestAmbient:
+    def test_default_is_disabled_null(self):
+        live = get_live()
+        assert isinstance(live, NullLiveTelemetry)
+        assert live.enabled is False
+        live.inc("x")
+        live.observe("y", 1.0)
+        live.record_update("o", 1.0)
+        assert live.window_state()["series"] == {}
+
+    def test_use_live_scopes_and_restores(self):
+        before = get_live()
+        with use_live() as t:
+            assert get_live() is t
+            assert t.enabled
+            with use_live(LiveTelemetry(fast_window=1.0, slow_window=1.0)):
+                assert get_live() is not t
+            assert get_live() is t
+        assert get_live() is before
+
+    def test_set_live_returns_previous(self):
+        t = make()
+        previous = set_live(t)
+        try:
+            assert get_live() is t
+        finally:
+            assert set_live(None) is t
+        assert get_live() is previous

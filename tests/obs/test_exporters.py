@@ -88,6 +88,31 @@ class TestPrometheusText:
         text = prometheus_text(registry)
         assert 'route="a\\"b\\\\c\\nd"' in text
 
+    def test_hostile_shard_label_round_trips_unambiguously(self):
+        # Regression: a label landing from shard/worker interpolation
+        # with every character the exposition format escapes must come
+        # out as exactly one sample line with all three escapes applied.
+        hostile = 'shard\\0\n"end'
+        registry = MetricsRegistry()
+        registry.counter("shard_queries_total", shard=hostile).inc()
+        text = prometheus_text(registry)
+        line = [ln for ln in text.splitlines()
+                if ln.startswith("shard_queries_total{")]
+        assert line == [
+            'shard_queries_total{shard="shard\\\\0\\n\\"end"} 1'
+        ]
+
+    def test_help_text_escapes_backslash_newline_but_not_quotes(self):
+        # Per the exposition format, HELP escapes \ and line-feed only;
+        # a double-quote in HELP must pass through verbatim.
+        registry = MetricsRegistry()
+        registry.counter(
+            "m_total", help='Counts "raw" hits\nper C:\\path.'
+        ).inc()
+        text = prometheus_text(registry)
+        assert ('# HELP m_total Counts "raw" hits\\nper C:\\\\path.\n'
+                in text)
+
     def test_empty_registry_renders_empty(self):
         assert prometheus_text(MetricsRegistry()) == ""
 
@@ -95,6 +120,58 @@ class TestPrometheusText:
         path = str(tmp_path / "metrics.prom")
         write_prometheus(populated, path)
         assert open(path).read() == prometheus_text(populated)
+
+
+class TestQuantileFromBuckets:
+    """Edge cases of the snapshot-side quantile reconstruction."""
+
+    def test_empty_bucket_list_is_zero(self):
+        assert quantile_from_buckets([], 0.5) == 0.0
+
+    def test_empty_histogram_is_zero_for_any_quantile(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(0.1, 1.0))
+        (sample,) = registry.snapshot()["histograms"]
+        for q in (0.01, 0.5, 0.99):
+            assert quantile_from_buckets(sample["buckets"], q) == 0.0
+
+    def test_single_finite_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(2.5,))
+        hist.observe(1.0)
+        hist.observe(99.0)  # lands in +Inf
+        (sample,) = registry.snapshot()["histograms"]
+        # Every quantile can only name the one finite edge.
+        for q in (0.1, 0.5, 0.99):
+            assert quantile_from_buckets(sample["buckets"], q) == 2.5
+
+    def test_quantile_exactly_on_bucket_boundary(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 2.0, 3.0, 4.0))
+        for value in (0.5, 1.5, 2.5, 3.5):
+            hist.observe(value)
+        (sample,) = registry.snapshot()["histograms"]
+        # q*total hits each cumulative count exactly; the boundary
+        # bucket itself (not the next one) must be returned, matching
+        # Histogram.quantile's >= comparison.
+        assert quantile_from_buckets(sample["buckets"], 0.25) == 1.0
+        assert quantile_from_buckets(sample["buckets"], 0.5) == 2.0
+        assert quantile_from_buckets(sample["buckets"], 0.75) == 3.0
+        assert quantile_from_buckets(sample["buckets"], 1.0) == 4.0
+        assert hist.quantile(0.5) == 2.0
+
+    def test_overflow_observations_clamp_to_last_finite_edge(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        for _ in range(9):
+            hist.observe(50.0)  # all in the +Inf bucket
+        (sample,) = registry.snapshot()["histograms"]
+        assert sample["buckets"][-1]["le"] == float("inf")
+        # p99 falls in +Inf; the reconstruction never reports infinity,
+        # it clamps to the last finite edge.
+        assert quantile_from_buckets(sample["buckets"], 0.99) == 2.0
+        assert quantile_from_buckets(sample["buckets"], 0.05) == 1.0
 
 
 class TestJsonl:

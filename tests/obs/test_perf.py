@@ -10,7 +10,7 @@ from repro.obs.perf import (
     render_flame_summary,
     root_time,
 )
-from repro.obs.tracing import Tracer
+from repro.obs.tracing import SpanRecord, Tracer
 
 
 def make_tracer(ticks):
@@ -81,7 +81,30 @@ class TestFlameSummary:
             pass
         rows = flame_summary(tracer)
         assert [r.name for r in rows] == ["closed"]
+        assert rows.open_spans == 1
         active.__exit__(None, None, None)
+        assert flame_summary(tracer).open_spans == 0
+
+    def test_open_spans_counted_from_record_iterable(self):
+        # A buffer handed over as records (e.g. parsed from JSONL with
+        # "end": null) must be tolerated, not assumed closed.
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        open_record = SpanRecord(
+            name="hung", start=0.0, span_id=999, parent_id=None, end=None
+        )
+        rows = flame_summary(tracer.spans + [open_record])
+        assert [r.name for r in rows] == ["a"]
+        assert rows.open_spans == 1
+
+    def test_flame_summary_is_still_a_plain_list(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        rows = flame_summary(tracer)
+        assert isinstance(rows, list)
+        assert rows + [] == list(rows)
 
     def test_dropped_children_stay_in_parent_self_time(self):
         # Buffer of 1: the child records are dropped, the root kept?
