@@ -1,10 +1,11 @@
 """Benchmarks of the ``repro.lint`` static-analysis engine.
 
 Not a paper artefact — advisory evidence that the paper-invariant
-lint pass stays cheap enough to gate CI and pre-commit runs.  The
-cases ride the unified harness (``repro bench run``) but are not
-added to the committed baseline: new cases compare as "new" and never
-fail the regression gate.
+lint pass (per-file rules and the ``--flow`` whole-program pass) stays
+cheap enough to gate CI and pre-commit runs.  The cases ride the
+unified harness (``repro bench run``) and have entries in the
+committed fast baseline; a case missing from a baseline compares as
+"new" and never fails the regression gate.
 """
 
 from pathlib import Path
@@ -43,6 +44,20 @@ def harness_lint_src():
     return run
 
 
+@register_benchmark("lint.flow", group="lint")
+def harness_lint_flow():
+    """Whole-program flow pass over src/repro (graph + 3 analyses)."""
+    from repro.lint.flow import analyze_package
+
+    target = REPO_ROOT / "src" / "repro"
+    design = REPO_ROOT / "DESIGN.md"
+
+    def run():
+        return analyze_package(target, design_path=design)
+
+    return run
+
+
 @register_benchmark("lint.single_module_x100", group="lint")
 def harness_lint_single_module():
     """Re-lint one dirty in-memory module 100 times (parse + rules)."""
@@ -55,6 +70,12 @@ def harness_lint_single_module():
         return total
 
     return run
+
+
+def test_flow_kernel_runs_clean():
+    report = harness_lint_flow()()
+    assert report.modules > 0
+    assert report.findings == []
 
 
 def test_lint_src_kernel_runs():

@@ -141,3 +141,8 @@ def offline_optimal_schedule(trip: Trip, update_cost: float,
         mode=mode,
         dt=dt,
     )
+
+__all__ = [
+    "OfflineSchedule",
+    "offline_optimal_schedule",
+]

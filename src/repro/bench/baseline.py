@@ -129,3 +129,14 @@ def compare(current: dict, baseline: dict,
 def regressions(comparisons: list[Comparison]) -> list[Comparison]:
     """The comparisons that should fail the gate."""
     return [c for c in comparisons if c.status == "regression"]
+
+__all__ = [
+    "Comparison",
+    "DEFAULT_TOLERANCE",
+    "compare",
+    "default_baseline_path",
+    "load_baseline",
+    "regressions",
+    "same_machine",
+    "write_results",
+]

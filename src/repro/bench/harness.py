@@ -294,3 +294,24 @@ def validate_results(document: dict) -> None:
             fail(f"times_s malformed for {entry['name']!r}")
         if abs(entry["min_s"] - min(times)) > 1e-12:
             fail(f"min_s inconsistent for {entry['name']!r}")
+
+__all__ = [
+    "BenchmarkCase",
+    "BenchmarkError",
+    "CaseResult",
+    "DEFAULT_REPEAT",
+    "DEFAULT_WARMUP",
+    "FAST_REPEAT",
+    "FAST_WARMUP",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "benchmark",
+    "clear_registry",
+    "environment_fingerprint",
+    "get_case",
+    "load_directory",
+    "registered_cases",
+    "run_benchmarks",
+    "run_case",
+    "validate_results",
+]

@@ -763,11 +763,13 @@ def _cmd_lint(args: argparse.Namespace, out: TextIO) -> int:
         all_rules,
         apply_baseline,
         format_json,
+        format_sarif,
         format_text,
         lint_paths,
         load_baseline,
         write_baseline,
         write_json,
+        write_sarif,
     )
 
     if args.list_rules:
@@ -778,7 +780,31 @@ def _cmd_lint(args: argparse.Namespace, out: TextIO) -> int:
     select = (frozenset(code.strip() for code in args.select.split(","))
               if args.select else None)
     config = Config(select=select)
-    report = lint_paths(args.paths, config)
+    report = lint_paths(args.paths, config, jobs=args.jobs)
+    if args.flow:
+        from repro.lint import LintReport
+        from repro.lint.flow import analyze_package
+
+        root = Path(config.root)
+        package_dir = Path(args.flow_package) if args.flow_package \
+            else root / "src" / "repro"
+        design = Path(args.flow_design) if args.flow_design \
+            else root / "DESIGN.md"
+        try:
+            rel_prefix = package_dir.resolve().relative_to(
+                root.resolve()).as_posix()
+        except ValueError:
+            rel_prefix = package_dir.as_posix()
+        flow = analyze_package(package_dir,
+                               package=package_dir.resolve().name,
+                               rel_prefix=rel_prefix,
+                               design_path=design, select=select)
+        report = LintReport(
+            findings=sorted(report.findings + flow.findings),
+            files=report.files,
+            suppressed=report.suppressed + flow.suppressed,
+            baselined=report.baselined,
+        )
     baseline_path = Path(args.baseline_path if args.baseline_path is not None
                          else DEFAULT_BASELINE_NAME)
     if args.update_baseline:
@@ -790,10 +816,14 @@ def _cmd_lint(args: argparse.Namespace, out: TextIO) -> int:
         report = apply_baseline(report, load_baseline(baseline_path))
     if args.format == "json":
         format_json(report, out)
+    elif args.format == "sarif":
+        format_sarif(report, out)
     else:
         format_text(report, out)
     if args.output is not None:
         write_json(report, args.output)
+    if args.sarif_out is not None:
+        write_sarif(report, args.sarif_out)
     return 0 if report.ok else 1
 
 
@@ -1045,8 +1075,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("paths", nargs="*", default=["src", "tests"],
                       help="files/directories to lint (default: src tests)")
-    lint.add_argument("--format", default="text", choices=("text", "json"),
+    lint.add_argument("--format", default="text",
+                      choices=("text", "json", "sarif"),
                       help="stdout rendering")
+    lint.add_argument("--jobs", type=int, default=1,
+                      help="fan the per-file pass over N worker "
+                           "processes (output byte-identical to serial)")
+    lint.add_argument("--flow", action="store_true",
+                      help="also run the whole-program flow pass "
+                           "(call-graph taint RPR601-603, pool "
+                           "picklability RPR604, schema contracts "
+                           "RPR605) over src/repro")
+    lint.add_argument("--flow-package", default=None,
+                      help="package directory the flow pass analyzes "
+                           "(default: src/repro)")
+    lint.add_argument("--flow-design", default=None,
+                      help="DESIGN.md whose schema registry RPR605 "
+                           "checks against (default: ./DESIGN.md)")
+    lint.add_argument("--sarif-out", default=None,
+                      help="also write the SARIF 2.1.0 log here (CI "
+                           "code-scanning annotation)")
     lint.add_argument("--baseline", action="store_true",
                       help="subtract the committed baseline: grandfathered "
                            "findings pass, new findings fail")

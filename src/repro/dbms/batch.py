@@ -750,3 +750,12 @@ class _EligibilitySets:
             ))
             self._stationary[key] = passing
         return passing
+
+__all__ = [
+    "BatchAnswer",
+    "BatchQuery",
+    "BatchQueryEngine",
+    "PositionQuery",
+    "RangeQuery",
+    "WithinDistanceQuery",
+]

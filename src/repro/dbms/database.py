@@ -784,3 +784,7 @@ class MovingObjectDatabase:
         if math.isnan(total):
             raise QueryError("communication cost is NaN")
         return total
+
+__all__ = [
+    "MovingObjectDatabase",
+]

@@ -66,3 +66,7 @@ class MovingObjectRecord:
             policy=policy,
         )
         self.generation += 1
+
+__all__ = [
+    "MovingObjectRecord",
+]

@@ -429,3 +429,14 @@ def execute(database: MovingObjectDatabase,
         reach = when_must_reach if statement.must else when_may_reach
         return reach(database, statement.object_id, statement.polygon, until)
     raise QueryError(f"MQL: unhandled statement {statement!r}")
+
+__all__ = [
+    "DEFAULT_WHEN_HORIZON",
+    "NearestStatement",
+    "PositionStatement",
+    "RetrieveStatement",
+    "Statement",
+    "WhenStatement",
+    "execute",
+    "parse",
+]

@@ -202,3 +202,11 @@ def load_database(path: str, index: Any = None) -> MovingObjectDatabase:
     with open(path) as handle:
         data = json.load(handle)
     return database_from_dict(data, index=index)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "database_from_dict",
+    "database_to_dict",
+    "load_database",
+    "save_database",
+]

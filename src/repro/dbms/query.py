@@ -196,3 +196,17 @@ def classify_within_distance(center: Point, radius: float,
     return classify_polyline_within_distance(
         center, radius, interval.geometry(route)
     )
+
+__all__ = [
+    "Containment",
+    "NearestAnswer",
+    "PositionAnswer",
+    "RangeAnswer",
+    "classify_against_polygon",
+    "classify_polyline_against_polygon",
+    "classify_polyline_within_distance",
+    "classify_within_distance",
+    "distance_range_between_intervals",
+    "distance_range_to_interval",
+    "distance_range_to_polyline",
+]

@@ -183,3 +183,11 @@ class Schema:
 
     def class_names(self) -> list[str]:
         return sorted(self._classes)
+
+__all__ = [
+    "AttributeDef",
+    "Mobility",
+    "ObjectClass",
+    "Schema",
+    "SpatialKind",
+]

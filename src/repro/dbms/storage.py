@@ -88,3 +88,7 @@ class Table:
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """A deep-enough copy of the whole table."""
         return {oid: dict(row) for oid, row in self._rows.items()}
+
+__all__ = [
+    "Table",
+]

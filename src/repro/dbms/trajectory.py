@@ -116,3 +116,9 @@ def when_must_reach(database: MovingObjectDatabase, object_id: str,
         satisfied=lambda c: c == Containment.MUST,
         step=step,
     )
+
+__all__ = [
+    "predicted_interval",
+    "when_may_reach",
+    "when_must_reach",
+]

@@ -120,3 +120,8 @@ class UpdateLog:
         if t1 > t2:
             raise QueryError(f"empty time window [{t1}, {t2}]")
         return [m for m in self._messages if t1 <= m.time <= t2]
+
+__all__ = [
+    "PositionUpdateMessage",
+    "UpdateLog",
+]

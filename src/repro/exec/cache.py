@@ -170,3 +170,9 @@ class TripTickCache:
             "misses": self.misses,
             "hit_rate": self.hit_rate,
         }
+
+__all__ = [
+    "GridTrip",
+    "TickGrid",
+    "TripTickCache",
+]

@@ -442,3 +442,9 @@ class SweepExecutor:
                 )
             cells[policy_name] = by_cost
         return cells
+
+__all__ = [
+    "SweepCell",
+    "SweepExecutor",
+    "cell_seed",
+]

@@ -241,3 +241,10 @@ def table_route_change(update_cost: float = 5.0, num_legs: int = 4,
         headers=["quantity", "value"],
         rows=rows,
     )
+
+__all__ = [
+    "table_adaptive_policy",
+    "table_horizon_policy",
+    "table_route_change",
+    "table_xy_vs_route",
+]

@@ -114,3 +114,12 @@ def figure_bound_shapes(declared_speed: float = 1.0, max_speed: float = 1.5,
             Series("ail/cil bound", tuple(xs), tuple(imm.total(x) for x in xs)),
         ],
     )
+
+__all__ = [
+    "Figure",
+    "figure_bound_shapes",
+    "figure_messages",
+    "figure_total_cost",
+    "figure_uncertainty",
+    "run_standard_sweep",
+]

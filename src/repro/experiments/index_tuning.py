@@ -80,3 +80,7 @@ def table_slab_tuning(slab_widths: tuple[float, ...] = (1.0, 2.5, 5.0, 10.0, 20.
                  "candidates/query", "entries tested/query", "avg |may|"],
         rows=rows,
     )
+
+__all__ = [
+    "table_slab_tuning",
+]

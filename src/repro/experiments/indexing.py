@@ -193,3 +193,9 @@ def experiment_index_maintenance(num_objects: int = 200,
             ["boxes inserted per swap", swap.boxes_inserted],
         ],
     )
+
+__all__ = [
+    "experiment_index_maintenance",
+    "experiment_index_sublinearity",
+    "experiment_may_must_correctness",
+]

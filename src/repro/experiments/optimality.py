@@ -74,3 +74,7 @@ def table_online_vs_offline(update_cost: float = 5.0, num_curves: int = 8,
         headers=["schedule", "avg total cost", "ratio vs clairvoyant"],
         rows=rows,
     )
+
+__all__ = [
+    "table_online_vs_offline",
+]

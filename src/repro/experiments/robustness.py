@@ -66,3 +66,7 @@ def table_noise_robustness(epsilons: tuple[float, ...] = (0.0, 0.02, 0.05, 0.1),
                  "inflated violations", "naive violation rate"],
         rows=rows,
     )
+
+__all__ = [
+    "table_noise_robustness",
+]

@@ -241,3 +241,9 @@ def main(argv: list[str] | None = None) -> int:
 
 if __name__ == "__main__":
     raise SystemExit(main())
+
+__all__ = [
+    "fast_spec",
+    "main",
+    "run_all",
+]

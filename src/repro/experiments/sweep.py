@@ -92,3 +92,10 @@ def run_policy_sweep(spec: SweepSpec,
     from repro.exec import SweepExecutor
 
     return SweepExecutor(jobs=jobs).run(spec, curves=curves)
+
+__all__ = [
+    "SweepResult",
+    "SweepSpec",
+    "build_curves",
+    "run_policy_sweep",
+]

@@ -336,3 +336,13 @@ def example1_threshold_trace(update_cost: float = 5.0,
     if math.isnan(first.time):
         raise ExperimentError("Example 1 update time is NaN")
     return first.time - 2.0
+
+__all__ = [
+    "TableResult",
+    "example1_threshold_trace",
+    "table_delay_ablation",
+    "table_example1",
+    "table_predictor_ablation",
+    "table_threshold_algebra",
+    "table_update_savings",
+]

@@ -42,3 +42,8 @@ def must_be_in(plane: OPlane, polygon: Polygon, t: float) -> bool:
     if not polygon.intersects_polyline(geometry):
         return False
     return polygon.contains_polyline(geometry)
+
+__all__ = [
+    "may_be_in",
+    "must_be_in",
+]

@@ -140,3 +140,7 @@ class OPlane:
             f"OPlane(route={self.route.route_id!r}, "
             f"start={self.start_time:.2f}, horizon={self.horizon:.1f})"
         )
+
+__all__ = [
+    "OPlane",
+]

@@ -709,3 +709,8 @@ class RTree:
             raise IndexError_(
                 f"size counter {self._size} != leaf entries {count}"
             )
+
+__all__ = [
+    "RTree",
+    "SearchStats",
+]

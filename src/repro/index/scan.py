@@ -60,3 +60,7 @@ class LinearScanIndex:
 
     def object_ids(self) -> list[str]:
         return list(self._planes)
+
+__all__ = [
+    "LinearScanIndex",
+]

@@ -251,3 +251,8 @@ class TimeSpaceIndex:
     def total_boxes(self) -> int:
         """Total number of slab boxes stored."""
         return len(self._tree)
+
+__all__ = [
+    "IndexMaintenanceStats",
+    "TimeSpaceIndex",
+]

@@ -14,11 +14,18 @@ machine-checks them at rest:
   ``# repro: noqa[CODE] reason`` suppression protocol,
 * :mod:`repro.lint.baseline` — committed-baseline mode
   (``lint-baseline.json``: old findings pass, new findings fail),
-* :mod:`repro.lint.output` — text and ``repro-lint/1`` JSON renderings.
+* :mod:`repro.lint.output` — text, ``repro-lint/1`` JSON, and SARIF
+  2.1.0 renderings,
+* :mod:`repro.lint.flow` — the whole-program pass (``--flow``):
+  call-graph construction, interprocedural determinism taint
+  (``RPR601``–``RPR603``), pool-picklability inference (``RPR604``),
+  and the schema-contract registry (``RPR605``).
 
-Entry points: ``repro lint [paths]`` (CLI), ``make lint``, and the CI
-``lint`` job.  See README "Static analysis" for the workflow, including
-how to add a rule and when to baseline versus suppress.
+Entry points: ``repro lint [paths]`` (CLI; ``--jobs N`` fans the
+per-file pass over a process pool with byte-identical output),
+``make lint``, and the CI ``lint`` job.  See README "Static analysis"
+for the workflow, including how to add a rule and when to baseline
+versus suppress.
 """
 
 from repro.lint.baseline import (
@@ -41,9 +48,12 @@ from repro.lint.findings import SEVERITY_ERROR, SEVERITY_WARNING, Finding
 from repro.lint.output import (
     REPORT_SCHEMA,
     format_json,
+    format_sarif,
     format_text,
     report_document,
+    sarif_document,
     write_json,
+    write_sarif,
 )
 from repro.lint.rules import (
     LintError,
@@ -75,6 +85,7 @@ __all__ = [
     "classify_path",
     "collect_files",
     "format_json",
+    "format_sarif",
     "format_text",
     "get_rule",
     "known_codes",
@@ -83,6 +94,8 @@ __all__ = [
     "load_baseline",
     "register_rule",
     "report_document",
+    "sarif_document",
     "write_baseline",
     "write_json",
+    "write_sarif",
 ]

@@ -645,6 +645,47 @@ register_rule(Rule(
                 "cannot be checked at all",
 ))
 
+# RPR6xx: whole-program flow rules.  Their checkers are not per-file
+# AST passes — they run over the package call graph in
+# repro.lint.flow (enabled with `repro lint --flow`) — so they are
+# registered with check=None, like the engine-enforced RPR9xx family,
+# to appear in --list-rules, selection, and noqa validation.
+register_rule(Rule(
+    code="RPR601", name="interprocedural-rng-taint",
+    severity=SEVERITY_ERROR, scope="everywhere", check=None,
+    description="no shared-state/unseeded RNG reachable (through any "
+                "number of call hops) from the digest/trace/"
+                "ordered-output sink modules (flow pass)",
+))
+register_rule(Rule(
+    code="RPR602", name="interprocedural-clock-taint",
+    severity=SEVERITY_ERROR, scope="everywhere", check=None,
+    description="no wall-clock/entropy read reachable from the "
+                "digest/trace/ordered-output sink modules (flow pass)",
+))
+register_rule(Rule(
+    code="RPR603", name="interprocedural-unordered-taint",
+    severity=SEVERITY_ERROR, scope="everywhere", check=None,
+    description="no unsorted set iteration feeding return values "
+                "reachable from ordered-output sink modules (flow "
+                "pass)",
+))
+register_rule(Rule(
+    code="RPR604", name="pool-unpicklable-flow",
+    severity=SEVERITY_ERROR, scope="everywhere", check=None,
+    description="no lambda/closure/unpicklable bound method flowing "
+                "into ProcessPoolExecutor.submit/map in exec/ or "
+                "shard/, including via task-function parameters "
+                "(flow pass)",
+))
+register_rule(Rule(
+    code="RPR605", name="schema-contract",
+    severity=SEVERITY_ERROR, scope="everywhere", check=None,
+    description="every produced repro-*/N schema version must be "
+                "accepted by its consumers and documented in "
+                "DESIGN.md's schema registry (flow pass)",
+))
+
 # Suppression hygiene is enforced by the engine while it matches
 # "repro: noqa" directives; the rules are registered here so they
 # appear in --list-rules output, docs, and selection.

@@ -126,29 +126,64 @@ def _relpath(path: Path, root: Path) -> str:
         return path.as_posix()
 
 
-def _noqa_directives(source: str) -> dict[int, tuple[set[str], str]]:
-    """Line number -> (codes, reason) for every suppression comment.
+def _noqa_comments(source: str) -> list[tuple[int, int, set[str], str]]:
+    """Every suppression comment: (line, logical start, codes, reason).
 
     Tokenizes rather than regex-scanning raw lines so that string
     literals and docstrings *mentioning* ``# repro: noqa[...]`` (for
     example, this engine's own documentation) are not treated as
-    directives.
+    directives.  ``logical start`` is the first physical line of the
+    logical statement the comment trails — for a directive at the end
+    of a multi-line call, that is the line findings anchor to.
     """
-    directives: dict[int, tuple[set[str], str]] = {}
+    comments: list[tuple[int, int, set[str], str]] = []
+    logical_start: int | None = None
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for token in tokens:
-            if token.type != tokenize.COMMENT:
+            if token.type == tokenize.NEWLINE:
+                logical_start = None
                 continue
-            match = _NOQA_RE.search(token.string)
-            if match is None:
+            if token.type == tokenize.COMMENT:
+                match = _NOQA_RE.search(token.string)
+                if match is None:
+                    continue
+                codes = {code.strip()
+                         for code in match.group("codes").split(",")
+                         if code.strip()}
+                start = logical_start if logical_start is not None \
+                    else token.start[0]
+                comments.append((token.start[0], start, codes,
+                                 match.group("reason")))
                 continue
-            codes = {code.strip()
-                     for code in match.group("codes").split(",")
-                     if code.strip()}
-            directives[token.start[0]] = (codes, match.group("reason"))
+            if token.type in (tokenize.NL, tokenize.INDENT,
+                              tokenize.DEDENT, tokenize.ENCODING,
+                              tokenize.ENDMARKER):
+                continue
+            if logical_start is None:
+                logical_start = token.start[0]
     except tokenize.TokenizeError:  # pragma: no cover - parse caught it
         pass
+    return comments
+
+
+def _noqa_directives(source: str) -> dict[int, tuple[set[str], str]]:
+    """Line number -> (codes, reason) for every suppression comment.
+
+    A directive suppresses findings on its own physical line *and* on
+    the first line of the logical statement it trails, so a noqa on
+    the closing line of a multi-line call still reaches the finding
+    (which anchors to the statement's first line).
+    """
+    directives: dict[int, tuple[set[str], str]] = {}
+    for line, logical_start, codes, reason in _noqa_comments(source):
+        for number in {line, logical_start}:
+            if number in directives:
+                merged = directives[number][0] | codes
+                directives[number] = (merged, directives[number][1] or
+                                      reason)
+            else:
+                directives[number] = (codes, reason)
     return directives
 
 
@@ -192,7 +227,7 @@ def lint_source(source: str, relpath: str,
     suppressed = len(findings) - len(kept)
 
     registered = known_codes()
-    for number, (codes, reason) in sorted(directives.items()):
+    for number, _, codes, reason in _noqa_comments(source):
         if _selected("RPR901", config):
             for code in sorted(codes - registered):
                 kept.append(Finding(
@@ -215,17 +250,39 @@ def _selected(code: str, config: Config) -> bool:
     return config.select is None or code in config.select
 
 
+def _lint_file_task(item: tuple[str, str, Config]) -> ModuleReport:
+    """Worker body for the parallel per-file pass (must pickle)."""
+    path_str, relpath, config = item
+    source = Path(path_str).read_text(encoding="utf-8")
+    return lint_source(source, relpath, config)
+
+
 def lint_paths(paths: Sequence[str | Path],
-               config: Config | None = None) -> LintReport:
-    """Lint files/directories and return the aggregate report."""
+               config: Config | None = None,
+               jobs: int = 1) -> LintReport:
+    """Lint files/directories and return the aggregate report.
+
+    With ``jobs > 1`` the per-file pass fans out over a process pool.
+    Each file's report is computed independently and reassembled in
+    the canonical (sorted) file order before the final findings sort,
+    so the output is byte-identical to a serial run.
+    """
     config = config if config is not None else Config()
     files = collect_files(paths, config)
+    items = [(str(path), _relpath(path, config.root), config)
+             for path in files]
+    if jobs > 1 and len(items) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(items))
+                                 ) as pool:
+            reports = list(pool.map(_lint_file_task, items,
+                                    chunksize=8))
+    else:
+        reports = [_lint_file_task(item) for item in items]
     findings: list[Finding] = []
     suppressed = 0
-    for path in files:
-        relpath = _relpath(path, config.root)
-        source = path.read_text(encoding="utf-8")
-        module = lint_source(source, relpath, config)
+    for module in reports:
         findings.extend(module.findings)
         suppressed += module.suppressed
     findings.sort()

@@ -1,0 +1,74 @@
+"""Whole-program flow analysis for the lint engine (``repro lint --flow``).
+
+The per-file rule pack (:mod:`repro.lint.checks`) sees one module at a
+time, so it cannot see an unseeded RNG reaching a query digest through
+three call hops, a closure smuggled into a fork pool via a parameter,
+or a producer writing a schema version no reader accepts.  This
+package layers a package-wide pass on top of the same engine:
+
+* :mod:`repro.lint.flow.graph` — parses every module of a package once
+  and builds the module/function/call graph (imports, re-exports,
+  ``self.``-method edges, intra-package attribute resolution),
+* :mod:`repro.lint.flow.taint` — interprocedural taint propagation:
+  RNG-nondeterminism, wall-clock reads, and unordered set iteration
+  flowing from *any* function into the digest/trace/ordered-output
+  sink modules (``RPR601``–``RPR603``),
+* :mod:`repro.lint.flow.pools` — picklability inference for every
+  callable reaching ``ProcessPoolExecutor.submit/map`` in ``exec/``
+  and ``shard/``, including callables passed in by callers
+  (``RPR604``),
+* :mod:`repro.lint.flow.schema` — the schema-contract registry:
+  statically extracts every ``repro-*/N`` schema literal, classifies
+  producer and consumer sites, and cross-checks them against each
+  other and the documented registry in ``DESIGN.md`` (``RPR605``),
+* :mod:`repro.lint.flow.analyzer` — orchestration: runs the passes,
+  filters by ``--select``, and honours ``# repro: noqa[...]``.
+
+Findings are ordinary :class:`repro.lint.findings.Finding` objects, so
+baselines, suppression, text/JSON/SARIF output, and the CI gate treat
+flow findings exactly like per-file ones.
+"""
+
+from repro.lint.flow.analyzer import FLOW_CODES, FlowReport, analyze_package
+from repro.lint.flow.graph import (
+    CallSite,
+    FunctionInfo,
+    ModuleInfo,
+    PackageGraph,
+    load_package,
+)
+from repro.lint.flow.pools import check_pool_picklability
+from repro.lint.flow.schema import (
+    SchemaRegistry,
+    check_schema_contracts,
+    documented_schemas,
+    extract_schemas,
+)
+from repro.lint.flow.taint import (
+    TAINT_CLOCK,
+    TAINT_RNG,
+    TAINT_UNORDERED,
+    check_taint_flows,
+    find_taint_sources,
+)
+
+__all__ = [
+    "CallSite",
+    "FLOW_CODES",
+    "FlowReport",
+    "FunctionInfo",
+    "ModuleInfo",
+    "PackageGraph",
+    "SchemaRegistry",
+    "TAINT_CLOCK",
+    "TAINT_RNG",
+    "TAINT_UNORDERED",
+    "analyze_package",
+    "check_pool_picklability",
+    "check_schema_contracts",
+    "check_taint_flows",
+    "documented_schemas",
+    "extract_schemas",
+    "find_taint_sources",
+    "load_package",
+]

@@ -1,0 +1,99 @@
+"""Orchestration for the flow passes (``repro lint --flow``).
+
+:func:`analyze_package` builds the package graph once, runs the three
+flow passes over it (taint, pool picklability, schema contracts),
+filters by rule selection, and applies the same ``# repro:
+noqa[CODE] reason`` suppression protocol the per-file engine uses —
+flow findings land on concrete source lines, so the directive works
+unchanged.  The result is a :class:`FlowReport` whose findings merge
+cleanly into a per-file :class:`repro.lint.engine.LintReport` (the CLI
+does exactly that before applying the baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.engine import _noqa_directives
+from repro.lint.findings import Finding
+from repro.lint.flow.graph import PackageGraph, load_package
+from repro.lint.flow.pools import check_pool_picklability
+from repro.lint.flow.schema import check_schema_contracts
+from repro.lint.flow.taint import check_taint_flows
+
+#: The rule codes the flow passes can emit.
+FLOW_CODES = frozenset({"RPR601", "RPR602", "RPR603", "RPR604", "RPR605"})
+
+
+@dataclass(slots=True)
+class FlowReport:
+    """Everything one flow-analysis run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    modules: int = 0
+    functions: int = 0
+    call_edges: int = 0
+    suppressed: int = 0
+
+
+def _apply_noqa(findings: list[Finding],
+                graph: PackageGraph) -> tuple[list[Finding], int]:
+    """Drop findings suppressed by a same-line noqa directive."""
+    directives_by_path: dict[str, dict[int, tuple[set[str], str]]] = {}
+    for module in graph.modules.values():
+        directives_by_path[module.relpath] = _noqa_directives(module.source)
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        directive = directives_by_path.get(finding.path, {}) \
+            .get(finding.line)
+        if directive is not None and finding.code in directive[0]:
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+def analyze_package(root: str | Path, package: str = "repro",
+                    rel_prefix: str | None = None,
+                    design_path: str | Path | None = None,
+                    select: Iterable[str] | None = None) -> FlowReport:
+    """Run the whole-program passes over the package under ``root``.
+
+    ``design_path`` points at the DESIGN.md whose schema registry the
+    contract check validates against; when it is ``None`` or missing,
+    the documentation contract is skipped (the producer/consumer
+    contract still runs).  ``select`` narrows to specific rule codes,
+    mirroring the engine's ``--select``.
+    """
+    graph = load_package(root, package=package, rel_prefix=rel_prefix)
+    findings: list[Finding] = []
+    findings.extend(check_taint_flows(graph))
+    findings.extend(check_pool_picklability(graph))
+    design_text: str | None = None
+    if design_path is not None:
+        design = Path(design_path)
+        if design.is_file():
+            design_text = design.read_text(encoding="utf-8")
+    findings.extend(check_schema_contracts(graph, design_text))
+    if select is not None:
+        selected = frozenset(select)
+        findings = [f for f in findings if f.code in selected]
+    findings, suppressed = _apply_noqa(findings, graph)
+    findings.sort()
+    return FlowReport(
+        findings=findings,
+        modules=len(graph.modules),
+        functions=len(graph.functions),
+        call_edges=sum(len(sites) for sites in graph.calls.values()),
+        suppressed=suppressed,
+    )
+
+
+__all__ = [
+    "FLOW_CODES",
+    "FlowReport",
+    "analyze_package",
+]

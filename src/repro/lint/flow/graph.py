@@ -1,0 +1,335 @@
+"""Module and call-graph construction for the flow analyzer.
+
+:func:`load_package` parses every ``*.py`` under a package root once
+and produces a :class:`PackageGraph`:
+
+* a module table (dotted name -> :class:`ModuleInfo`),
+* a function table (qualified name -> :class:`FunctionInfo`) covering
+  module-level functions and class methods — nested functions and
+  lambdas are analyzed as part of their enclosing function, which is
+  the granularity taint propagation works at,
+* resolved intra-package call edges (:class:`CallSite`), built by
+  rewriting each call's dotted name through the module's import map
+  (including relative imports) and then resolving it against the
+  package symbol table, following ``__init__``-style re-export chains.
+
+Resolution is deliberately an *under*-approximation: a call the
+resolver cannot attribute to a package function simply produces no
+edge.  Flow rules built on the graph therefore miss dynamic dispatch,
+but never invent edges — findings stay precise enough to gate CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.lint.rules import LintError
+
+#: How many re-export hops a dotted name may take before resolution
+#: gives up (guards against pathological import cycles).
+_MAX_REEXPORT_HOPS = 8
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    """One parsed module of the analyzed package."""
+
+    name: str                 # dotted, e.g. "repro.dbms.batch"
+    relpath: str              # repo-relative posix path (finding paths)
+    pkgpath: str              # package-relative posix path ("dbms/batch.py")
+    source: str
+    tree: ast.Module
+    imports: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class FunctionInfo:
+    """One module-level function or class method."""
+
+    qualname: str             # "repro.dbms.batch.BatchQueryEngine.run"
+    module: ModuleInfo
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None = None
+
+    @property
+    def short(self) -> str:
+        """The readable name used in finding messages."""
+        tail = self.qualname.split(".", 1)[1] if "." in self.qualname \
+            else self.qualname
+        return tail
+
+    def param_names(self) -> list[str]:
+        """Positional parameter names (posonly + regular, sans self)."""
+        args = self.node.args
+        names = [a.arg for a in (*args.posonlyargs, *args.args)]
+        if self.class_name is not None and names and \
+                names[0] in ("self", "cls"):
+            names = names[1:]
+        return names
+
+
+@dataclass(slots=True)
+class CallSite:
+    """One resolved intra-package call edge."""
+
+    caller: str               # qualname of the calling function
+    callee: str               # qualname of the called function
+    path: str                 # repo-relative path of the call site
+    line: int
+    col: int
+    node: ast.Call            # the call expression itself
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_import_map(module_name: str, tree: ast.Module) -> dict[str, str]:
+    """Local name -> canonical dotted origin, relative imports resolved."""
+    mapping: dict[str, str] = {}
+    package = module_name.rsplit(".", 1)[0] if "." in module_name \
+        else module_name
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    mapping[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    mapping[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                # Relative import: climb from the containing package.
+                parts = package.split(".")
+                climb = node.level - 1
+                if climb >= len(parts):
+                    continue
+                anchor = parts[:len(parts) - climb]
+                base = ".".join(anchor + ([base] if base else []))
+            if not base:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                mapping[local] = f"{base}.{alias.name}"
+    return mapping
+
+
+def resolve_alias(dotted: str, imports: dict[str, str]) -> str:
+    """Rewrite ``dotted``'s head through the module's import aliases."""
+    head, _, rest = dotted.partition(".")
+    if head in imports:
+        origin = imports[head]
+        return f"{origin}.{rest}" if rest else origin
+    return dotted
+
+
+class PackageGraph:
+    """The parsed package: modules, functions, and resolved call edges."""
+
+    def __init__(self, package: str) -> None:
+        self.package = package
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        #: class qualname -> (defining module, class node)
+        self.classes: dict[str, tuple[ModuleInfo, ast.ClassDef]] = {}
+        #: class qualname -> method name -> function qualname
+        self.methods: dict[str, dict[str, str]] = {}
+        self.calls: dict[str, list[CallSite]] = {}
+        self.callers: dict[str, list[CallSite]] = {}
+
+    # -- construction -------------------------------------------------
+
+    def add_module(self, info: ModuleInfo) -> None:
+        self.modules[info.name] = info
+        for stmt in info.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{info.name}.{stmt.name}"
+                self.functions[qual] = FunctionInfo(
+                    qualname=qual, module=info, node=stmt)
+            elif isinstance(stmt, ast.ClassDef):
+                class_qual = f"{info.name}.{stmt.name}"
+                self.classes[class_qual] = (info, stmt)
+                table = self.methods.setdefault(class_qual, {})
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)):
+                        qual = f"{class_qual}.{sub.name}"
+                        self.functions[qual] = FunctionInfo(
+                            qualname=qual, module=info, node=sub,
+                            class_name=stmt.name)
+                        table[sub.name] = qual
+
+    def link(self) -> None:
+        """Resolve call edges for every function (call after modules)."""
+        for qual in sorted(self.functions):
+            info = self.functions[qual]
+            for call in _calls_in(info.node):
+                callee = self._resolve_call(info, call)
+                if callee is None:
+                    continue
+                site = CallSite(
+                    caller=qual, callee=callee,
+                    path=info.module.relpath,
+                    line=call.lineno, col=call.col_offset + 1, node=call,
+                )
+                self.calls.setdefault(qual, []).append(site)
+                self.callers.setdefault(callee, []).append(site)
+
+    # -- resolution ---------------------------------------------------
+
+    def resolve_symbol(self, dotted: str) -> str | None:
+        """Resolve a canonical dotted name to a function qualname.
+
+        Handles direct functions, class methods, and re-exports:
+        ``repro.trace.get_recorder`` resolves through
+        ``trace/__init__.py``'s own import of the symbol.
+        """
+        return self._resolve_symbol(dotted, hops=0)
+
+    def _resolve_symbol(self, dotted: str, hops: int) -> str | None:
+        if hops > _MAX_REEXPORT_HOPS:
+            return None
+        if dotted in self.functions:
+            return dotted
+        # Class method: longest prefix that is a known class.
+        prefix, _, attr = dotted.rpartition(".")
+        if prefix in self.methods and attr in self.methods[prefix]:
+            return self.methods[prefix][attr]
+        # Re-export: the longest module prefix re-imports the remainder.
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            mod_name = ".".join(parts[:cut])
+            module = self.modules.get(mod_name)
+            if module is None:
+                continue
+            remainder = parts[cut:]
+            head = remainder[0]
+            if head in module.imports:
+                target = module.imports[head]
+                rest = ".".join(remainder[1:])
+                full = f"{target}.{rest}" if rest else target
+                return self._resolve_symbol(full, hops + 1)
+            return None
+        return None
+
+    def _resolve_call(self, info: FunctionInfo,
+                      call: ast.Call) -> str | None:
+        func = call.func
+        module = info.module
+        # self.method() / cls.method() inside a class.
+        if (info.class_name is not None
+                and isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("self", "cls")):
+            class_qual = f"{module.name}.{info.class_name}"
+            return self.methods.get(class_qual, {}).get(func.attr)
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        head = dotted.split(".", 1)[0]
+        if head in module.imports:
+            return self.resolve_symbol(resolve_alias(dotted, module.imports))
+        # Unimported bare name: a sibling defined in this module.
+        return self.resolve_symbol(f"{module.name}.{dotted}")
+
+    # -- queries ------------------------------------------------------
+
+    def functions_in(self, pkgpath_prefixes: tuple[str, ...]
+                     ) -> Iterator[FunctionInfo]:
+        """Functions whose module's package path matches a pattern.
+
+        A pattern ending in ``/`` matches every module under that
+        directory; any other pattern matches one module path exactly.
+        """
+        for qual in sorted(self.functions):
+            info = self.functions[qual]
+            if matches_pkgpath(info.module.pkgpath, pkgpath_prefixes):
+                yield info
+
+
+def matches_pkgpath(pkgpath: str, patterns: tuple[str, ...]) -> bool:
+    """Whether a package-relative module path matches any pattern."""
+    for pattern in patterns:
+        if pattern.endswith("/"):
+            if pkgpath.startswith(pattern):
+                return True
+        elif pkgpath == pattern:
+            return True
+    return False
+
+
+def _calls_in(func: ast.FunctionDef | ast.AsyncFunctionDef
+              ) -> Iterator[ast.Call]:
+    """Every call inside ``func``, including nested defs and lambdas."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def load_package(root: str | Path, package: str = "repro",
+                 rel_prefix: str | None = None) -> PackageGraph:
+    """Parse the package tree under ``root`` into a :class:`PackageGraph`.
+
+    ``root`` is the directory that *is* the package (its ``__init__.py``
+    lives directly inside).  ``rel_prefix`` is prepended to
+    package-relative paths to form the repo-relative paths findings
+    carry; it defaults to ``root`` as given.
+    """
+    base = Path(root)
+    if not base.is_dir():
+        raise LintError(f"flow analysis root not found: {base}")
+    prefix = rel_prefix if rel_prefix is not None else base.as_posix()
+    graph = PackageGraph(package)
+    for path in sorted(base.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        pkgpath = path.relative_to(base).as_posix()
+        dotted = pkgpath[:-3].replace("/", ".")
+        if dotted.endswith("__init__"):
+            dotted = dotted[:-len("__init__")].rstrip(".")
+        name = f"{package}.{dotted}" if dotted else package
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            # The per-file pass reports RPR000; the flow pass just
+            # leaves the unparseable module out of the graph.
+            continue
+        info = ModuleInfo(
+            name=name,
+            relpath=f"{prefix}/{pkgpath}" if prefix else pkgpath,
+            pkgpath=pkgpath,
+            source=source,
+            tree=tree,
+            imports=module_import_map(name, tree),
+        )
+        graph.add_module(info)
+    graph.link()
+    return graph
+
+
+__all__ = [
+    "CallSite",
+    "FunctionInfo",
+    "ModuleInfo",
+    "PackageGraph",
+    "dotted_name",
+    "load_package",
+    "matches_pkgpath",
+    "module_import_map",
+    "resolve_alias",
+]

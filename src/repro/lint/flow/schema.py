@@ -1,0 +1,376 @@
+"""The schema-contract registry (``RPR605``).
+
+Every persisted document in this repo carries a ``repro-<name>/<N>``
+schema tag: traces, shard plans, SLO specs and verdicts, bench
+results, collector JSONL, lint reports and baselines.  Producers write
+the tag; consumers refuse documents whose tag they do not recognise.
+That contract is invisible to per-file linting — the producer and the
+consumer are different modules, and the documented version lives in
+``DESIGN.md``.
+
+This pass extracts every schema string literal in the package
+(including ``f"repro-bench/{SCHEMA_VERSION}"``-style literals whose
+placeholder is a module-level constant), follows the constants they
+are bound to across modules and re-exports, and classifies each use
+site:
+
+* **producer** — the tag is the value of a ``"schema"`` key in a dict
+  literal, or a ``schema=`` keyword argument,
+* **consumer** — the tag appears in a comparison (``==``, ``!=``,
+  ``in`` — including membership in a tuple of accepted versions such
+  as ``READABLE_SCHEMAS``).
+
+Two contracts are then checked:
+
+1. every version a producer emits must be accepted by at least one
+   consumer of the same family (families nobody consumes — pure
+   output documents — are exempt),
+2. every family/version referenced anywhere in the package must be
+   documented in ``DESIGN.md``'s schema registry.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Finding
+from repro.lint.flow.graph import (
+    ModuleInfo,
+    PackageGraph,
+    dotted_name,
+    resolve_alias,
+)
+from repro.lint.rules import get_rule
+
+CODE = "RPR605"
+
+#: A complete schema tag: family name plus integer version.
+SCHEMA_RE = re.compile(r"^(repro-[a-z0-9][a-z0-9-]*)/([0-9]+)$")
+
+#: Loose form used to scan DESIGN.md prose for documented tags.
+SCHEMA_SCAN_RE = re.compile(r"(repro-[a-z0-9][a-z0-9-]*)/([0-9]+)")
+
+ROLE_PRODUCER = "producer"
+ROLE_CONSUMER = "consumer"
+ROLE_CONSTANT = "constant"
+ROLE_MENTION = "mention"
+
+
+@dataclass(frozen=True, slots=True)
+class SchemaOccurrence:
+    """One appearance of a schema tag at a classified site."""
+
+    family: str
+    version: int
+    path: str
+    line: int
+    col: int
+    role: str
+
+
+@dataclass(slots=True)
+class SchemaRegistry:
+    """Everything the extraction pass learned about schema tags."""
+
+    occurrences: list[SchemaOccurrence] = field(default_factory=list)
+    #: constant qualname -> the schema tags it (or its tuple) carries
+    constants: dict[str, frozenset[tuple[str, int]]] = \
+        field(default_factory=dict)
+
+    def by_role(self, role: str) -> dict[str, set[int]]:
+        out: dict[str, set[int]] = {}
+        for occ in self.occurrences:
+            if occ.role == role:
+                out.setdefault(occ.family, set()).add(occ.version)
+        return out
+
+    def referenced(self) -> dict[tuple[str, int], SchemaOccurrence]:
+        """First (sorted) occurrence per referenced family/version."""
+        first: dict[tuple[str, int], SchemaOccurrence] = {}
+        for occ in sorted(self.occurrences,
+                          key=lambda o: (o.path, o.line, o.col)):
+            first.setdefault((occ.family, occ.version), occ)
+        return first
+
+    def first_site(self, family: str, version: int,
+                   role: str) -> SchemaOccurrence | None:
+        best: SchemaOccurrence | None = None
+        for occ in self.occurrences:
+            if (occ.family, occ.version, occ.role) != \
+                    (family, version, role):
+                continue
+            if best is None or (occ.path, occ.line, occ.col) < \
+                    (best.path, best.line, best.col):
+                best = occ
+        return best
+
+
+def _parent_map(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _int_constants(tree: ast.Module) -> dict[str, int]:
+    """Module-level ``NAME = <int>`` bindings (for f-string versions)."""
+    out: dict[str, int] = {}
+    for stmt in tree.body:
+        if (isinstance(stmt, ast.Assign)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, int)
+                and not isinstance(stmt.value.value, bool)):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = stmt.value.value
+    return out
+
+
+def _literal_tag(node: ast.expr,
+                 int_constants: dict[str, int]) -> tuple[str, int] | None:
+    """The (family, version) a literal expression spells, if any."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        match = SCHEMA_RE.match(node.value)
+        if match is not None:
+            return match.group(1), int(match.group(2))
+        return None
+    if isinstance(node, ast.JoinedStr):
+        text = ""
+        for value in node.values:
+            if isinstance(value, ast.Constant) and \
+                    isinstance(value.value, str):
+                text += value.value
+            elif isinstance(value, ast.FormattedValue) and \
+                    isinstance(value.value, ast.Name) and \
+                    value.value.id in int_constants:
+                text += str(int_constants[value.value.id])
+            else:
+                return None
+        match = SCHEMA_RE.match(text)
+        if match is not None:
+            return match.group(1), int(match.group(2))
+    return None
+
+
+def _classify_context(node: ast.AST,
+                      parents: dict[ast.AST, ast.AST]) -> str:
+    """producer / consumer / constant / mention for one tag site."""
+    child = node
+    parent = parents.get(child)
+    hops = 0
+    while parent is not None and hops < 12:
+        if isinstance(parent, ast.Compare):
+            return ROLE_CONSUMER
+        if isinstance(parent, ast.Dict):
+            for key, value in zip(parent.keys, parent.values):
+                if value is child and isinstance(key, ast.Constant) \
+                        and key.value == "schema":
+                    return ROLE_PRODUCER
+            return ROLE_MENTION
+        if isinstance(parent, ast.keyword):
+            return ROLE_PRODUCER if parent.arg == "schema" \
+                else ROLE_MENTION
+        if isinstance(parent, ast.Assign):
+            for target in parent.targets:
+                if isinstance(target, ast.Subscript) \
+                        and isinstance(target.slice, ast.Constant) \
+                        and target.slice.value == "schema":
+                    return ROLE_PRODUCER  # doc["schema"] = TAG
+            return ROLE_CONSTANT
+        if isinstance(parent, ast.AnnAssign):
+            return ROLE_CONSTANT
+        if isinstance(parent, (ast.Tuple, ast.List, ast.Set)):
+            child, parent = parent, parents.get(parent)
+            hops += 1
+            continue
+        if isinstance(parent, ast.Expr):
+            return ROLE_MENTION  # docstrings, bare expressions
+        child, parent = parent, parents.get(parent)
+        hops += 1
+    return ROLE_MENTION
+
+
+def _constant_target(node: ast.AST,
+                     parents: dict[ast.AST, ast.AST],
+                     module: ModuleInfo) -> str | None:
+    """The constant qualname ``node`` is (eventually) assigned to."""
+    child = node
+    parent = parents.get(child)
+    while parent is not None:
+        if isinstance(parent, ast.Assign):
+            for target in parent.targets:
+                if isinstance(target, ast.Name):
+                    return f"{module.name}.{target.id}"
+            return None
+        if isinstance(parent, ast.AnnAssign):
+            if isinstance(parent.target, ast.Name):
+                return f"{module.name}.{parent.target.id}"
+            return None
+        if not isinstance(parent, (ast.Tuple, ast.List, ast.Set)):
+            return None
+        child, parent = parent, parents.get(parent)
+    return None
+
+
+def _resolve_constant(graph: PackageGraph, module: ModuleInfo,
+                      dotted: str,
+                      registry: SchemaRegistry
+                      ) -> frozenset[tuple[str, int]] | None:
+    """The schema tags a Name/Attribute reference resolves to."""
+    head = dotted.split(".", 1)[0]
+    candidates = []
+    if head in module.imports:
+        candidates.append(resolve_alias(dotted, module.imports))
+    candidates.append(f"{module.name}.{dotted}")
+    for candidate in candidates:
+        if candidate in registry.constants:
+            return registry.constants[candidate]
+        # Follow one re-export hop through a package __init__.
+        prefix, _, attr = candidate.rpartition(".")
+        init = graph.modules.get(prefix)
+        if init is not None and attr in init.imports:
+            target = init.imports[attr]
+            if target in registry.constants:
+                return registry.constants[target]
+    return None
+
+
+def extract_schemas(graph: PackageGraph) -> SchemaRegistry:
+    """Scan the package for schema tags, constants, and use sites."""
+    registry = SchemaRegistry()
+    module_parents: dict[str, dict[ast.AST, ast.AST]] = {}
+
+    # Pass 1: literals (and the constants they are bound to).
+    for name in sorted(graph.modules):
+        module = graph.modules[name]
+        parents = _parent_map(module.tree)
+        module_parents[name] = parents
+        ints = _int_constants(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Constant, ast.JoinedStr)):
+                continue
+            tag = _literal_tag(node, ints)
+            if tag is None:
+                continue
+            role = _classify_context(node, parents)
+            if role == ROLE_CONSTANT:
+                target = _constant_target(node, parents, module)
+                if target is not None:
+                    existing = registry.constants.get(
+                        target, frozenset())
+                    registry.constants[target] = existing | {tag}
+            registry.occurrences.append(SchemaOccurrence(
+                family=tag[0], version=tag[1],
+                path=module.relpath, line=node.lineno,
+                col=node.col_offset + 1, role=role))
+
+    # Pass 2 (twice, so tuples of constants chain): constant
+    # references — aggregated tuples and producer/consumer sites.
+    for _ in range(2):
+        for name in sorted(graph.modules):
+            module = graph.modules[name]
+            parents = module_parents[name]
+            for node in ast.walk(module.tree):
+                if not isinstance(node, (ast.Name, ast.Attribute)):
+                    continue
+                if isinstance(node, ast.Attribute) and \
+                        dotted_name(node) is None:
+                    continue
+                if isinstance(parents.get(node), ast.Attribute):
+                    continue  # inner part of a longer dotted chain
+                dotted = dotted_name(node)
+                if dotted is None or \
+                        isinstance(parents.get(node), ast.Call) and \
+                        getattr(parents.get(node), "func", None) is node:
+                    continue
+                tags = _resolve_constant(graph, module, dotted, registry)
+                if not tags:
+                    continue
+                role = _classify_context(node, parents)
+                if role == ROLE_CONSTANT:
+                    target = _constant_target(node, parents, module)
+                    if target is not None:
+                        existing = registry.constants.get(
+                            target, frozenset())
+                        registry.constants[target] = existing | tags
+                    continue
+                if role not in (ROLE_PRODUCER, ROLE_CONSUMER):
+                    continue
+                for family, version in sorted(tags):
+                    occ = SchemaOccurrence(
+                        family=family, version=version,
+                        path=module.relpath, line=node.lineno,
+                        col=node.col_offset + 1, role=role)
+                    if occ not in registry.occurrences:
+                        registry.occurrences.append(occ)
+    return registry
+
+
+def documented_schemas(design_text: str) -> set[tuple[str, int]]:
+    """Every ``repro-*/N`` tag DESIGN.md mentions."""
+    return {(family, int(version))
+            for family, version in SCHEMA_SCAN_RE.findall(design_text)}
+
+
+def _finding(occ: SchemaOccurrence, message: str) -> Finding:
+    rule = get_rule(CODE)
+    return Finding(path=occ.path, line=occ.line, col=occ.col,
+                   code=CODE, severity=rule.severity, message=message)
+
+
+def check_schema_contracts(graph: PackageGraph,
+                           design_text: str | None = None
+                           ) -> list[Finding]:
+    """RPR605: producer/consumer and documentation contract breaches."""
+    registry = extract_schemas(graph)
+    findings: list[Finding] = []
+
+    produced = registry.by_role(ROLE_PRODUCER)
+    consumed = registry.by_role(ROLE_CONSUMER)
+    for family in sorted(produced):
+        accepted = consumed.get(family)
+        if accepted is None:
+            continue  # nobody parses this family: pure output document
+        for version in sorted(produced[family]):
+            if version in accepted:
+                continue
+            site = registry.first_site(family, version, ROLE_PRODUCER)
+            assert site is not None
+            versions = ", ".join(str(v) for v in sorted(accepted))
+            findings.append(_finding(
+                site,
+                f"schema contract: producers emit {family}/{version} "
+                f"but consumers only accept version(s) {versions}; "
+                f"update the readers (and DESIGN.md) with the new "
+                f"version"))
+
+    if design_text is not None:
+        documented = documented_schemas(design_text)
+        for (family, version), occ in sorted(
+                registry.referenced().items()):
+            if (family, version) not in documented:
+                findings.append(_finding(
+                    occ,
+                    f"schema {family}/{version} is not documented in "
+                    f"DESIGN.md's schema registry; every schema tag "
+                    f"must have a documented shape and version"))
+    findings.sort()
+    return findings
+
+
+__all__ = [
+    "CODE",
+    "ROLE_CONSTANT",
+    "ROLE_CONSUMER",
+    "ROLE_MENTION",
+    "ROLE_PRODUCER",
+    "SCHEMA_RE",
+    "SchemaOccurrence",
+    "SchemaRegistry",
+    "check_schema_contracts",
+    "documented_schemas",
+    "extract_schemas",
+]

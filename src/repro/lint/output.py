@@ -58,10 +58,91 @@ def write_json(report: LintReport, path: str | Path) -> None:
         format_json(report, handle)
 
 
+#: SARIF spec version emitted (the version code-scanning ingests).
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+
+def sarif_document(report: LintReport) -> dict[str, object]:
+    """The SARIF 2.1.0 log for ``report`` (code-scanning annotation).
+
+    Only rules that actually fired are listed in the driver, sorted by
+    code, and results follow the report's (already sorted) finding
+    order — the document is deterministic for a given report.
+    """
+    from repro.lint.rules import get_rule
+
+    codes = sorted({finding.code for finding in report.findings})
+    rule_index = {code: i for i, code in enumerate(codes)}
+    rules = []
+    for code in codes:
+        rule = get_rule(code)
+        rules.append({
+            "id": code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {
+                "level": "error" if rule.severity == "error"
+                else "warning",
+            },
+        })
+    results = []
+    for finding in report.findings:
+        results.append({
+            "ruleId": finding.code,
+            "ruleIndex": rule_index[finding.code],
+            "level": "error" if finding.severity == "error"
+            else "warning",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                },
+            }],
+        })
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def format_sarif(report: LintReport, out: TextIO) -> None:
+    """Render the SARIF log to ``out``."""
+    json.dump(sarif_document(report), out, indent=2)
+    out.write("\n")
+
+
+def write_sarif(report: LintReport, path: str | Path) -> None:
+    """Write the SARIF log to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        format_sarif(report, handle)
+
+
 __all__ = [
     "REPORT_SCHEMA",
+    "SARIF_VERSION",
     "format_json",
+    "format_sarif",
     "format_text",
     "report_document",
+    "sarif_document",
     "write_json",
+    "write_sarif",
 ]

@@ -165,3 +165,13 @@ def write_jsonl(registry: MetricsRegistry, path: str) -> None:
     """Dump :func:`jsonl_snapshot` to ``path``."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(jsonl_snapshot(registry))
+
+__all__ = [
+    "EXPORTED_QUANTILES",
+    "jsonl_lines",
+    "jsonl_snapshot",
+    "prometheus_text",
+    "quantile_from_buckets",
+    "write_jsonl",
+    "write_prometheus",
+]

@@ -61,3 +61,9 @@ def time_section(metric: str, help: str = "",
         registry.histogram(
             metric, help=help, buckets=buckets, **labels
         ).observe(perf_counter() - start)
+
+__all__ = [
+    "F",
+    "time_section",
+    "timed",
+]

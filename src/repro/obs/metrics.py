@@ -405,3 +405,15 @@ class NullRegistry(MetricsRegistry):
                   buckets: tuple[float, ...] = LATENCY_BUCKETS_S,
                   **labels: str):
         return _NULL_HISTOGRAM
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "LabelKey",
+    "MILE_BUCKETS",
+    "MetricsRegistry",
+    "NullRegistry",
+]

@@ -161,3 +161,12 @@ def print_flame_summary(
         note += f", {rows.open_spans} span(s) still open (excluded)"
     print(f"\n# span flame summary: {len(tracer)} spans{note}", file=out)
     render_flame_summary(rows, out, top=top, root_s=root_s)
+
+__all__ = [
+    "FlameSummary",
+    "SpanStats",
+    "flame_summary",
+    "print_flame_summary",
+    "render_flame_summary",
+    "root_time",
+]

@@ -94,3 +94,15 @@ def use_tracer(tracer: Tracer | None = None) -> Iterator[Tracer]:
 def span(name: str, **attrs):
     """Open a span on the active tracer (no-op under the default)."""
     return _active_tracer.span(name, **attrs)
+
+__all__ = [
+    "disable_metrics",
+    "enable_metrics",
+    "get_registry",
+    "get_tracer",
+    "set_registry",
+    "set_tracer",
+    "span",
+    "use_registry",
+    "use_tracer",
+]

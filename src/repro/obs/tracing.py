@@ -246,3 +246,9 @@ class NullTracer(Tracer):
 
     def span(self, name: str, **attrs: Any):  # type: ignore[override]
         return _NULL_SPAN
+
+__all__ = [
+    "NullTracer",
+    "SpanRecord",
+    "Tracer",
+]

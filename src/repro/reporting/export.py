@@ -55,3 +55,9 @@ def write_csv(path: str, content: str) -> None:
     """Write a CSV string to ``path``."""
     with open(path, "w", newline="") as handle:
         handle.write(content)
+
+__all__ = [
+    "rows_to_csv",
+    "series_to_csv",
+    "write_csv",
+]

@@ -100,3 +100,9 @@ def render_chart(series: list[Series], width: int = 64, height: int = 16,
     )
     lines.append(legend)
     return "\n".join(lines)
+
+__all__ = [
+    "Series",
+    "render_chart",
+    "render_series_table",
+]

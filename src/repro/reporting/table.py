@@ -57,3 +57,7 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
             "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
         )
     return "\n".join(lines)
+
+__all__ = [
+    "render_table",
+]

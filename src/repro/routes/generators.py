@@ -154,3 +154,11 @@ def random_network(num_intersections: int, extent_miles: float,
     for a, b in zip(order, order[1:]):
         network.add_road(a, b)
     return network
+
+__all__ = [
+    "grid_city_network",
+    "radial_highway_network",
+    "random_network",
+    "straight_route",
+    "winding_route",
+]

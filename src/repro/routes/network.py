@@ -111,3 +111,7 @@ class RouteNetwork:
         xs = [p.x for p in positions]
         ys = [p.y for p in positions]
         return min(xs), min(ys), max(xs), max(ys)
+
+__all__ = [
+    "RouteNetwork",
+]

@@ -130,3 +130,8 @@ class RouteDatabase:
     def ids(self) -> list[str]:
         """All registered route ids."""
         return list(self._routes)
+
+__all__ = [
+    "Route",
+    "RouteDatabase",
+]

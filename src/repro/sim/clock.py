@@ -60,3 +60,7 @@ class SimulationClock:
             f"SimulationClock(duration={self.duration}, dt={self.dt}, "
             f"num_ticks={self.num_ticks})"
         )
+
+__all__ = [
+    "SimulationClock",
+]

@@ -476,3 +476,11 @@ def simulate_trip(trip: Trip, policy: UpdatePolicy,
                   record_series: bool = False) -> TripResult:
     """Simulate one trip under one policy (the paper's unit of work)."""
     return PolicySimulation(trip, policy, dt, max_speed).run(record_series)
+
+__all__ = [
+    "PolicySimulation",
+    "TripResult",
+    "TripSeries",
+    "simulate_trip",
+    "supports_fast_path",
+]

@@ -200,3 +200,8 @@ class FleetSimulation:
         except KeyError:
             raise SimulationError(f"unknown vehicle {object_id!r}") from None
         return vehicle.trip.position(min(t, vehicle.trip.duration))
+
+__all__ = [
+    "FleetSimulation",
+    "FleetVehicle",
+]

@@ -116,3 +116,10 @@ def aggregate_metrics(metrics: list[TripMetrics]) -> AggregateMetrics:
 def metrics_field_names() -> list[str]:
     """Names of all scalar fields of :class:`TripMetrics` (for reports)."""
     return [f.name for f in fields(TripMetrics)]
+
+__all__ = [
+    "AggregateMetrics",
+    "TripMetrics",
+    "aggregate_metrics",
+    "metrics_field_names",
+]

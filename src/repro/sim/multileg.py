@@ -245,3 +245,10 @@ class MultiLegDriver:
         self._base_travel = self.trip.distance_travelled(t)
         self._declared_speed = speed
         self._last_zero_elapsed = 0.0
+
+__all__ = [
+    "Leg",
+    "LegTransition",
+    "MultiLegDriver",
+    "MultiLegTrip",
+]

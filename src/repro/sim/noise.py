@@ -140,3 +140,9 @@ def simulate_trip_with_noise(trip: Trip, policy: UpdatePolicy,
         ticks=clock.num_ticks,
         max_excess=max_excess,
     )
+
+__all__ = [
+    "NoisyRunResult",
+    "NoisyTripView",
+    "simulate_trip_with_noise",
+]

@@ -407,3 +407,16 @@ def standard_curve_set(rng: random.Random, count: int = 20,
                 )
             )
     return curves
+
+__all__ = [
+    "CityCurve",
+    "ConstantCurve",
+    "HighwayCurve",
+    "MixedCurve",
+    "PiecewiseConstantCurve",
+    "RushHourCurve",
+    "SpeedCurve",
+    "TraceCurve",
+    "TrafficJamCurve",
+    "standard_curve_set",
+]

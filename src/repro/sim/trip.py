@@ -141,3 +141,7 @@ class Trip:
             f"Trip(route={self.route.route_id!r}, kind={self.curve.kind!r}, "
             f"duration={self.duration:.1f}, distance={self.total_distance:.2f})"
         )
+
+__all__ = [
+    "Trip",
+]

@@ -140,3 +140,9 @@ class OnboardComputer:
         self.declared_speed = decision.speed_to_declare
         self._last_zero_elapsed = 0.0
         return event
+
+__all__ = [
+    "OnboardComputer",
+    "UpdateEvent",
+    "ZERO_DEVIATION_TOLERANCE",
+]

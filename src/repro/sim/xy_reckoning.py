@@ -145,3 +145,10 @@ def simulate_route_dead_reckoning(trip: Trip, threshold: float,
         max_deviation=max_deviation,
         duration=clock.duration,
     )
+
+__all__ = [
+    "XYReckoningResult",
+    "simulate_route_dead_reckoning",
+    "simulate_xy_dead_reckoning",
+    "velocity_vector",
+]

@@ -133,3 +133,9 @@ def mixed_query_workload(network: RouteNetwork, rng: random.Random,
                 Point(cx, cy), rng.uniform(radius_lo, radius_hi), t,
             ))
     return queries
+
+__all__ = [
+    "mixed_query_workload",
+    "polygon_query_workload",
+    "within_distance_workload",
+]

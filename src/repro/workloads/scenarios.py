@@ -197,3 +197,11 @@ def battlefield_scenario(num_units: int = 25, duration: float = 30.0,
         },
         use_index=use_index, dt=dt, database_factory=database_factory,
     )
+
+__all__ = [
+    "DatabaseFactory",
+    "FleetScenario",
+    "battlefield_scenario",
+    "taxi_fleet_scenario",
+    "trucking_scenario",
+]

@@ -1,0 +1,6 @@
+"""Deliberately-bad mini-package for the flow analyzer (RPR601-605).
+
+Every violation here is interprocedural: the hazard and the function it
+breaks live in different modules, which is exactly what the per-file
+rules cannot see.
+"""

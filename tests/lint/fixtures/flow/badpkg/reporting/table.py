@@ -1,0 +1,13 @@
+"""Ordered-output sink module."""
+
+from badpkg.sim.engine import jitter, labels
+
+
+def render(values):
+    # RPR601: second rng-tainted sink.
+    return [value * jitter() for value in values]
+
+
+def column_names():
+    # RPR603: unordered set iteration feeds the rendered table.
+    return labels()

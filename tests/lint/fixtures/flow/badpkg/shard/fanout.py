@@ -1,0 +1,15 @@
+"""Shard helper whose class holds unpicklable state."""
+
+import threading
+
+
+class ShardState:
+    def __init__(self):
+        self.lock = threading.Lock()
+
+    def merge(self, results):
+        return sorted(results)
+
+
+def fan_out(executor, worker, shards):
+    return list(executor.map(worker, shards))

@@ -1,0 +1,22 @@
+"""Taint sources: every helper here poisons its callers."""
+
+import random
+import time
+
+
+def jitter():
+    """rng taint: shared-state draw."""
+    return random.random()
+
+
+def stamp():
+    """clock taint: wall-clock read."""
+    return time.time()
+
+
+def labels():
+    """unordered taint: set iteration shapes the returned list."""
+    out = []
+    for name in {"a", "b", "c"}:
+        out.append(name)
+    return out

@@ -1,0 +1,15 @@
+"""Schema producers: one version bump ahead of the readers."""
+
+SCHEMA = "repro-flowdemo/2"
+UNDOC = "repro-undoc/1"
+
+
+def dump(doc):
+    # RPR605: producers emit /2 but loader.py only accepts /1.
+    doc["schema"] = SCHEMA
+    return doc
+
+
+def header():
+    # RPR605: repro-undoc/1 appears nowhere in the design doc.
+    return {"schema": UNDOC}

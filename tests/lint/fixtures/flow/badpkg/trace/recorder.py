@@ -1,0 +1,13 @@
+"""Trace sink module."""
+
+from badpkg.sim.engine import labels, stamp
+
+
+def record(event):
+    # RPR602: second clock-tainted sink.
+    return {"event": event, "t": stamp()}
+
+
+def tag_set(doc):
+    # RPR603: second unordered-tainted sink.
+    return labels()

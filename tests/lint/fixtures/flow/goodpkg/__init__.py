@@ -1,0 +1,5 @@
+"""Clean counterpart to ``badpkg``: the same shapes, done legally.
+
+Seeded/injected randomness, an injected clock, sorted sets, and
+module-level pool tasks — the flow analyzer must stay silent here.
+"""

@@ -1,0 +1,11 @@
+"""Digest sink calling the clean helpers."""
+
+from goodpkg.sim.engine import jitter, stamp
+
+
+def digest_rows(rows, rng):
+    return [row + jitter(rng) for row in rows]
+
+
+def batch_header(clock):
+    return {"at": stamp(clock)}

@@ -1,0 +1,16 @@
+"""Callers that hand module-level (picklable) tasks to the helpers."""
+
+from goodpkg.exec.runner import run_all
+from goodpkg.shard.fanout import fan_out
+
+
+def scale(chunk):
+    return chunk * 2
+
+
+def launch(pool, chunks):
+    return run_all(pool, scale, chunks)
+
+
+def launch_shards(executor, shards):
+    return fan_out(executor, scale, shards)

@@ -1,0 +1,6 @@
+"""Pool helper; every caller passes a module-level function."""
+
+
+def run_all(pool, task_fn, chunks):
+    futures = [pool.submit(task_fn, chunk) for chunk in chunks]
+    return [future.result() for future in futures]

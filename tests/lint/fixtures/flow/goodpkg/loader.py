@@ -1,0 +1,7 @@
+"""Schema consumer accepting exactly what the producer emits."""
+
+
+def load(doc):
+    if doc.get("schema") != "repro-flowdemo/1":
+        raise ValueError("unsupported document")
+    return doc

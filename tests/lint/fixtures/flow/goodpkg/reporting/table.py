@@ -1,0 +1,11 @@
+"""Ordered-output sink calling the clean helpers."""
+
+from goodpkg.sim.engine import labels
+
+
+def column_names():
+    return labels()
+
+
+def render(values):
+    return sorted(values)

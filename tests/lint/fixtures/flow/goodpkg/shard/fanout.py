@@ -1,0 +1,13 @@
+"""Shard helper; the state class holds only picklable values."""
+
+
+class ShardState:
+    def __init__(self):
+        self.results = []
+
+    def merge(self, results):
+        return sorted(results)
+
+
+def fan_out(executor, worker, shards):
+    return list(executor.map(worker, shards))

@@ -1,0 +1,16 @@
+"""Deterministic helpers: hazards injected, never ambient."""
+
+
+def jitter(rng):
+    return rng.random()
+
+
+def stamp(clock):
+    return clock.now()
+
+
+def labels():
+    out = []
+    for name in sorted({"a", "b", "c"}):
+        out.append(name)
+    return out

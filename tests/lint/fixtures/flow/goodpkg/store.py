@@ -1,0 +1,8 @@
+"""Schema producer in lockstep with its consumer."""
+
+SCHEMA = "repro-flowdemo/1"
+
+
+def dump(doc):
+    doc["schema"] = SCHEMA
+    return doc

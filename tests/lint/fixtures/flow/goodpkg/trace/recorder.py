@@ -1,0 +1,7 @@
+"""Trace sink with an injected clock."""
+
+from goodpkg.sim.engine import labels, stamp
+
+
+def record(event, clock):
+    return {"event": event, "t": stamp(clock), "tags": labels()}

@@ -1,0 +1,3 @@
+"""Flow-suppression fixture: the only finding here is noqa'd."""
+
+SCHEMA = "repro-hidden/1"  # repro: noqa[RPR605] demo tag, deliberately undocumented

@@ -133,3 +133,67 @@ def test_lint_paths_aggregates(tmp_path):
     assert report.files == 2
     assert [f.code for f in report.findings] == ["RPR302"]
     assert report.findings[0].path == "a.py"
+
+
+class TestNoqaContinuationLines:
+    def test_directive_on_closing_line_reaches_statement_start(self):
+        # The finding anchors to the statement's first line; the noqa
+        # trails the closing paren two lines later.  The directive must
+        # still reach it.
+        source = (
+            "import random\n"
+            "value = random.choice(\n"
+            "    [1, 2, 3],\n"
+            ")  # repro: noqa[RPR101] fixture exercises continuation lines\n"
+        )
+        report = lint_source(source, "sim/mod.py")
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_unknown_code_on_continuation_reports_once(self):
+        # The directive maps to two lines (its own and the logical
+        # start); RPR901/902 must still fire once per comment, not per
+        # mapped line.
+        source = (
+            "value = sum(\n"
+            "    [1, 2],\n"
+            ")  # repro: noqa[NOPE9]\n"
+        )
+        report = lint_source(source, "anywhere/mod.py")
+        assert sorted(f.code for f in report.findings) == [
+            "RPR901", "RPR902"]
+
+    def test_multi_code_directive_suppresses_both(self):
+        source = (
+            "import random\n"
+            "import time\n"
+            "def f():\n"
+            "    return random.random() + time.time()"
+            "  # repro: noqa[RPR101, RPR102] both hazards are the point\n"
+        )
+        report = lint_source(source, "sim/mod.py")
+        assert report.findings == []
+        assert report.suppressed == 2
+
+
+class TestParallelJobs:
+    def test_jobs_output_is_byte_identical(self, tmp_path):
+        import io as _io
+
+        from repro.lint import format_json
+
+        for index in range(6):
+            (tmp_path / f"m{index}.py").write_text(
+                "def f(x=[]):\n    return x\n")
+        serial = lint_paths([tmp_path], Config(root=tmp_path), jobs=1)
+        parallel = lint_paths([tmp_path], Config(root=tmp_path), jobs=4)
+        buf_serial, buf_parallel = _io.StringIO(), _io.StringIO()
+        format_json(serial, buf_serial)
+        format_json(parallel, buf_parallel)
+        assert buf_serial.getvalue() == buf_parallel.getvalue()
+        assert serial.files == 6
+
+    def test_jobs_one_file_stays_serial(self, tmp_path):
+        (tmp_path / "only.py").write_text("def f(x=[]):\n    return x\n")
+        report = lint_paths([tmp_path], Config(root=tmp_path), jobs=8)
+        assert [f.code for f in report.findings] == ["RPR302"]

@@ -66,3 +66,44 @@ def test_text_clean_run(tmp_path):
     out = io.StringIO()
     format_text(report, out)
     assert "lint: clean" in out.getvalue()
+
+
+def test_sarif_document_shape(tmp_path):
+    from repro.lint import sarif_document
+    from repro.lint.output import SARIF_VERSION
+
+    document = sarif_document(_report(tmp_path))
+    assert document["version"] == SARIF_VERSION
+    (run,) = document["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    assert [rule["id"] for rule in driver["rules"]] == ["RPR302"]
+    (result,) = run["results"]
+    assert result["ruleId"] == "RPR302"
+    assert result["ruleIndex"] == 0
+    assert result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "a.py"
+    assert location["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+    assert location["region"]["startLine"] == 1
+
+
+def test_sarif_clean_report_has_no_rules(tmp_path):
+    from repro.lint import Config, lint_paths, sarif_document
+
+    (tmp_path / "ok.py").write_text("X = 1\n__all__ = ['X']\n")
+    report = lint_paths([tmp_path / "ok.py"], Config(root=tmp_path))
+    document = sarif_document(report)
+    (run,) = document["runs"]
+    assert run["tool"]["driver"]["rules"] == []
+    assert run["results"] == []
+
+
+def test_write_sarif(tmp_path):
+    from repro.lint import write_sarif
+
+    target = tmp_path / "lint-report.sarif"
+    write_sarif(_report(tmp_path), target)
+    document = json.loads(target.read_text())
+    assert document["version"] == "2.1.0"
+    assert document["runs"][0]["results"]

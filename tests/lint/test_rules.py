@@ -90,8 +90,11 @@ def test_cli_exits_zero_on_good_fixture(fixture):
 
 def test_every_registered_rule_has_a_fixture():
     from repro.lint import all_rules
+    from tests.lint.test_flow_rules import FLOW_BAD_COUNTS
 
-    covered = {code for _, code, _ in BAD_FIXTURES}
+    # Per-file rules have file fixtures; flow rules have the bad
+    # mini-packages under fixtures/flow/ (exercised by test_flow_rules).
+    covered = {code for _, code, _ in BAD_FIXTURES} | set(FLOW_BAD_COUNTS)
     assert covered == {rule.code for rule in all_rules()}
 
 
